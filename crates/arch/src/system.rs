@@ -1,0 +1,318 @@
+//! Whole-system composition: a classification job over 8 channels × 8
+//! ranks of ENMC DIMMs (Table 3), or over the CPU / NMP baselines.
+//!
+//! The classifier is partitioned row-wise across the 64 rank-units; every
+//! unit screens its slice and computes the candidates that fall in it.
+//! Rank-units are symmetric and independent (each has its own DRAM timing
+//! domain), so system latency is one representative rank's latency — the
+//! candidate load is spread uniformly by the partitioning.
+
+use crate::baseline::{BaselineKind, NmpBaseline};
+use crate::config::EnmcConfig;
+use crate::cpu::CpuModel;
+use crate::energy::{LogicEnergyModel, SystemEnergy};
+use crate::unit::{RankJob, RankUnit, UnitParams, UnitReport};
+use enmc_dram::energy::EnergyModel;
+
+/// A classification job at system scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClassificationJob {
+    /// Total categories `l`.
+    pub categories: usize,
+    /// Hidden dimension `d`.
+    pub hidden: usize,
+    /// Reduced dimension `k`.
+    pub reduced: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Total candidates per batch item (across all ranks).
+    pub candidates: usize,
+}
+
+impl ClassificationJob {
+    /// The slice of this job one of `ranks` symmetric units executes.
+    pub fn rank_slice(&self, ranks: usize) -> RankJob {
+        RankJob {
+            categories: self.categories.div_ceil(ranks).max(1),
+            hidden: self.hidden,
+            reduced: self.reduced,
+            batch: self.batch,
+            candidates_per_item: vec![self.candidates.div_ceil(ranks); self.batch],
+        }
+    }
+
+    /// The *worst* rank's slice when candidates skew toward popular
+    /// categories instead of spreading uniformly. With round-robin row
+    /// interleaving across ranks a Zipf-`s` popularity still lands the
+    /// hottest rank roughly `1 + skew` times the mean candidate load;
+    /// system latency follows that straggler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skew` is negative.
+    pub fn rank_slice_skewed(&self, ranks: usize, skew: f64) -> RankJob {
+        assert!(skew >= 0.0, "skew must be non-negative");
+        let mean = self.candidates as f64 / ranks as f64;
+        let hot = (mean * (1.0 + skew)).ceil() as usize;
+        RankJob {
+            categories: self.categories.div_ceil(ranks).max(1),
+            hidden: self.hidden,
+            reduced: self.reduced,
+            batch: self.batch,
+            candidates_per_item: vec![hot; self.batch],
+        }
+    }
+}
+
+/// Which scheme executed a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    /// Host CPU running full classification (the normalization baseline).
+    CpuFull,
+    /// Host CPU running approximate screening + candidates.
+    CpuScreened,
+    /// An NMP baseline running approximate screening.
+    Baseline(BaselineKind),
+    /// The ENMC architecture.
+    Enmc,
+}
+
+/// Result of running a job under one scheme.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchemeResult {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Wall-clock latency in nanoseconds for the whole batch.
+    pub ns: f64,
+    /// Energy breakdown (absent for the analytic CPU model).
+    pub energy: Option<SystemEnergy>,
+    /// Per-rank simulation report (absent for the CPU).
+    pub rank_report: Option<UnitReport>,
+}
+
+impl SchemeResult {
+    /// Speedup of this result relative to `baseline`.
+    pub fn speedup_over(&self, baseline: &SchemeResult) -> f64 {
+        baseline.ns / self.ns
+    }
+}
+
+/// The complete evaluation platform: CPU model + rank-unit models.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    cpu: CpuModel,
+    enmc: EnmcConfig,
+    /// Rank-units in the system (Table 3: 8 channels × 8 ranks).
+    pub total_ranks: usize,
+}
+
+impl Default for SystemModel {
+    fn default() -> Self {
+        Self::table3()
+    }
+}
+
+impl SystemModel {
+    /// The paper's evaluation platform.
+    pub fn table3() -> Self {
+        SystemModel { cpu: CpuModel::xeon_8280(), enmc: EnmcConfig::table3(), total_ranks: 64 }
+    }
+
+    /// The CPU model in use.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Runs `job` under `scheme`.
+    pub fn run(&self, job: &ClassificationJob, scheme: Scheme) -> SchemeResult {
+        match scheme {
+            Scheme::CpuFull => SchemeResult {
+                scheme,
+                ns: self.cpu.full_classification_ns(job.categories, job.hidden, job.batch),
+                energy: None,
+                rank_report: None,
+            },
+            Scheme::CpuScreened => SchemeResult {
+                scheme,
+                ns: self.cpu.screened_classification_ns(
+                    job.categories,
+                    job.hidden,
+                    job.reduced,
+                    job.candidates,
+                    4,
+                    job.batch,
+                ),
+                energy: None,
+                rank_report: None,
+            },
+            Scheme::Enmc => {
+                let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
+                let report = unit.simulate(&job.rank_slice(self.total_ranks));
+                let energy = SystemEnergy::from_rank(
+                    &report,
+                    self.total_ranks,
+                    &EnergyModel::ddr4_2400_rank(1),
+                    &LogicEnergyModel::enmc_table5(),
+                );
+                SchemeResult {
+                    scheme,
+                    ns: report.ns,
+                    energy: Some(energy),
+                    rank_report: Some(report),
+                }
+            }
+            Scheme::Baseline(kind) => {
+                let baseline = NmpBaseline::new(kind);
+                // "Large" variants deploy more rank-units per channel.
+                let units = kind.config().units_per_channel * 8;
+                let report = baseline.unit().simulate(&job.rank_slice(units));
+                let total_mw = match kind {
+                    BaselineKind::Nda => 293.6,
+                    BaselineKind::Chameleon => 249.0,
+                    BaselineKind::TensorDimm => 303.5,
+                    BaselineKind::TensorDimmLarge => 303.5 * 2.5,
+                };
+                // Energy scales with the number of units actually deployed
+                // (TensorDIMM-Large doubles them).
+                let energy = SystemEnergy::from_rank(
+                    &report,
+                    units,
+                    &EnergyModel::ddr4_2400_rank(1),
+                    &LogicEnergyModel::baseline(total_mw),
+                );
+                SchemeResult {
+                    scheme,
+                    ns: report.ns,
+                    energy: Some(energy),
+                    rank_report: Some(report),
+                }
+            }
+        }
+    }
+
+    /// Runs `job` on ENMC with candidate load imbalance `skew` (system
+    /// latency = the straggler rank).
+    pub fn run_enmc_skewed(&self, job: &ClassificationJob, skew: f64) -> SchemeResult {
+        let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
+        let report = unit.simulate(&job.rank_slice_skewed(self.total_ranks, skew));
+        let energy = SystemEnergy::from_rank(
+            &report,
+            self.total_ranks,
+            &EnergyModel::ddr4_2400_rank(1),
+            &LogicEnergyModel::enmc_table5(),
+        );
+        SchemeResult { scheme: Scheme::Enmc, ns: report.ns, energy: Some(energy), rank_report: Some(report) }
+    }
+
+    /// Runs the Fig. 13 scheme set on one job, returning results in the
+    /// paper's order: CPU-screened, NDA, Chameleon, TensorDIMM, ENMC —
+    /// all normalized against CPU-full by the caller.
+    pub fn run_figure13_schemes(&self, job: &ClassificationJob) -> Vec<SchemeResult> {
+        let mut out = vec![self.run(job, Scheme::CpuScreened)];
+        for kind in BaselineKind::figure13() {
+            out.push(self.run(job, Scheme::Baseline(kind)));
+        }
+        out.push(self.run(job, Scheme::Enmc));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> ClassificationJob {
+        // A Transformer-W268K-like shape, scaled so tests stay fast: each
+        // rank still sees thousands of categories.
+        ClassificationJob {
+            categories: 262_144,
+            hidden: 512,
+            reduced: 128,
+            batch: 1,
+            candidates: 262_144 / 20, // ~5% of rows need exact compute
+        }
+    }
+
+    #[test]
+    fn rank_slice_partitions_evenly() {
+        let j = job();
+        let slice = j.rank_slice(64);
+        assert_eq!(slice.categories, 4096);
+        assert_eq!(slice.candidates_per_item, vec![205]);
+    }
+
+    #[test]
+    fn enmc_beats_cpu_by_a_wide_margin() {
+        let sys = SystemModel::table3();
+        let j = job();
+        let cpu = sys.run(&j, Scheme::CpuFull);
+        let enmc = sys.run(&j, Scheme::Enmc);
+        let speedup = enmc.speedup_over(&cpu);
+        // Paper: ENMC delivers 56.5× average over CPU-full (55.5–600×
+        // at batch 1). Accept a broad band around that.
+        assert!(speedup > 20.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn cpu_screening_alone_is_single_digit_speedup() {
+        let sys = SystemModel::table3();
+        let j = job();
+        let full = sys.run(&j, Scheme::CpuFull);
+        let screened = sys.run(&j, Scheme::CpuScreened);
+        let s = screened.speedup_over(&full);
+        assert!((3.0..16.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn enmc_beats_every_nmp_baseline() {
+        let sys = SystemModel::table3();
+        let j = job();
+        let enmc = sys.run(&j, Scheme::Enmc);
+        for kind in BaselineKind::figure13() {
+            let b = sys.run(&j, Scheme::Baseline(kind));
+            let adv = enmc.speedup_over(&b);
+            assert!(adv > 1.5, "{:?}: only {adv}×", kind);
+        }
+    }
+
+    #[test]
+    fn enmc_energy_below_tensordimm() {
+        let sys = SystemModel::table3();
+        let j = job();
+        let enmc = sys.run(&j, Scheme::Enmc).energy.expect("simulated");
+        let td = sys.run(&j, Scheme::Baseline(BaselineKind::TensorDimm)).energy.expect("simulated");
+        assert!(
+            td.total_nj() > 2.0 * enmc.total_nj(),
+            "TensorDIMM {} vs ENMC {}",
+            td.total_nj(),
+            enmc.total_nj()
+        );
+    }
+
+    #[test]
+    fn candidate_skew_slows_the_system() {
+        let sys = SystemModel::table3();
+        let j = job();
+        let uniform = sys.run_enmc_skewed(&j, 0.0);
+        let skewed = sys.run_enmc_skewed(&j, 1.0);
+        assert!(skewed.ns > uniform.ns, "{} vs {}", skewed.ns, uniform.ns);
+        // But the screening stream dominates, so even a 2x-hot rank costs
+        // far less than 2x end-to-end.
+        assert!(skewed.ns < 1.8 * uniform.ns, "{} vs {}", skewed.ns, uniform.ns);
+    }
+
+    #[test]
+    fn figure13_scheme_set_order() {
+        let sys = SystemModel::table3();
+        let results = sys.run_figure13_schemes(&ClassificationJob {
+            categories: 32_768,
+            hidden: 128,
+            reduced: 32,
+            batch: 1,
+            candidates: 256,
+        });
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].scheme, Scheme::CpuScreened);
+        assert_eq!(results[4].scheme, Scheme::Enmc);
+    }
+}

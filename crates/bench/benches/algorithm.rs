@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the algorithm layer: screener distillation,
+//! approximate inference, and the offline costs of the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};
+use enmc_screen::fgd::{FgdConfig, FgdIndex};
+use enmc_screen::infer::{ApproxClassifier, SelectionPolicy};
+use enmc_screen::screener::{Screener, ScreenerConfig};
+use enmc_screen::svd::SvdSoftmax;
+use enmc_screen::train::{fit_least_squares, train_sgd, TrainConfig};
+use enmc_tensor::quant::Precision;
+use enmc_tensor::Vector;
+use std::hint::black_box;
+
+fn synth() -> SyntheticClassifier {
+    SyntheticClassifier::generate(&SynthesisConfig {
+        categories: 2000,
+        hidden: 96,
+        clusters: 32,
+        row_noise: 0.4,
+        zipf_exponent: 1.0,
+        bias_scale: 1.0,
+        query_signal: 2.2,
+        seed: 21,
+    })
+    .expect("valid synth config")
+}
+
+fn samples(s: &SyntheticClassifier, n: usize) -> Vec<Vector> {
+    s.sample_queries_seeded(n, 5).into_iter().map(|q| q.hidden).collect()
+}
+
+fn bench_distillation(c: &mut Criterion) {
+    let s = synth();
+    let train = samples(&s, 96);
+    c.bench_function("fit_least_squares_2000x96", |b| {
+        b.iter(|| {
+            let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Fp32, per_row_scales: false, seed: 1 };
+            let mut screener = Screener::new(2000, 96, &cfg).expect("dims");
+            black_box(fit_least_squares(&mut screener, s.weights(), s.bias(), &train, 1e-4))
+        })
+    });
+    c.bench_function("train_sgd_1epoch_2000x96", |b| {
+        b.iter(|| {
+            let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Fp32, per_row_scales: false, seed: 1 };
+            let mut screener = Screener::new(2000, 96, &cfg).expect("dims");
+            let config = TrainConfig { epochs: 1, ..Default::default() };
+            black_box(train_sgd(&mut screener, s.weights(), s.bias(), &train, &config))
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let s = synth();
+    let train = samples(&s, 96);
+    let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Int4, per_row_scales: false, seed: 1 };
+    let mut screener = Screener::new(2000, 96, &cfg).expect("dims");
+    fit_least_squares(&mut screener, s.weights(), s.bias(), &train, 1e-4);
+    let mut clf = ApproxClassifier::new(
+        s.weights().clone(),
+        s.bias().clone(),
+        screener,
+        SelectionPolicy::TopM(100),
+    )
+    .expect("shapes");
+    let q = &samples(&s, 1)[0];
+    c.bench_function("approx_classify_2000x96_m100", |b| {
+        b.iter(|| black_box(clf.classify(black_box(q))))
+    });
+    c.bench_function("full_classify_2000x96", |b| {
+        b.iter(|| black_box(clf.full_logits(black_box(q))))
+    });
+}
+
+fn bench_baseline_builds(c: &mut Criterion) {
+    let s = synth();
+    let mut g = c.benchmark_group("baseline_offline");
+    g.sample_size(10);
+    g.bench_function("svd_factorize_2000x96", |b| {
+        b.iter(|| {
+            black_box(
+                SvdSoftmax::new(s.weights(), s.bias().clone(), 12, 20).expect("valid"),
+            )
+        })
+    });
+    g.bench_function("fgd_build_2000x96", |b| {
+        b.iter(|| {
+            black_box(
+                FgdIndex::build(
+                    s.weights().clone(),
+                    s.bias().clone(),
+                    &FgdConfig { pool: 128, ..Default::default() },
+                )
+                .expect("valid"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distillation, bench_inference, bench_baseline_builds
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the numeric kernels on the critical
+//! path of screening and candidate-only classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enmc_tensor::dist::standard_normal;
+use enmc_tensor::quant::{Precision, QuantMatrix, QuantVector};
+use enmc_tensor::select::top_k_indices;
+use enmc_tensor::{Matrix, SparseProjection, Vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = standard_normal(rng);
+    }
+    m
+}
+
+fn random_vector(rng: &mut StdRng, n: usize) -> Vector {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("matvec_fp32");
+    for l in [1024usize, 8192] {
+        let d = 128;
+        let m = random_matrix(&mut rng, l, d);
+        let h = random_vector(&mut rng, d);
+        g.throughput(Throughput::Elements((l * d) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| black_box(m.matvec(black_box(&h))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quant_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let l = 8192;
+    let k = 128;
+    let m = random_matrix(&mut rng, l, k);
+    let h = random_vector(&mut rng, k);
+    let qm = QuantMatrix::quantize(&m, Precision::Int4).expect("nonempty");
+    let qh = QuantVector::quantize(&h, Precision::Int4).expect("nonempty");
+    let mut g = c.benchmark_group("screening_matvec_int4");
+    g.throughput(Throughput::Elements((l * k) as u64));
+    g.bench_function("8192x128", |b| b.iter(|| black_box(qm.matvec_quant(black_box(&qh)))));
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let p = SparseProjection::new(128, 512, 7).expect("valid dims");
+    let h = random_vector(&mut rng, 512);
+    c.bench_function("sparse_projection_128x512", |b| {
+        b.iter(|| black_box(p.project(black_box(&h))))
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let scores: Vec<f32> = (0..100_000).map(|_| standard_normal(&mut rng)).collect();
+    let mut g = c.benchmark_group("top_k");
+    for k in [10usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(top_k_indices(black_box(&scores), k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matvec, bench_quant_matvec, bench_projection, bench_topk
+}
+criterion_main!(benches);

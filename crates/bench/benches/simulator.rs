@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the simulation substrates: DRAM streaming,
+//! the ENMC rank-unit, and the instruction codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use enmc_arch::config::EnmcConfig;
+use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
+use enmc_dram::{AddressMapping, DramConfig, DramSystem, MemRequest};
+use enmc_isa::{BufferId, Instruction, RegId};
+use std::hint::black_box;
+
+fn bench_dram_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_stream_read");
+    let bytes = 256 * 1024u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("256KiB_single_rank", |b| {
+        b.iter(|| {
+            let mut sys = DramSystem::with_mapping(
+                DramConfig::enmc_single_rank(),
+                AddressMapping::RoRaBaCoBg,
+            );
+            let total = bytes / 64;
+            let mut sent = 0u64;
+            let mut done = 0u64;
+            while done < total {
+                while sent < total && sys.enqueue(MemRequest::read(sent * 64)).is_some() {
+                    sent += 1;
+                }
+                sys.tick();
+                done += sys.drain_completions().len() as u64;
+            }
+            black_box(sys.cycle())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rank_unit(c: &mut Criterion) {
+    let unit = RankUnit::new(UnitParams::enmc(&EnmcConfig::table3()));
+    let job = RankJob {
+        categories: 4096,
+        hidden: 512,
+        reduced: 128,
+        batch: 1,
+        candidates_per_item: vec![82],
+    };
+    c.bench_function("enmc_rank_unit_4096cat", |b| {
+        b.iter(|| black_box(unit.simulate(black_box(&job))))
+    });
+}
+
+fn bench_isa_codec(c: &mut Criterion) {
+    let instructions: Vec<Instruction> = vec![
+        Instruction::Init { reg: RegId::VocabSize, data: 123_456 },
+        Instruction::Ldr { buffer: BufferId::WeightInt4, addr: 0x1000 },
+        Instruction::MulAddInt4 { a: BufferId::FeatureInt4, b: BufferId::WeightInt4 },
+        Instruction::Filter { buffer: BufferId::PsumInt4 },
+        Instruction::Softmax,
+        Instruction::Return,
+    ];
+    c.bench_function("isa_encode_decode_6inst", |b| {
+        b.iter(|| {
+            for inst in &instructions {
+                let frame = inst.encode();
+                black_box(Instruction::decode(&frame).expect("roundtrip"));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dram_stream, bench_rank_unit, bench_isa_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates paper Fig. 13: speedup of CPU+AS, NDA, Chameleon,
+//! TensorDIMM and ENMC over the vanilla (full-classification) CPU, for the
+//! four Table 2 workloads at batch sizes 1, 2 and 4.
+//!
+//! All NMP schemes run the approximate screening algorithm (as in the
+//! paper); the CPU normalization baseline runs full classification.
+
+use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_bench::candidate_fraction;
+use enmc_bench::table::{fmt_speedup, Table};
+use enmc_model::workloads::WorkloadId;
+use enmc_tensor::stats::geometric_mean;
+
+fn main() {
+    let sys = SystemModel::table3();
+    println!("Figure 13: performance normalized to the full-classification CPU\n");
+
+    let mut per_scheme: Vec<(String, Vec<f64>)> = vec![
+        ("CPU+AS".into(), Vec::new()),
+        ("NDA".into(), Vec::new()),
+        ("Chameleon".into(), Vec::new()),
+        ("TensorDIMM".into(), Vec::new()),
+        ("ENMC".into(), Vec::new()),
+    ];
+
+    let mut t = Table::new(&[
+        "Workload", "Batch", "CPU+AS", "NDA", "Chameleon", "TensorDIMM", "ENMC",
+    ]);
+    for id in WorkloadId::table2() {
+        let w = id.workload();
+        let k = (w.hidden / 4).max(1);
+        let m = ((w.categories as f64) * candidate_fraction(id)).round() as usize;
+        for batch in [1usize, 2, 4] {
+            let job = ClassificationJob {
+                categories: w.categories,
+                hidden: w.hidden,
+                reduced: k,
+                batch,
+                candidates: m,
+            };
+            let cpu_full = sys.run(&job, Scheme::CpuFull);
+            let results = sys.run_figure13_schemes(&job);
+            let mut cells = vec![w.abbr.to_string(), batch.to_string()];
+            for (i, r) in results.iter().enumerate() {
+                let s = r.speedup_over(&cpu_full);
+                per_scheme[i].1.push(s);
+                cells.push(fmt_speedup(s));
+            }
+            t.row_owned(cells);
+        }
+    }
+    t.print();
+
+    println!("\nGeometric-mean speedups over CPU-full:");
+    let mut means = Vec::new();
+    for (name, vals) in &per_scheme {
+        let g = geometric_mean(vals);
+        means.push((name.clone(), g));
+        println!("  {name:<12} {}", fmt_speedup(g));
+    }
+    let enmc = means.last().expect("five schemes").1;
+    println!("\nENMC advantage over baselines:");
+    for (name, g) in &means[..means.len() - 1] {
+        println!("  vs {name:<12} {}", fmt_speedup(enmc / g));
+    }
+    println!("\nPaper reference: AS on CPU 7.3x; ENMC 56.5x over CPU;");
+    println!("3.5x / 5.6x / 2.7x over NDA / Chameleon / TensorDIMM.");
+}

@@ -1,0 +1,56 @@
+//! Regenerates paper Fig. 14: energy breakdown (DRAM static / DRAM access
+//! / computation & control) of ENMC vs TensorDIMM and TensorDIMM-Large,
+//! normalized to TensorDIMM.
+
+use enmc_arch::baseline::BaselineKind;
+use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_bench::candidate_fraction;
+use enmc_bench::table::{fmt, Table};
+use enmc_model::workloads::WorkloadId;
+
+fn main() {
+    let sys = SystemModel::table3();
+    println!("Figure 14: energy breakdown normalized to TensorDIMM\n");
+    let mut t = Table::new(&[
+        "Workload", "Scheme", "DRAM static", "DRAM access", "Compute+ctrl", "Total",
+    ]);
+    let mut ratios_td = Vec::new();
+    let mut ratios_tdl = Vec::new();
+    for id in WorkloadId::table2() {
+        let w = id.workload();
+        let job = ClassificationJob {
+            categories: w.categories,
+            hidden: w.hidden,
+            reduced: (w.hidden / 4).max(1),
+            batch: 1,
+            candidates: ((w.categories as f64) * candidate_fraction(id)).round() as usize,
+        };
+        let td = sys
+            .run(&job, Scheme::Baseline(BaselineKind::TensorDimm))
+            .energy
+            .expect("simulated");
+        let tdl = sys
+            .run(&job, Scheme::Baseline(BaselineKind::TensorDimmLarge))
+            .energy
+            .expect("simulated");
+        let enmc = sys.run(&job, Scheme::Enmc).energy.expect("simulated");
+        let norm = td.total_nj();
+        for (name, e) in [("TensorDIMM", &td), ("TensorDIMM-L", &tdl), ("ENMC", &enmc)] {
+            t.row_owned(vec![
+                w.abbr.to_string(),
+                name.to_string(),
+                fmt(e.dram_static_nj / norm, 3),
+                fmt(e.dram_access_nj / norm, 3),
+                fmt(e.logic_nj / norm, 3),
+                fmt(e.total_nj() / norm, 3),
+            ]);
+        }
+        ratios_td.push(td.total_nj() / enmc.total_nj());
+        ratios_tdl.push(tdl.total_nj() / enmc.total_nj());
+    }
+    t.print();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("\nAverage energy reduction of ENMC: {:.1}x vs TensorDIMM, {:.1}x vs TensorDIMM-Large",
+        avg(&ratios_td), avg(&ratios_tdl));
+    println!("Paper reference: 5.0x and 8.4x (static-energy reductions 9.3x / 4.8x).");
+}

@@ -1,0 +1,56 @@
+//! Steady-state serving study (extension): latency vs offered load for
+//! ENMC and TensorDIMM on a Transformer-like rank slice, with batching.
+//!
+//! Single-job latency (Fig. 13) understates the deployment difference:
+//! under a query stream, ENMC's batch reuse raises its saturation
+//! throughput while its low service time keeps tail latency flat.
+
+use enmc_arch::baseline::{BaselineKind, NmpBaseline};
+use enmc_arch::config::EnmcConfig;
+use enmc_arch::throughput::{saturation_period_ns, serve, ServeConfig};
+use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
+use enmc_bench::table::{fmt, Table};
+
+fn main() {
+    let template = RankJob {
+        categories: 4184, // Transformer-W268K / 64 ranks
+        hidden: 512,
+        reduced: 128,
+        batch: 1,
+        candidates_per_item: vec![209],
+    };
+    let enmc = RankUnit::new(UnitParams::enmc(&EnmcConfig::table3()));
+    let td = NmpBaseline::new(BaselineKind::TensorDimm);
+
+    println!("Serving study: Transformer-like rank slice, max batch 4\n");
+    let mut t = Table::new(&[
+        "engine", "load (kQPS)", "mean lat (us)", "p95 lat (us)", "mean batch", "state",
+    ]);
+    for (name, unit) in [("ENMC", &enmc), ("TensorDIMM", td.unit())] {
+        let svc1 = unit.simulate(&template).ns;
+        for load in [0.3, 0.7, 1.2, 2.0] {
+            let period = svc1 / load;
+            let r = serve(
+                unit,
+                &template,
+                &ServeConfig { arrival_period_ns: period, max_batch: 4, queries: 400 },
+            );
+            t.row_owned(vec![
+                name.into(),
+                fmt(1e6 / period, 1),
+                fmt(r.mean_ns / 1e3, 1),
+                fmt(r.p95_ns / 1e3, 1),
+                fmt(r.mean_batch, 2),
+                if r.saturated { "SATURATED" } else { "stable" }.into(),
+            ]);
+        }
+    }
+    t.print();
+
+    let enmc_sat = saturation_period_ns(&enmc, &template, 4, 300);
+    let td_sat = saturation_period_ns(td.unit(), &template, 4, 300);
+    println!("\nsaturation throughput (batch<=4):");
+    println!("  ENMC       {:.1} kQPS per rank", 1e6 / enmc_sat);
+    println!("  TensorDIMM {:.1} kQPS per rank", 1e6 / td_sat);
+    println!("  ratio      {:.1}x", td_sat / enmc_sat);
+}

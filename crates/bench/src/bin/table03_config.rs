@@ -1,0 +1,48 @@
+//! Regenerates paper Table 3: DRAM and ENMC configurations.
+
+use enmc_arch::config::EnmcConfig;
+use enmc_bench::table::Table;
+use enmc_dram::DramConfig;
+
+fn main() {
+    let dram = DramConfig::enmc_table3();
+    let enmc = EnmcConfig::table3();
+    println!("Table 3: ENMC Configurations\n");
+
+    let mut t = Table::new(&["DRAM parameter", "Value"]);
+    let org = dram.organization;
+    let tim = dram.timing;
+    t.row_owned(vec!["Spec".into(), format!("DDR4-{} MT/s", 2_000_000 / tim.tck_ps)]);
+    t.row_owned(vec!["Channels".into(), org.channels.to_string()]);
+    t.row_owned(vec!["Ranks/CH".into(), org.ranks.to_string()]);
+    t.row_owned(vec![
+        "Capacity/CH".into(),
+        enmc_bench::table::fmt_bytes(org.channel_bytes()),
+    ]);
+    t.row_owned(vec!["Queue".into(), format!("{}-entry", dram.queue_depth)]);
+    t.row_owned(vec![
+        "CL-tRCD-tRP".into(),
+        format!("{}-{}-{}", tim.cl, tim.trcd, tim.trp),
+    ]);
+    t.row_owned(vec![
+        "tRC/tCCD/tRRD/tFAW".into(),
+        format!("{}/{}/{}/{}", tim.trc, tim.tccd_s, tim.trrd_s, tim.tfaw),
+    ]);
+    t.row_owned(vec![
+        "Peak BW/CH".into(),
+        format!("{:.1} GB/s", tim.peak_channel_bandwidth() / 1e9),
+    ]);
+    t.print();
+
+    println!();
+    let mut t = Table::new(&["ENMC parameter", "Value"]);
+    t.row_owned(vec!["Tech node".into(), "28nm (modeled)".into()]);
+    t.row_owned(vec!["Frequency".into(), format!("{} MHz", enmc.freq_mhz)]);
+    t.row_owned(vec!["INT4 MACs".into(), enmc.int4_macs.to_string()]);
+    t.row_owned(vec!["FP32 MACs".into(), enmc.fp32_macs.to_string()]);
+    t.row_owned(vec![
+        "Screener/Executor buffers".into(),
+        format!("{}B+{}B each", enmc.buffer_bytes, enmc.buffer_bytes),
+    ]);
+    t.print();
+}

@@ -1,0 +1,79 @@
+//! DRAM-model validation: checks the simulator's first-order behaviour
+//! against analytic DDR4 expectations (the calibration a Ramulator user
+//! would do before trusting results).
+//!
+//! * idle read latency = tRCD + CL + tBL;
+//! * streaming bandwidth approaches the 19.2 GB/s channel peak;
+//! * random traffic collapses to row-miss service rate;
+//! * bank-group interleave beats single-bank streaming (tCCD_S vs tCCD_L);
+//! * refresh steals ~tRFC/tREFI of time.
+
+use enmc_bench::table::{fmt, Table};
+use enmc_dram::{AddressMapping, DramConfig, DramSystem, MemRequest};
+
+fn run_pattern(mapping: AddressMapping, addrs: &[u64]) -> (f64, f64, f64) {
+    let mut sys = DramSystem::with_mapping(DramConfig::enmc_single_rank(), mapping);
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    while done < addrs.len() {
+        while sent < addrs.len() && sys.enqueue(MemRequest::read(addrs[sent])).is_some() {
+            sent += 1;
+        }
+        sys.tick();
+        done += sys.drain_completions().len();
+        assert!(sys.cycle() < 100_000_000, "stalled");
+    }
+    let stats = sys.stats();
+    (sys.achieved_bandwidth_gbs(), stats.row_hit_rate(), stats.bus_utilization())
+}
+
+fn main() {
+    let cfg = DramConfig::enmc_single_rank();
+    let t = cfg.timing;
+    println!("DRAM model validation (single rank, DDR4-2400)\n");
+
+    // 1. Cold-read latency.
+    let mut sys = DramSystem::new(cfg);
+    sys.enqueue(MemRequest::read(0)).expect("queue empty");
+    let done = sys.run_until_idle(100_000);
+    let lat = done[0].latency();
+    println!(
+        "cold read latency: {} cycles (analytic tRCD+CL+tBL = {})",
+        lat,
+        t.trcd + t.cl + t.tbl
+    );
+
+    let n = 16_384u64;
+    let mut table = Table::new(&["pattern", "GB/s", "row-hit rate", "bus util"]);
+
+    // 2. Sequential stream with the bank-group-interleaved mapping.
+    let seq: Vec<u64> = (0..n).map(|i| i * 64).collect();
+    let (bw, hit, util) = run_pattern(AddressMapping::RoRaBaCoBg, &seq);
+    table.row_owned(vec!["sequential (Bg-interleaved)".into(), fmt(bw, 1), fmt(hit, 3), fmt(util, 3)]);
+
+    // 3. Single-bank column walk (pays tCCD_L).
+    let org = cfg.organization;
+    let bank_stride = 64 * org.bank_groups as u64; // stay in bank group 0, bank 0
+    let single: Vec<u64> = (0..n).map(|i| i * bank_stride).collect();
+    let (bw2, hit2, util2) = run_pattern(AddressMapping::RoRaBaCoBg, &single);
+    table.row_owned(vec!["single-bank column walk".into(), fmt(bw2, 1), fmt(hit2, 3), fmt(util2, 3)]);
+
+    // 4. Random rows (every access a fresh row).
+    let mut lcg: u64 = 12345;
+    let rand: Vec<u64> = (0..n / 4)
+        .map(|_| {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((lcg >> 20) % org.channel_bytes()) & !63
+        })
+        .collect();
+    let (bw3, hit3, util3) = run_pattern(AddressMapping::RoRaBaCoBg, &rand);
+    table.row_owned(vec!["random rows".into(), fmt(bw3, 1), fmt(hit3, 3), fmt(util3, 3)]);
+
+    table.print();
+    println!(
+        "\nexpectations: sequential ≈ {:.1} GB/s peak with ~100% hits;",
+        t.peak_channel_bandwidth() / 1e9
+    );
+    println!("single-bank capped at tBL/tCCD_L = {:.0}% of peak;", 100.0 * t.tbl as f64 / t.tccd_l as f64);
+    println!("random-row traffic far below both with ~0% hits.");
+}

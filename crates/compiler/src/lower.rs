@@ -1,0 +1,260 @@
+//! Lowering tasks into ENMC instruction streams.
+
+use crate::layout::MemoryLayout;
+use crate::tile::Tiling;
+use crate::{CompileError, TaskDescriptor};
+use enmc_isa::{BufferId, Instruction, Program, RegId};
+
+/// Emits the static screening-phase program for `task`.
+///
+/// Structure (per Fig. 9(b)'s compiled loop):
+///
+/// ```text
+/// INIT  <shape & address registers, threshold>
+/// for b in 0..batch:
+///     LDR feature buffer
+///     for t in 0..screen_tiles:
+///         LDR  weight tile
+///         MUL_ADD_INT4 feature, weight
+///     FILTER psum            ; candidates → index buffer → controller
+///     BARRIER                ; wait for executor's candidate work
+///     MOVE output ← psum     ; approximate values for non-candidates
+///     SOFTMAX / SIGMOID
+///     RETURN
+/// CLR
+/// ```
+///
+/// The full-precision candidate instructions are *not* in this program —
+/// the ENMC controller's instruction generator creates them at runtime
+/// from the indices the FILTER step produced (paper §5.2).
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from tiling.
+pub fn lower_screening(
+    task: &TaskDescriptor,
+    layout: &MemoryLayout,
+    buffer_bytes: usize,
+) -> Result<Program, CompileError> {
+    let tiling = Tiling::new(task, buffer_bytes)?;
+    let mut p = Program::new();
+    // Initialization: shapes, addresses, threshold.
+    p.push(Instruction::Init { reg: RegId::VocabSize, data: task.categories as u64 });
+    p.push(Instruction::Init { reg: RegId::HiddenDim, data: task.hidden as u64 });
+    p.push(Instruction::Init { reg: RegId::ReducedDim, data: task.reduced as u64 });
+    p.push(Instruction::Init { reg: RegId::ScreenWeightAddr, data: layout.screen_weights });
+    p.push(Instruction::Init { reg: RegId::ScreenWeightSize, data: task.screen_weight_bytes() });
+    p.push(Instruction::Init { reg: RegId::ClassifierAddr, data: layout.classifier });
+    p.push(Instruction::Init { reg: RegId::FeatureAddr, data: layout.features });
+    p.push(Instruction::Init { reg: RegId::ScreenBiasAddr, data: layout.screen_bias });
+    p.push(Instruction::Init { reg: RegId::Threshold, data: task.threshold_bits as u64 });
+    p.push(Instruction::Init { reg: RegId::WeightScale, data: task.weight_scale_bits as u64 });
+    p.push(Instruction::Init { reg: RegId::FeatureScale, data: task.feature_scale_bits as u64 });
+
+    let feature_stride = (task.screen_precision.nbytes(task.reduced) as u64).div_ceil(64) * 64;
+    for b in 0..task.batch {
+        p.push(Instruction::Ldr {
+            buffer: BufferId::FeatureInt4,
+            addr: layout.features + b as u64 * feature_stride,
+        });
+        for t in 0..tiling.screen_tiles {
+            p.push(Instruction::Ldr {
+                buffer: BufferId::WeightInt4,
+                addr: layout.screen_weights + (t * tiling.buffer_bytes) as u64,
+            });
+            p.push(Instruction::MulAddInt4 {
+                a: BufferId::FeatureInt4,
+                b: BufferId::WeightInt4,
+            });
+        }
+        p.push(Instruction::Filter { buffer: BufferId::PsumInt4 });
+        p.push(Instruction::Barrier);
+        p.push(Instruction::Move { dst: BufferId::Output, src: BufferId::PsumInt4 });
+        p.push(if task.softmax { Instruction::Softmax } else { Instruction::Sigmoid });
+        p.push(Instruction::Return);
+    }
+    p.push(Instruction::Clr);
+    Ok(p)
+}
+
+/// The per-candidate program the ENMC controller generates at runtime:
+/// gather the candidate's FP32 row tile by tile and accumulate against the
+/// FP32 feature buffer.
+pub fn estimate_candidate_program(
+    task: &TaskDescriptor,
+    layout: &MemoryLayout,
+    buffer_bytes: usize,
+    candidate: usize,
+) -> Result<Program, CompileError> {
+    let tiling = Tiling::new(task, buffer_bytes)?;
+    let mut p = Program::new();
+    let row = layout.classifier_row(task, candidate);
+    for t in 0..tiling.tiles_per_row {
+        p.push(Instruction::Ldr {
+            buffer: BufferId::WeightFp32,
+            addr: row + (t * buffer_bytes) as u64,
+        });
+        p.push(Instruction::MulAddFp32 { a: BufferId::FeatureFp32, b: BufferId::WeightFp32 });
+    }
+    p.push(Instruction::Move { dst: BufferId::Output, src: BufferId::PsumFp32 });
+    Ok(p)
+}
+
+/// The homogeneous FP32 program a naive NMP (TensorDIMM-style) runs: every
+/// classifier row is streamed at full precision with no screening — the
+/// baseline of the architecture comparison. When the logic-side buffers
+/// cannot hold the running output tile, partial results spill to DRAM
+/// (paper §7.2: "the buffer overflow results in frequent DRAM memory
+/// accesses"); the spill STR/LDR pairs are included here.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from tiling.
+pub fn lower_full_classification(
+    task: &TaskDescriptor,
+    layout: &MemoryLayout,
+    buffer_bytes: usize,
+    output_buffer_bytes: usize,
+) -> Result<Program, CompileError> {
+    let tiling = Tiling::new(task, buffer_bytes)?;
+    let mut p = Program::new();
+    p.push(Instruction::Init { reg: RegId::VocabSize, data: task.categories as u64 });
+    p.push(Instruction::Init { reg: RegId::ClassifierAddr, data: layout.classifier });
+    // Output logits produced per batch item: l × 4 bytes. Each time the
+    // output tile fills, spill it.
+    let outputs_per_spill = (output_buffer_bytes / 4).max(1);
+    for b in 0..task.batch {
+        p.push(Instruction::Ldr {
+            buffer: BufferId::FeatureFp32,
+            addr: layout.features + (b * task.hidden * 4) as u64,
+        });
+        let mut produced = 0usize;
+        for row in 0..task.categories {
+            let base = layout.classifier_row(task, row);
+            for t in 0..tiling.tiles_per_row {
+                p.push(Instruction::Ldr {
+                    buffer: BufferId::WeightFp32,
+                    addr: base + (t * buffer_bytes) as u64,
+                });
+                p.push(Instruction::MulAddFp32 {
+                    a: BufferId::FeatureFp32,
+                    b: BufferId::WeightFp32,
+                });
+            }
+            produced += 1;
+            if produced.is_multiple_of(outputs_per_spill) {
+                p.push(Instruction::Str {
+                    buffer: BufferId::PsumFp32,
+                    addr: layout.outputs + ((b * task.categories + produced) * 4) as u64,
+                });
+            }
+        }
+        p.push(Instruction::Softmax);
+        p.push(Instruction::Return);
+    }
+    p.push(Instruction::Clr);
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enmc_isa::Instruction as I;
+
+    fn small_task() -> (TaskDescriptor, MemoryLayout) {
+        let task = TaskDescriptor::paper_default(1024, 64, 2);
+        let layout = MemoryLayout::for_task(&task);
+        (task, layout)
+    }
+
+    #[test]
+    fn screening_program_structure() {
+        let (task, layout) = small_task();
+        let p = lower_screening(&task, &layout, 256).unwrap();
+        let stats = p.stats();
+        // k = 16 → 1024·16 = 16384 INT4 elems → 32 tiles per batch item.
+        let tiles = 32;
+        // Per batch item: 1 feature LDR + tiles·(LDR+MULADD) + FILTER +
+        // BARRIER + MOVE + act + RETURN.
+        let expected = 11 + task.batch * (1 + tiles * 2 + 5) + 1;
+        assert_eq!(stats.total, expected);
+        // First instruction initializes the vocab size.
+        assert!(matches!(p.instructions()[0], I::Init { .. }));
+        // Ends with CLR.
+        assert_eq!(*p.instructions().last().unwrap(), I::Clr);
+    }
+
+    #[test]
+    fn screening_weight_addresses_cover_stream_contiguously() {
+        let (task, layout) = small_task();
+        let p = lower_screening(&task, &layout, 256).unwrap();
+        let mut weight_addrs: Vec<u64> = p
+            .iter()
+            .filter_map(|i| match i {
+                I::Ldr { buffer: BufferId::WeightInt4, addr } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        weight_addrs.truncate(32); // first batch item
+        let expect: Vec<u64> = (0..32).map(|t| t * 256).collect();
+        assert_eq!(weight_addrs, expect);
+    }
+
+    #[test]
+    fn filter_runs_once_per_batch_item() {
+        let (task, layout) = small_task();
+        let p = lower_screening(&task, &layout, 256).unwrap();
+        let filters = p.iter().filter(|i| matches!(i, I::Filter { .. })).count();
+        assert_eq!(filters, task.batch);
+    }
+
+    #[test]
+    fn sigmoid_for_recommendation_tasks() {
+        let (mut task, layout) = small_task();
+        task.softmax = false;
+        let p = lower_screening(&task, &layout, 256).unwrap();
+        assert!(p.iter().any(|i| matches!(i, I::Sigmoid)));
+        assert!(!p.iter().any(|i| matches!(i, I::Softmax)));
+    }
+
+    #[test]
+    fn candidate_program_gathers_full_row() {
+        let (task, layout) = small_task();
+        let p = estimate_candidate_program(&task, &layout, 256, 7).unwrap();
+        // d = 64 → 256 B row → 1 tile → LDR + MULADD + MOVE.
+        assert_eq!(p.len(), 3);
+        match p.instructions()[0] {
+            I::Ldr { buffer: BufferId::WeightFp32, addr } => {
+                assert_eq!(addr, layout.classifier_row(&task, 7));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_classification_is_much_longer_than_screening() {
+        let (task, layout) = small_task();
+        let screen = lower_screening(&task, &layout, 256).unwrap();
+        let full = lower_full_classification(&task, &layout, 256, 512).unwrap();
+        assert!(full.len() > 5 * screen.len());
+    }
+
+    #[test]
+    fn small_output_buffer_forces_spills() {
+        let (task, layout) = small_task();
+        let small = lower_full_classification(&task, &layout, 256, 256).unwrap();
+        let large = lower_full_classification(&task, &layout, 256, 1 << 20).unwrap();
+        let spills = |p: &Program| p.iter().filter(|i| matches!(i, I::Str { .. })).count();
+        assert!(spills(&small) > spills(&large));
+        assert_eq!(spills(&large), 0);
+    }
+
+    #[test]
+    fn programs_roundtrip_through_assembly() {
+        let (task, layout) = small_task();
+        let p = lower_screening(&task, &layout, 256).unwrap();
+        let text = p.disassemble();
+        let back = Program::parse(&text).unwrap();
+        assert_eq!(back.len(), p.len());
+    }
+}

@@ -1,0 +1,449 @@
+//! Per-channel memory controller: request queue, FR-FCFS scheduling,
+//! open-page policy, demand refresh.
+//!
+//! The controller issues at most one command per memory-clock cycle on the
+//! channel's C/A bus. Scheduling follows FR-FCFS (first-ready,
+//! first-come-first-served):
+//!
+//! 1. an overdue refresh takes absolute priority (closing banks with PREA
+//!    first if needed);
+//! 2. the oldest request whose row is already open ("row hit") issues its
+//!    column command;
+//! 3. otherwise the oldest request whose bank is closed issues ACT;
+//! 4. otherwise the oldest request with a conflicting open row issues PRE.
+//!
+//! This mirrors the paper's note that the on-DIMM DRAM controller is a
+//! simplified host-style controller ("we do not deploy unnecessary
+//! features like queue prioritizing, request coalescing").
+
+use crate::command::CommandKind;
+use crate::config::{DramConfig, PagePolicy};
+use crate::mapping::Coord;
+use crate::rank::RankState;
+use crate::stats::DramStats;
+use crate::system::{Completion, RequestId, RequestKind};
+
+/// A request queued inside the controller.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: RequestId,
+    kind: RequestKind,
+    coord: Coord,
+    arrived: u64,
+    /// Set once this entry has caused a PRE (conflict) so it is only
+    /// classified once in the stats.
+    classified: bool,
+}
+
+/// One channel's controller and its ranks.
+#[derive(Debug, Clone)]
+pub struct ChannelController {
+    config: DramConfig,
+    ranks: Vec<RankState>,
+    queue: Vec<Entry>,
+    /// Cycle of the next due refresh, per rank.
+    next_refresh: Vec<u64>,
+    /// Ranks with an overdue refresh.
+    refresh_due: Vec<bool>,
+    stats: DramStats,
+}
+
+impl ChannelController {
+    /// A controller for one channel of `config`.
+    pub fn new(config: DramConfig) -> Self {
+        let ranks = (0..config.organization.ranks)
+            .map(|_| RankState::new(&config.organization, &config.timing))
+            .collect();
+        let trefi = config.timing.trefi;
+        ChannelController {
+            ranks,
+            queue: Vec::with_capacity(config.queue_depth),
+            next_refresh: (0..config.organization.ranks).map(|_| trefi).collect(),
+            refresh_due: vec![false; config.organization.ranks],
+            stats: DramStats::default(),
+            config,
+        }
+    }
+
+    /// Number of free queue slots.
+    pub fn free_slots(&self) -> usize {
+        self.config.queue_depth - self.queue.len()
+    }
+
+    /// `true` when no requests are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Enqueues a request. Returns `false` (rejecting it) when the queue is
+    /// full.
+    pub fn enqueue(&mut self, id: RequestId, kind: RequestKind, coord: Coord, now: u64) -> bool {
+        if self.queue.len() >= self.config.queue_depth {
+            return false;
+        }
+        self.queue.push(Entry { id, kind, coord, arrived: now, classified: false });
+        true
+    }
+
+    /// Advances one memory-clock cycle; returns a completion if a column
+    /// command finished a request this cycle.
+    pub fn tick(&mut self, now: u64) -> Option<Completion> {
+        self.stats.total_cycles = now + 1;
+        if self.queue.is_empty() && self.ranks.iter().all(RankState::all_closed) {
+            // Eligible for precharge power-down this cycle.
+            self.stats.idle_cycles += 1;
+        }
+        // Mark refreshes that have become due.
+        for r in 0..self.ranks.len() {
+            if now >= self.next_refresh[r] {
+                self.refresh_due[r] = true;
+            }
+        }
+        // 1. Refresh has priority.
+        for r in 0..self.ranks.len() {
+            if !self.refresh_due[r] {
+                continue;
+            }
+            let any = Coord { channel: 0, rank: r, bank_group: 0, bank: 0, row: 0, column: 0 };
+            if self.ranks[r].all_closed() {
+                if self.ranks[r].earliest(CommandKind::Ref, &any) <= now {
+                    self.ranks[r].issue(CommandKind::Ref, &any, now);
+                    self.stats.refreshes += 1;
+                    self.refresh_due[r] = false;
+                    self.next_refresh[r] += self.config.timing.trefi;
+                    return None;
+                }
+            } else if self.ranks[r].earliest(CommandKind::PreA, &any) <= now {
+                self.ranks[r].issue(CommandKind::PreA, &any, now);
+                self.stats.precharges += 1;
+                return None;
+            }
+            // Wait for the rank to become refreshable before serving it.
+        }
+
+        // 2. FR-FCFS: oldest-first row hit. Same-address requests must not
+        // reorder (RAW/WAR/WAW): a younger request to a coordinate an older
+        // queued request also targets is held back.
+        let mut hit_idx: Option<usize> = None;
+        let mut act_idx: Option<usize> = None;
+        let mut pre_idx: Option<usize> = None;
+        let mut seen: Vec<Coord> = Vec::with_capacity(self.queue.len());
+        for (i, e) in self.queue.iter().enumerate() {
+            let hazard = seen.contains(&e.coord);
+            seen.push(e.coord);
+            if hazard {
+                continue; // an older same-address request must go first
+            }
+            if self.refresh_due[e.coord.rank] {
+                continue; // rank is draining for refresh
+            }
+            let rank = &self.ranks[e.coord.rank];
+            let flat = e.coord.flat_bank(&self.config.organization);
+            match rank.open_row(flat) {
+                Some(row) if row == e.coord.row => {
+                    let cmd = column_command(e.kind);
+                    if rank.earliest(cmd, &e.coord) <= now && hit_idx.is_none() {
+                        hit_idx = Some(i);
+                        break; // oldest ready hit wins immediately
+                    }
+                }
+                Some(_) => {
+                    if pre_idx.is_none() && rank.earliest(CommandKind::Pre, &e.coord) <= now {
+                        pre_idx = Some(i);
+                    }
+                }
+                None => {
+                    if act_idx.is_none() && rank.earliest(CommandKind::Act, &e.coord) <= now {
+                        act_idx = Some(i);
+                    }
+                }
+            }
+        }
+
+        if let Some(i) = hit_idx {
+            let mut e = self.queue.remove(i);
+            let cmd = match (self.config.page_policy, e.kind) {
+                (PagePolicy::Open, _) => column_command(e.kind),
+                (PagePolicy::Closed, RequestKind::Read) => CommandKind::Rda,
+                (PagePolicy::Closed, RequestKind::Write) => CommandKind::Wra,
+            };
+            self.ranks[e.coord.rank].issue(cmd, &e.coord, now);
+            if self.config.page_policy == PagePolicy::Closed {
+                self.stats.precharges += 1; // implicit auto-precharge
+            }
+            if !e.classified {
+                self.stats.row_hits += 1;
+                e.classified = true;
+            }
+            let t = &self.config.timing;
+            self.stats.busy_cycles += t.tbl;
+            let finish = match e.kind {
+                RequestKind::Read => {
+                    self.stats.reads += 1;
+                    now + t.cl + t.tbl
+                }
+                RequestKind::Write => {
+                    self.stats.writes += 1;
+                    now + t.cwl + t.tbl
+                }
+            };
+            return Some(Completion { id: e.id, finish_cycle: finish, enqueued: e.arrived });
+        }
+        if let Some(i) = act_idx {
+            let (coord, classified) = {
+                let e = &mut self.queue[i];
+                let c = e.coord;
+                let was = e.classified;
+                e.classified = true;
+                (c, was)
+            };
+            self.ranks[coord.rank].issue(CommandKind::Act, &coord, now);
+            self.stats.activations += 1;
+            if !classified {
+                self.stats.row_misses += 1;
+            }
+            return None;
+        }
+        if let Some(i) = pre_idx {
+            let (coord, classified) = {
+                let e = &mut self.queue[i];
+                let c = e.coord;
+                let was = e.classified;
+                e.classified = true;
+                (c, was)
+            };
+            self.ranks[coord.rank].issue(CommandKind::Pre, &coord, now);
+            self.stats.precharges += 1;
+            if !classified {
+                self.stats.row_conflicts += 1;
+            }
+            return None;
+        }
+        None
+    }
+}
+
+fn column_command(kind: RequestKind) -> CommandKind {
+    match kind {
+        RequestKind::Read => CommandKind::Rd,
+        RequestKind::Write => CommandKind::Wr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DramConfig, PagePolicy};
+    use crate::mapping::AddressMapping;
+
+    fn controller() -> ChannelController {
+        ChannelController::new(DramConfig::enmc_single_rank())
+    }
+
+    fn coord_of(addr: u64, cfg: &DramConfig) -> Coord {
+        AddressMapping::RoRaBaCoBg.decode(addr, &cfg.organization)
+    }
+
+    fn run_one(ctrl: &mut ChannelController, id: u64, addr: u64) -> u64 {
+        let cfg = ctrl.config;
+        assert!(ctrl.enqueue(RequestId(id), RequestKind::Read, coord_of(addr, &cfg), 0));
+        let mut now = 0;
+        loop {
+            if let Some(c) = ctrl.tick(now) {
+                return c.finish_cycle;
+            }
+            now += 1;
+            assert!(now < 100_000, "request never completed");
+        }
+    }
+
+    #[test]
+    fn cold_read_latency_is_trcd_plus_cl_plus_burst() {
+        let mut ctrl = controller();
+        let t = ctrl.config.timing;
+        let finish = run_one(&mut ctrl, 1, 0);
+        // ACT at 0 → RD at tRCD → data done at tRCD + CL + tBL.
+        assert_eq!(finish, t.trcd + t.cl + t.tbl);
+        assert_eq!(ctrl.stats().row_misses, 1);
+        assert_eq!(ctrl.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_hit() {
+        let mut ctrl = controller();
+        run_one(&mut ctrl, 1, 0);
+        let cfg = ctrl.config;
+        // Same bank + row is 4 bursts away (bank-group-interleaved mapping).
+        assert!(ctrl.enqueue(RequestId(2), RequestKind::Read, coord_of(256, &cfg), 0));
+        let mut now = ctrl.stats().total_cycles;
+        let finish = loop {
+            if let Some(c) = ctrl.tick(now) {
+                break c.finish_cycle;
+            }
+            now += 1;
+        };
+        assert!(finish > 0);
+        assert_eq!(ctrl.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn conflicting_row_forces_precharge() {
+        let mut ctrl = controller();
+        run_one(&mut ctrl, 1, 0);
+        let cfg = ctrl.config;
+        // Same bank, different row: skip all banks' interleaved rows.
+        let row_stride = cfg.organization.row_bytes() as u64
+            * cfg.organization.banks_per_rank() as u64;
+        assert!(ctrl.enqueue(RequestId(2), RequestKind::Read, coord_of(row_stride, &cfg), 0));
+        let mut now = ctrl.stats().total_cycles;
+        loop {
+            if ctrl.tick(now).is_some() {
+                break;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(ctrl.stats().row_conflicts, 1);
+        assert!(ctrl.stats().precharges >= 1);
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let mut ctrl = controller();
+        let cfg = ctrl.config;
+        for i in 0..cfg.queue_depth as u64 {
+            assert!(ctrl.enqueue(RequestId(i), RequestKind::Read, coord_of(i * 64, &cfg), 0));
+        }
+        assert_eq!(ctrl.free_slots(), 0);
+        assert!(!ctrl.enqueue(RequestId(999), RequestKind::Read, coord_of(0, &cfg), 0));
+    }
+
+    #[test]
+    fn streaming_reads_are_mostly_hits() {
+        let mut ctrl = controller();
+        let cfg = ctrl.config;
+        let n = 256u64;
+        let mut enq = 0u64;
+        let mut done = 0;
+        let mut now = 0u64;
+        while done < n {
+            while enq < n && ctrl.enqueue(RequestId(enq), RequestKind::Read, coord_of(enq * 64, &cfg), now)
+            {
+                enq += 1;
+            }
+            if ctrl.tick(now).is_some() {
+                done += 1;
+            }
+            now += 1;
+            assert!(now < 1_000_000, "stalled");
+        }
+        let s = ctrl.stats();
+        assert!(s.row_hit_rate() > 0.9, "hit rate {}", s.row_hit_rate());
+        // Streaming should keep the bus well utilized.
+        assert!(s.bus_utilization() > 0.5, "util {}", s.bus_utilization());
+    }
+
+    #[test]
+    fn same_address_requests_never_reorder() {
+        // Write X, then read X, then a row-hit read elsewhere: the read of
+        // X must complete after the write even though FR-FCFS would prefer
+        // any ready hit.
+        let mut ctrl = controller();
+        let cfg = ctrl.config;
+        assert!(ctrl.enqueue(RequestId(1), RequestKind::Write, coord_of(0, &cfg), 0));
+        assert!(ctrl.enqueue(RequestId(2), RequestKind::Read, coord_of(0, &cfg), 0));
+        let mut completions = Vec::new();
+        for now in 0..5000 {
+            if let Some(c) = ctrl.tick(now) {
+                completions.push(c.id);
+            }
+            if completions.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(completions, vec![RequestId(1), RequestId(2)], "write must precede read");
+    }
+
+    #[test]
+    fn refresh_eventually_issues() {
+        let mut ctrl = controller();
+        let trefi = ctrl.config.timing.trefi;
+        for now in 0..trefi + 1000 {
+            ctrl.tick(now);
+        }
+        assert!(ctrl.stats().refreshes >= 1);
+    }
+
+    #[test]
+    fn closed_page_auto_precharges() {
+        let mut cfg = DramConfig::enmc_single_rank();
+        cfg.page_policy = PagePolicy::Closed;
+        let mut ctrl = ChannelController::new(cfg);
+        run_one(&mut ctrl, 1, 0);
+        // The bank must be closed again: a second access to the same row
+        // is a miss, not a hit.
+        assert!(ctrl.enqueue(RequestId(2), RequestKind::Read, coord_of(256, &cfg), 0));
+        let mut now = ctrl.stats().total_cycles;
+        loop {
+            if ctrl.tick(now).is_some() {
+                break;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(ctrl.stats().row_hits, 0);
+        assert_eq!(ctrl.stats().row_misses, 2);
+        assert!(ctrl.stats().precharges >= 2);
+    }
+
+    #[test]
+    fn open_page_outperforms_closed_on_streaming() {
+        let stream = |policy: PagePolicy| {
+            let mut cfg = DramConfig::enmc_single_rank();
+            cfg.page_policy = policy;
+            let mut ctrl = ChannelController::new(cfg);
+            let n = 128u64;
+            let mut enq = 0u64;
+            let mut done = 0u64;
+            let mut now = 0u64;
+            while done < n {
+                while enq < n
+                    && ctrl.enqueue(RequestId(enq), RequestKind::Read, coord_of(enq * 64, &cfg), now)
+                {
+                    enq += 1;
+                }
+                if ctrl.tick(now).is_some() {
+                    done += 1;
+                }
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            now
+        };
+        let open = stream(PagePolicy::Open);
+        let closed = stream(PagePolicy::Closed);
+        assert!(open < closed, "open {open} vs closed {closed}");
+    }
+
+    #[test]
+    fn writes_complete_with_cwl() {
+        let mut ctrl = controller();
+        let cfg = ctrl.config;
+        let t = cfg.timing;
+        assert!(ctrl.enqueue(RequestId(1), RequestKind::Write, coord_of(0, &cfg), 0));
+        let mut now = 0;
+        let finish = loop {
+            if let Some(c) = ctrl.tick(now) {
+                break c.finish_cycle;
+            }
+            now += 1;
+        };
+        assert_eq!(finish, t.trcd + t.cwl + t.tbl);
+        assert_eq!(ctrl.stats().writes, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! DRAM energy model.
+//!
+//! Event energies and background power are derived from the Micron DDR4
+//! 8 Gb ×8 power calculator (IDD0/IDD4R/IDD4W/IDD5B at VDD = 1.2 V),
+//! scaled to a rank of eight devices. Fig. 14 of the paper splits energy
+//! into *DRAM static* (background + refresh), *DRAM access* (activate +
+//! read/write bursts) and *computation & control logic* (reported by the
+//! architecture crate); this module provides the first two.
+
+use crate::stats::DramStats;
+
+/// Per-event energies (nanojoules) and background power (watts) for one
+/// rank.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one ACT+PRE pair (row activation), nJ.
+    pub act_nj: f64,
+    /// Energy of one 64-byte read burst, nJ.
+    pub read_nj: f64,
+    /// Energy of one 64-byte write burst, nJ.
+    pub write_nj: f64,
+    /// Energy of one all-bank REF command, nJ.
+    pub refresh_nj: f64,
+    /// Background (standby + clocking) power per rank, W.
+    pub background_w: f64,
+    /// Background power per rank in precharge power-down, W.
+    pub powerdown_w: f64,
+    /// Memory-clock period in picoseconds (to convert cycles → time).
+    pub tck_ps: f64,
+    /// Number of ranks drawing background power.
+    pub ranks: usize,
+}
+
+impl EnergyModel {
+    /// DDR4-2400 8 Gb ×8 rank (eight devices).
+    pub fn ddr4_2400_rank(ranks: usize) -> Self {
+        EnergyModel {
+            act_nj: 2.1,
+            read_nj: 4.2,
+            write_nj: 4.4,
+            refresh_nj: 210.0,
+            background_w: 0.38,
+            powerdown_w: 0.11,
+            tck_ps: 833.0,
+            ranks,
+        }
+    }
+
+    /// Computes the breakdown for observed activity.
+    pub fn breakdown(&self, stats: &DramStats) -> EnergyBreakdown {
+        let access_nj = stats.activations as f64 * self.act_nj
+            + stats.reads as f64 * self.read_nj
+            + stats.writes as f64 * self.write_nj;
+        let refresh_nj = stats.refreshes as f64 * self.refresh_nj;
+        let seconds = stats.total_cycles as f64 * self.tck_ps * 1e-12;
+        // Idle cycles draw power-down power; the rest standby power.
+        let idle_s = stats.idle_cycles.min(stats.total_cycles) as f64 * self.tck_ps * 1e-12;
+        let active_s = seconds - idle_s;
+        let background_nj = (self.background_w * active_s + self.powerdown_w * idle_s)
+            * self.ranks as f64
+            * 1e9;
+        EnergyBreakdown {
+            access_nj,
+            static_nj: background_nj + refresh_nj,
+        }
+    }
+}
+
+/// DRAM energy split the way Fig. 14 plots it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct EnergyBreakdown {
+    /// Activate + read/write burst energy ("DRAM access").
+    pub access_nj: f64,
+    /// Background + refresh energy ("DRAM static cost").
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total DRAM energy.
+    pub fn total_nj(&self) -> f64 {
+        self.access_nj + self.static_nj
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            access_nj: self.access_nj + other.access_nj,
+            static_nj: self.static_nj + other.static_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_energy_scales_with_traffic() {
+        let m = EnergyModel::ddr4_2400_rank(1);
+        let a = m.breakdown(&DramStats { reads: 100, activations: 10, ..Default::default() });
+        let b = m.breakdown(&DramStats { reads: 200, activations: 20, ..Default::default() });
+        assert!((b.access_nj - 2.0 * a.access_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time_and_ranks() {
+        let m1 = EnergyModel::ddr4_2400_rank(1);
+        let m8 = EnergyModel::ddr4_2400_rank(8);
+        let stats = DramStats { total_cycles: 1_000_000, ..Default::default() };
+        let e1 = m1.breakdown(&stats);
+        let e8 = m8.breakdown(&stats);
+        assert!((e8.static_nj - 8.0 * e1.static_nj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_time_draws_powerdown_power() {
+        let m = EnergyModel::ddr4_2400_rank(1);
+        let active = m.breakdown(&DramStats { total_cycles: 10_000, ..Default::default() });
+        let idle = m.breakdown(&DramStats {
+            total_cycles: 10_000,
+            idle_cycles: 10_000,
+            ..Default::default()
+        });
+        assert!(idle.static_nj < active.static_nj * 0.5, "{} vs {}", idle.static_nj, active.static_nj);
+    }
+
+    #[test]
+    fn refresh_counts_as_static() {
+        let m = EnergyModel::ddr4_2400_rank(1);
+        let without = m.breakdown(&DramStats { total_cycles: 100, ..Default::default() });
+        let with =
+            m.breakdown(&DramStats { total_cycles: 100, refreshes: 5, ..Default::default() });
+        assert!(with.static_nj > without.static_nj);
+        assert_eq!(with.access_nj, without.access_nj);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = EnergyBreakdown { access_nj: 1.0, static_nj: 2.0 };
+        let s = a.add(&a);
+        assert_eq!(s.total_nj(), 6.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! A cycle-level DDR4 DRAM simulator — the substrate the paper obtains from
+//! Ramulator (Kim et al., CAL'15).
+//!
+//! The simulator models the command-level behaviour of a DDR4 memory
+//! subsystem at the granularity the paper's evaluation needs:
+//!
+//! * the **device hierarchy** — channel → rank → bank group → bank, with a
+//!   row buffer per bank ([`bank`], [`rank`]);
+//! * the **command protocol** — ACT / PRE / PREA / RD / WR / RDA / WRA /
+//!   REF with the full DDR4 timing-constraint set (tRCD, tRP, tRAS, tRC,
+//!   CL, CWL, tCCD_S/L, tRRD_S/L, tFAW, tWR, tRTP, tWTR, tRFC, tREFI),
+//!   parameterized by [`config::Timing`] with the paper's Table 3 values
+//!   as the default ([`config::DramConfig::enmc_table3`]);
+//! * a **memory controller** per channel — 64-entry request queue,
+//!   FR-FCFS scheduling, open-page policy, demand refresh ([`controller`]);
+//! * **address mapping** from flat physical addresses to device coordinates
+//!   ([`mapping`]);
+//! * **statistics and energy counters** — row hits/misses/conflicts, bus
+//!   utilization, and an IDD-derived energy model with the
+//!   activate/read/write/refresh/background split used by Fig. 14
+//!   ([`energy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use enmc_dram::{DramConfig, DramSystem, MemRequest};
+//!
+//! let mut sys = DramSystem::new(DramConfig::enmc_table3());
+//! let id = sys.enqueue(MemRequest::read(0)).expect("queue has space");
+//! let mut done = Vec::new();
+//! while done.is_empty() {
+//!     sys.tick();
+//!     done.extend(sys.drain_completions());
+//! }
+//! assert_eq!(done[0].id, id);
+//! ```
+
+pub mod bank;
+pub mod command;
+pub mod config;
+pub mod controller;
+pub mod energy;
+pub mod mapping;
+pub mod rank;
+pub mod stats;
+pub mod system;
+
+pub use command::{Command, CommandKind};
+pub use config::{DramConfig, Organization, PagePolicy, Timing};
+pub use controller::ChannelController;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use mapping::{AddressMapping, Coord};
+pub use stats::DramStats;
+pub use system::{Completion, DramSystem, MemRequest, RequestId, RequestKind};

@@ -1,0 +1,107 @@
+//! DRAM statistics counters.
+
+/// Counters accumulated by a channel controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DramStats {
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Activations issued.
+    pub activations: u64,
+    /// Precharges issued (incl. auto-precharge and PREA-closed banks).
+    pub precharges: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Requests that hit an already-open row.
+    pub row_hits: u64,
+    /// Requests whose bank was closed (row miss).
+    pub row_misses: u64,
+    /// Requests that had to close another row first (row conflict).
+    pub row_conflicts: u64,
+    /// Cycles with data on the DQ bus.
+    pub busy_cycles: u64,
+    /// Cycles with no pending requests and every bank precharged — the
+    /// controller can hold the ranks in precharge power-down.
+    pub idle_cycles: u64,
+    /// Total cycles observed.
+    pub total_cycles: u64,
+}
+
+impl DramStats {
+    /// Bytes transferred (64 B per column access).
+    pub fn bytes(&self) -> u64 {
+        (self.reads + self.writes) * 64
+    }
+
+    /// Row-hit rate over all classified requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// DQ-bus utilization in `[0, 1]`.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Fraction of time the ranks could sit in power-down.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.idle_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Merges another controller's counters into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.activations += other.activations;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.busy_cycles += other.busy_cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_counts_both_directions() {
+        let s = DramStats { reads: 3, writes: 2, ..Default::default() };
+        assert_eq!(s.bytes(), 320);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+        let s = DramStats { row_hits: 3, row_misses: 1, ..Default::default() };
+        assert_eq!(s.row_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_cycles() {
+        let mut a = DramStats { reads: 1, total_cycles: 10, ..Default::default() };
+        let b = DramStats { reads: 2, total_cycles: 7, busy_cycles: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.total_cycles, 10);
+        assert_eq!(a.busy_cycles, 3);
+    }
+}

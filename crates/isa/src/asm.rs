@@ -1,0 +1,242 @@
+//! Assembler / disassembler for the paper's textual mnemonics.
+//!
+//! Syntax follows Table 1 / Fig. 8:
+//!
+//! ```text
+//! INIT reg_7, 42
+//! LDR buffer_0, 0x1000
+//! MUL_ADD_FP32 buffer_3, buffer_4
+//! FILTER buffer_2
+//! SOFTMAX
+//! QUERY reg_9
+//! RETURN
+//! ```
+//!
+//! Lines may carry `;`- or `#`-prefixed comments; blank lines are ignored.
+
+use crate::inst::{BufferId, Instruction, RegId};
+use crate::IsaError;
+
+/// Formats one instruction as assembly text.
+pub fn disassemble(inst: &Instruction) -> String {
+    match *inst {
+        Instruction::Init { reg, data } => format!("INIT {}, {}", reg.mnemonic(), data),
+        Instruction::Query { reg } => format!("QUERY {}", reg.mnemonic()),
+        Instruction::Ldr { buffer, addr } => {
+            format!("LDR {}, {:#x}", buffer.mnemonic(), addr)
+        }
+        Instruction::Str { buffer, addr } => {
+            format!("STR {}, {:#x}", buffer.mnemonic(), addr)
+        }
+        Instruction::Move { dst, src } => {
+            format!("MOVE {}, {}", dst.mnemonic(), src.mnemonic())
+        }
+        Instruction::AddInt4 { a, b } => format!("ADD_INT4 {}, {}", a.mnemonic(), b.mnemonic()),
+        Instruction::MulInt4 { a, b } => format!("MUL_INT4 {}, {}", a.mnemonic(), b.mnemonic()),
+        Instruction::AddFp32 { a, b } => format!("ADD_FP32 {}, {}", a.mnemonic(), b.mnemonic()),
+        Instruction::MulFp32 { a, b } => format!("MUL_FP32 {}, {}", a.mnemonic(), b.mnemonic()),
+        Instruction::MulAddInt4 { a, b } => {
+            format!("MUL_ADD_INT4 {}, {}", a.mnemonic(), b.mnemonic())
+        }
+        Instruction::MulAddFp32 { a, b } => {
+            format!("MUL_ADD_FP32 {}, {}", a.mnemonic(), b.mnemonic())
+        }
+        Instruction::Filter { buffer } => format!("FILTER {}", buffer.mnemonic()),
+        Instruction::Softmax => "SOFTMAX".into(),
+        Instruction::Sigmoid => "SIGMOID".into(),
+        Instruction::Barrier => "BARRIER".into(),
+        Instruction::Nop => "NOP".into(),
+        Instruction::Return => "RETURN".into(),
+        Instruction::Clr => "CLR".into(),
+    }
+}
+
+/// Parses one line of assembly.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with a description of what failed.
+pub fn assemble_line(line: &str) -> Result<Instruction, IsaError> {
+    let code = line.split([';', '#']).next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Err(IsaError::Parse("empty line".into()));
+    }
+    let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (code, ""),
+    };
+    let operands: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let n_operands = operands.len();
+    let expect = |n: usize| {
+        if n_operands == n {
+            Ok(())
+        } else {
+            Err(IsaError::Parse(format!("{mnemonic} expects {n} operand(s), got {n_operands}")))
+        }
+    };
+    let upper = mnemonic.to_ascii_uppercase();
+    match upper.as_str() {
+        "INIT" => {
+            expect(2)?;
+            Ok(Instruction::Init { reg: parse_reg(operands[0])?, data: parse_int(operands[1])? })
+        }
+        "QUERY" => {
+            expect(1)?;
+            Ok(Instruction::Query { reg: parse_reg(operands[0])? })
+        }
+        "LDR" => {
+            expect(2)?;
+            Ok(Instruction::Ldr { buffer: parse_buf(operands[0])?, addr: parse_int(operands[1])? })
+        }
+        "STR" => {
+            expect(2)?;
+            Ok(Instruction::Str { buffer: parse_buf(operands[0])?, addr: parse_int(operands[1])? })
+        }
+        "MOVE" => {
+            expect(2)?;
+            Ok(Instruction::Move { dst: parse_buf(operands[0])?, src: parse_buf(operands[1])? })
+        }
+        "ADD_INT4" | "MUL_INT4" | "ADD_FP32" | "MUL_FP32" | "MUL_ADD_INT4" | "MUL_ADD_FP32" => {
+            expect(2)?;
+            let a = parse_buf(operands[0])?;
+            let b = parse_buf(operands[1])?;
+            Ok(match upper.as_str() {
+                "ADD_INT4" => Instruction::AddInt4 { a, b },
+                "MUL_INT4" => Instruction::MulInt4 { a, b },
+                "ADD_FP32" => Instruction::AddFp32 { a, b },
+                "MUL_FP32" => Instruction::MulFp32 { a, b },
+                "MUL_ADD_INT4" => Instruction::MulAddInt4 { a, b },
+                _ => Instruction::MulAddFp32 { a, b },
+            })
+        }
+        "FILTER" => {
+            expect(1)?;
+            Ok(Instruction::Filter { buffer: parse_buf(operands[0])? })
+        }
+        "SOFTMAX" => expect(0).map(|_| Instruction::Softmax),
+        "SIGMOID" => expect(0).map(|_| Instruction::Sigmoid),
+        "BARRIER" => expect(0).map(|_| Instruction::Barrier),
+        "NOP" => expect(0).map(|_| Instruction::Nop),
+        "RETURN" => expect(0).map(|_| Instruction::Return),
+        "CLR" => expect(0).map(|_| Instruction::Clr),
+        other => Err(IsaError::Parse(format!("unknown mnemonic {other}"))),
+    }
+}
+
+/// Parses a multi-line program, skipping blanks and comment-only lines.
+///
+/// # Errors
+///
+/// Returns the first [`IsaError::Parse`] with its line number prepended.
+pub fn assemble(text: &str) -> Result<Vec<Instruction>, IsaError> {
+    let mut out = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        out.push(
+            assemble_line(code)
+                .map_err(|e| IsaError::Parse(format!("line {}: {e}", ln + 1)))?,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_buf(s: &str) -> Result<BufferId, IsaError> {
+    let idx = s
+        .strip_prefix("buffer_")
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or(IsaError::BadOperand("expected buffer_N"))?;
+    BufferId::from_code(idx).ok_or(IsaError::BadOperand("buffer index out of range"))
+}
+
+fn parse_reg(s: &str) -> Result<RegId, IsaError> {
+    let idx = s
+        .strip_prefix("reg_")
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or(IsaError::BadOperand("expected reg_N"))?;
+    RegId::from_code(idx).ok_or(IsaError::BadOperand("register index out of range"))
+}
+
+fn parse_int(s: &str) -> Result<u64, IsaError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| IsaError::BadOperand("expected an integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_mnemonic() {
+        let program = "\
+            INIT reg_8, 1065353216 ; threshold = 1.0f bits\n\
+            LDR buffer_0, 0x1000\n\
+            LDR buffer_1, 0x2000\n\
+            MUL_ADD_INT4 buffer_0, buffer_1\n\
+            FILTER buffer_2\n\
+            MUL_ADD_FP32 buffer_3, buffer_4\n\
+            SOFTMAX\n\
+            MOVE buffer_6, buffer_5\n\
+            STR buffer_6, 0x3000\n\
+            BARRIER\n\
+            QUERY reg_9\n\
+            RETURN\n\
+            CLR\n";
+        let insts = assemble(program).unwrap();
+        assert_eq!(insts.len(), 13);
+        for inst in &insts {
+            let text = disassemble(inst);
+            let back = assemble_line(&text).unwrap();
+            assert_eq!(back, *inst, "via {text}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let insts = assemble("; a comment\n\n# another\nNOP\n").unwrap();
+        assert_eq!(insts, vec![Instruction::Nop]);
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics() {
+        assert_eq!(assemble_line("softmax").unwrap(), Instruction::Softmax);
+        assert_eq!(assemble_line("Nop").unwrap(), Instruction::Nop);
+    }
+
+    #[test]
+    fn hex_and_decimal_ints() {
+        let a = assemble_line("LDR buffer_0, 0x40").unwrap();
+        let b = assemble_line("LDR buffer_0, 64").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("NOP\nBOGUS\n").unwrap_err();
+        match err {
+            IsaError::Parse(msg) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_operand_counts_rejected() {
+        assert!(assemble_line("SOFTMAX buffer_0").is_err());
+        assert!(assemble_line("MOVE buffer_0").is_err());
+        assert!(assemble_line("INIT reg_0").is_err());
+    }
+
+    #[test]
+    fn bad_operands_rejected() {
+        assert!(assemble_line("FILTER buffer_99").is_err());
+        assert!(assemble_line("QUERY reg_31").is_err());
+        assert!(assemble_line("LDR buffer_0, notanumber").is_err());
+    }
+}

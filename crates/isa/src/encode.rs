@@ -1,0 +1,238 @@
+//! Binary encoding into the PRECHARGE-hijack frame (paper Fig. 8).
+//!
+//! A frame is the 13-bit command word carried on row-address lines A0–A12
+//! of a PRECHARGE command, plus an optional 64-bit burst on the DQ bus:
+//!
+//! ```text
+//! bits 12..8 : opcode (5 bits)
+//! bits  7..0 : operands
+//!   two-buffer ops : [7..4] = buffer A, [3..0] = buffer B
+//!   one-buffer ops : [7..4] = buffer
+//!   INIT/QUERY     : [7]    = WT(1)/RD(0), [6..2] = reg id (Fig. 8b)
+//! ```
+//!
+//! INIT, LDR and STR additionally transmit a 64-bit value over DQ.
+
+use crate::inst::{BufferId, Instruction, RegId};
+use crate::IsaError;
+
+/// Wire image of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// 13-bit command word (A0–A12).
+    pub command: u16,
+    /// Optional 64-bit DQ burst.
+    pub data: Option<u64>,
+}
+
+impl Frame {
+    /// `true` if the command word fits the 13 usable address bits.
+    pub fn is_valid_width(&self) -> bool {
+        self.command < (1 << 13)
+    }
+}
+
+// Opcode assignments. QUERY and INIT share an opcode (Fig. 8b) and are
+// distinguished by the RD/WT bit.
+const OP_LDR: u8 = 0;
+const OP_STR: u8 = 1;
+const OP_MUL_ADD_FP32: u8 = 2; // Fig. 8(a): "Opcode=2  MUL_ADD_FP32"
+const OP_MUL_ADD_INT4: u8 = 3;
+const OP_ADD_INT4: u8 = 4;
+const OP_MUL_INT4: u8 = 5;
+const OP_ADD_FP32: u8 = 6;
+const OP_MUL_FP32: u8 = 7;
+const OP_MOVE: u8 = 8;
+const OP_REG: u8 = 9; // Fig. 8(b): "Opcode=9  QUERY/INIT"
+const OP_FILTER: u8 = 10;
+const OP_SOFTMAX: u8 = 11;
+const OP_SIGMOID: u8 = 12;
+const OP_BARRIER: u8 = 13;
+const OP_NOP: u8 = 14;
+const OP_RETURN: u8 = 15;
+const OP_CLR: u8 = 16;
+
+fn two_buf(op: u8, a: BufferId, b: BufferId) -> u16 {
+    ((op as u16) << 8) | ((a.code() as u16) << 4) | b.code() as u16
+}
+
+fn one_buf(op: u8, a: BufferId) -> u16 {
+    ((op as u16) << 8) | ((a.code() as u16) << 4)
+}
+
+fn reg_word(write: bool, reg: RegId) -> u16 {
+    ((OP_REG as u16) << 8) | ((write as u16) << 7) | ((reg.code() as u16) << 2)
+}
+
+impl Instruction {
+    /// Encodes into the wire frame.
+    pub fn encode(&self) -> Frame {
+        let (command, data) = match *self {
+            Instruction::Init { reg, data } => (reg_word(true, reg), Some(data)),
+            Instruction::Query { reg } => (reg_word(false, reg), None),
+            Instruction::Ldr { buffer, addr } => (one_buf(OP_LDR, buffer), Some(addr)),
+            Instruction::Str { buffer, addr } => (one_buf(OP_STR, buffer), Some(addr)),
+            Instruction::Move { dst, src } => (two_buf(OP_MOVE, dst, src), None),
+            Instruction::AddInt4 { a, b } => (two_buf(OP_ADD_INT4, a, b), None),
+            Instruction::MulInt4 { a, b } => (two_buf(OP_MUL_INT4, a, b), None),
+            Instruction::AddFp32 { a, b } => (two_buf(OP_ADD_FP32, a, b), None),
+            Instruction::MulFp32 { a, b } => (two_buf(OP_MUL_FP32, a, b), None),
+            Instruction::MulAddInt4 { a, b } => (two_buf(OP_MUL_ADD_INT4, a, b), None),
+            Instruction::MulAddFp32 { a, b } => (two_buf(OP_MUL_ADD_FP32, a, b), None),
+            Instruction::Filter { buffer } => (one_buf(OP_FILTER, buffer), None),
+            Instruction::Softmax => ((OP_SOFTMAX as u16) << 8, None),
+            Instruction::Sigmoid => ((OP_SIGMOID as u16) << 8, None),
+            Instruction::Barrier => ((OP_BARRIER as u16) << 8, None),
+            Instruction::Nop => ((OP_NOP as u16) << 8, None),
+            Instruction::Return => ((OP_RETURN as u16) << 8, None),
+            Instruction::Clr => ((OP_CLR as u16) << 8, None),
+        };
+        Frame { command, data }
+    }
+
+    /// Decodes a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError`] for unknown opcodes, invalid operand fields, or
+    /// a missing DQ payload.
+    pub fn decode(frame: &Frame) -> Result<Self, IsaError> {
+        let op = (frame.command >> 8) as u8 & 0x1f;
+        let operands = (frame.command & 0xff) as u8;
+        let buf_a = || {
+            BufferId::from_code(operands >> 4).ok_or(IsaError::BadOperand("buffer A"))
+        };
+        let buf_b = || BufferId::from_code(operands & 0xf).ok_or(IsaError::BadOperand("buffer B"));
+        let data = || frame.data.ok_or(IsaError::MissingData);
+        Ok(match op {
+            OP_LDR => Instruction::Ldr { buffer: buf_a()?, addr: data()? },
+            OP_STR => Instruction::Str { buffer: buf_a()?, addr: data()? },
+            OP_MOVE => Instruction::Move { dst: buf_a()?, src: buf_b()? },
+            OP_ADD_INT4 => Instruction::AddInt4 { a: buf_a()?, b: buf_b()? },
+            OP_MUL_INT4 => Instruction::MulInt4 { a: buf_a()?, b: buf_b()? },
+            OP_ADD_FP32 => Instruction::AddFp32 { a: buf_a()?, b: buf_b()? },
+            OP_MUL_FP32 => Instruction::MulFp32 { a: buf_a()?, b: buf_b()? },
+            OP_MUL_ADD_INT4 => Instruction::MulAddInt4 { a: buf_a()?, b: buf_b()? },
+            OP_MUL_ADD_FP32 => Instruction::MulAddFp32 { a: buf_a()?, b: buf_b()? },
+            OP_FILTER => Instruction::Filter { buffer: buf_a()? },
+            OP_SOFTMAX => Instruction::Softmax,
+            OP_SIGMOID => Instruction::Sigmoid,
+            OP_BARRIER => Instruction::Barrier,
+            OP_NOP => Instruction::Nop,
+            OP_RETURN => Instruction::Return,
+            OP_CLR => Instruction::Clr,
+            OP_REG => {
+                let write = operands & 0x80 != 0;
+                let reg = RegId::from_code((operands >> 2) & 0x1f)
+                    .ok_or(IsaError::BadOperand("register id"))?;
+                if write {
+                    Instruction::Init { reg, data: data()? }
+                } else {
+                    Instruction::Query { reg }
+                }
+            }
+            other => return Err(IsaError::UnknownOpcode(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instructions() -> Vec<Instruction> {
+        let mut v = vec![
+            Instruction::Softmax,
+            Instruction::Sigmoid,
+            Instruction::Barrier,
+            Instruction::Nop,
+            Instruction::Return,
+            Instruction::Clr,
+        ];
+        for reg in RegId::ALL {
+            v.push(Instruction::Init { reg, data: 0xdead_beef_0123_4567 });
+            v.push(Instruction::Query { reg });
+        }
+        for a in BufferId::ALL {
+            v.push(Instruction::Ldr { buffer: a, addr: 0x1000 });
+            v.push(Instruction::Str { buffer: a, addr: 0x2040 });
+            v.push(Instruction::Filter { buffer: a });
+            for b in BufferId::ALL {
+                v.push(Instruction::Move { dst: a, src: b });
+                v.push(Instruction::AddInt4 { a, b });
+                v.push(Instruction::MulInt4 { a, b });
+                v.push(Instruction::AddFp32 { a, b });
+                v.push(Instruction::MulFp32 { a, b });
+                v.push(Instruction::MulAddInt4 { a, b });
+                v.push(Instruction::MulAddFp32 { a, b });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for inst in all_instructions() {
+            let frame = inst.encode();
+            assert!(frame.is_valid_width(), "{inst:?} overflows 13 bits");
+            let back = Instruction::decode(&frame).unwrap();
+            assert_eq!(back, inst);
+        }
+    }
+
+    #[test]
+    fn data_instructions_carry_payload() {
+        for inst in all_instructions() {
+            assert_eq!(inst.encode().data.is_some(), inst.has_data(), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn figure8a_opcode_for_mul_add_fp32_is_2() {
+        let inst =
+            Instruction::MulAddFp32 { a: BufferId::FeatureInt4, b: BufferId::WeightInt4 };
+        assert_eq!(inst.encode().command >> 8, 2);
+    }
+
+    #[test]
+    fn figure8b_query_and_init_share_opcode_9() {
+        let q = Instruction::Query { reg: RegId::Threshold };
+        let i = Instruction::Init { reg: RegId::Threshold, data: 0 };
+        assert_eq!(q.encode().command >> 8, 9);
+        assert_eq!(i.encode().command >> 8, 9);
+        // Distinguished by the RD/WT bit.
+        assert_ne!(q.encode().command, i.encode().command);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        let frame = Frame { command: 0x1f << 8, data: None };
+        assert_eq!(Instruction::decode(&frame), Err(IsaError::UnknownOpcode(0x1f)));
+    }
+
+    #[test]
+    fn decode_rejects_missing_payload() {
+        let mut frame = Instruction::Ldr { buffer: BufferId::Output, addr: 0 }.encode();
+        frame.data = None;
+        assert_eq!(Instruction::decode(&frame), Err(IsaError::MissingData));
+    }
+
+    #[test]
+    fn decode_rejects_bad_buffer() {
+        // Buffer code 15 is unassigned.
+        let frame = Frame { command: ((4u16) << 8) | 0xf0, data: None };
+        assert!(matches!(Instruction::decode(&frame), Err(IsaError::BadOperand(_))));
+    }
+
+    #[test]
+    fn distinct_instructions_have_distinct_frames() {
+        let insts = all_instructions();
+        let mut seen = std::collections::HashMap::new();
+        for inst in insts {
+            let f = inst.encode();
+            if let Some(prev) = seen.insert((f.command, f.data), inst) {
+                panic!("collision between {prev:?} and {inst:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The ENMC instruction set (paper §5.3, Table 1, Fig. 8).
+//!
+//! ENMC instructions travel to the DIMM disguised as PRECHARGE commands: a
+//! normal PRECHARGE needs no row address, so its row-address lines A0–A12
+//! are free to carry a 13-bit instruction word, and the DQ bus can carry a
+//! 64-bit operand burst for instructions that need data. This keeps the
+//! DIMM fully compatible with the commodity DDR4 electrical interface —
+//! regular memory requests still work.
+//!
+//! * [`Instruction`] — the typed instruction set: Initialization
+//!   (INIT), Data Transfer (LDR/STR/MOVE), Compute (ADD/MUL/MUL_ADD at
+//!   INT4/FP32, FILTER, SOFTMAX, SIGMOID, BARRIER, NOP) and Control
+//!   (QUERY, RETURN, CLR);
+//! * [`BufferId`] / [`RegId`] — the on-DIMM buffers and status registers
+//!   operands name;
+//! * [`Frame`] — the 13-bit + optional-64-bit wire image, with lossless
+//!   [`Instruction::encode`] / [`Instruction::decode`];
+//! * [`asm`] — a tiny assembler/disassembler for the textual mnemonics the
+//!   paper uses (`MUL_ADD_FP32 buffer_0, buffer_1`);
+//! * [`Program`] — an instruction sequence with summary statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use enmc_isa::{BufferId, Instruction};
+//!
+//! let inst = Instruction::MulAddFp32 { a: BufferId::FeatureFp32, b: BufferId::WeightFp32 };
+//! let frame = inst.encode();
+//! assert_eq!(Instruction::decode(&frame).unwrap(), inst);
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod program;
+
+pub use encode::Frame;
+pub use inst::{BufferId, Instruction, RegId};
+pub use program::Program;
+
+/// Errors produced while decoding or assembling instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The 13-bit command word holds an opcode that is not defined.
+    UnknownOpcode(u8),
+    /// An operand field does not name a valid buffer or register.
+    BadOperand(&'static str),
+    /// The instruction requires a DQ data burst that was not supplied.
+    MissingData,
+    /// Assembly text could not be parsed.
+    Parse(String),
+}
+
+impl core::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsaError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            IsaError::BadOperand(what) => write!(f, "invalid operand: {what}"),
+            IsaError::MissingData => write!(f, "instruction requires a DQ data burst"),
+            IsaError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,31 @@
+//! Workload models and evaluation metrics for the ENMC reproduction.
+//!
+//! The paper evaluates on four real applications (Table 2) plus three
+//! synthetic scaling datasets (S1M/S10M/S100M). We do not have the
+//! pre-trained PyTorch checkpoints or the datasets, so this crate supplies:
+//!
+//! * [`workloads`] — the exact `(l, d)` shapes, task types and front-end
+//!   model descriptors of Table 2, used to drive both the algorithm-level
+//!   and architecture-level evaluation;
+//! * [`synth`] — a synthetic classifier/query generator whose geometry
+//!   (cluster structure + Zipfian popularity) makes approximate screening
+//!   behave the way it does on real classifiers;
+//! * [`quality`] — quality proxies (top-1/top-k agreement, perplexity ratio,
+//!   precision@k) computed against the *full* classification output;
+//! * [`breakdown`] — parameter/operation split between classification and
+//!   the front-end network (paper Fig. 4);
+//! * [`footprint`] — classifier memory footprint scaling (paper Fig. 5a);
+//! * [`roofline`] — operational-intensity analysis (paper Fig. 5b).
+
+pub mod breakdown;
+pub mod footprint;
+pub mod quality;
+pub mod roofline;
+pub mod statistics;
+pub mod synth;
+pub mod trace;
+pub mod workloads;
+
+pub use quality::QualityReport;
+pub use synth::{SyntheticClassifier, SynthesisConfig};
+pub use workloads::{FrontEnd, TaskKind, Workload, WorkloadId};

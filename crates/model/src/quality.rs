@@ -1,0 +1,193 @@
+//! Quality metrics: how faithful is an approximated classification to the
+//! full one?
+//!
+//! The paper reports BLEU (NMT), perplexity (LM) and accuracy/P@k
+//! (recommendation). Without the original test sets we measure the same
+//! *mechanism* — how much quality the approximation gives up — by comparing
+//! the mixed (approximate + accurate) output against the full classifier
+//! output on identical queries:
+//!
+//! * **top-1 agreement** — fraction of queries where the approximation
+//!   selects the same argmax as the full classifier. This is the greedy
+//!   decoding decision, so it is a direct proxy for BLEU preservation: if
+//!   every decoding step picks the same word, the translation is identical.
+//! * **perplexity ratio** — perplexity of the ground-truth targets under
+//!   the approximated logits divided by perplexity under the full logits
+//!   (1.0 = no degradation).
+//! * **precision@k** — overlap between the approximate and full top-k sets,
+//!   the standard XC metric for recommendation.
+
+use enmc_tensor::activation::neg_log_prob;
+use enmc_tensor::select::top_k_indices;
+
+/// Quality of an approximate classification, accumulated over queries.
+#[derive(Debug, Clone, Default)]
+pub struct QualityAccumulator {
+    n: usize,
+    top1_hits: usize,
+    p_at_k_sum: f64,
+    k: usize,
+    nlp_full_sum: f64,
+    nlp_approx_sum: f64,
+}
+
+/// Summary statistics produced by [`QualityAccumulator::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QualityReport {
+    /// Number of queries accumulated.
+    pub queries: usize,
+    /// Fraction of queries whose argmax matches the full classifier
+    /// (BLEU proxy for translation, accuracy proxy for recommendation).
+    pub top1_agreement: f64,
+    /// Mean overlap of approximate vs full top-k sets.
+    pub precision_at_k: f64,
+    /// `k` used for `precision_at_k`.
+    pub k: usize,
+    /// Perplexity of targets under the full logits.
+    pub perplexity_full: f64,
+    /// Perplexity of targets under the approximate logits.
+    pub perplexity_approx: f64,
+}
+
+impl QualityReport {
+    /// Ratio `perplexity_approx / perplexity_full`; 1.0 means lossless.
+    pub fn perplexity_ratio(&self) -> f64 {
+        if self.perplexity_full == 0.0 {
+            0.0
+        } else {
+            self.perplexity_approx / self.perplexity_full
+        }
+    }
+
+    /// Quality degradation in percent for the task-appropriate metric
+    /// (uses top-1 agreement): `100·(1 − agreement)`.
+    pub fn degradation_pct(&self) -> f64 {
+        100.0 * (1.0 - self.top1_agreement)
+    }
+}
+
+impl QualityAccumulator {
+    /// Creates an accumulator that measures precision@`k`.
+    pub fn new(k: usize) -> Self {
+        QualityAccumulator { k, ..Default::default() }
+    }
+
+    /// Accumulates one query.
+    ///
+    /// `full` are the exact logits, `approx` the mixed approximate/accurate
+    /// logits, `target` the ground-truth category (for perplexity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `target` is out of range.
+    pub fn add(&mut self, full: &[f32], approx: &[f32], target: usize) {
+        assert_eq!(full.len(), approx.len(), "logit length mismatch");
+        assert!(target < full.len(), "target out of range");
+        self.n += 1;
+        let t_full = top_k_indices(full, self.k.max(1));
+        let t_approx = top_k_indices(approx, self.k.max(1));
+        if t_full.first() == t_approx.first() {
+            self.top1_hits += 1;
+        }
+        let full_set: std::collections::HashSet<usize> = t_full.iter().copied().collect();
+        let overlap = t_approx.iter().filter(|i| full_set.contains(i)).count();
+        self.p_at_k_sum += overlap as f64 / self.k.max(1) as f64;
+        self.nlp_full_sum += neg_log_prob(full, target);
+        self.nlp_approx_sum += neg_log_prob(approx, target);
+    }
+
+    /// Number of queries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Produces the final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no queries were accumulated.
+    pub fn finish(&self) -> QualityReport {
+        assert!(self.n > 0, "no queries accumulated");
+        let n = self.n as f64;
+        QualityReport {
+            queries: self.n,
+            top1_agreement: self.top1_hits as f64 / n,
+            precision_at_k: self.p_at_k_sum / n,
+            k: self.k,
+            perplexity_full: (self.nlp_full_sum / n).exp(),
+            perplexity_approx: (self.nlp_approx_sum / n).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_logits_are_lossless() {
+        let mut acc = QualityAccumulator::new(5);
+        let z = vec![0.1, 0.9, -0.5, 2.0, 0.0, 1.0];
+        for t in 0..3 {
+            acc.add(&z, &z, t);
+        }
+        let r = acc.finish();
+        assert_eq!(r.queries, 3);
+        assert_eq!(r.top1_agreement, 1.0);
+        assert_eq!(r.precision_at_k, 1.0);
+        assert!((r.perplexity_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(r.degradation_pct(), 0.0);
+    }
+
+    #[test]
+    fn wrong_argmax_counts_against_top1() {
+        let mut acc = QualityAccumulator::new(2);
+        let full = vec![0.0, 1.0, 2.0];
+        let approx = vec![5.0, 1.0, 2.0]; // different argmax
+        acc.add(&full, &approx, 2);
+        let r = acc.finish();
+        assert_eq!(r.top1_agreement, 0.0);
+        assert!(r.degradation_pct() > 99.0);
+    }
+
+    #[test]
+    fn precision_at_k_counts_overlap() {
+        let mut acc = QualityAccumulator::new(2);
+        let full = vec![3.0, 2.0, 1.0, 0.0]; // top-2 = {0,1}
+        let approx = vec![3.0, 0.0, 2.5, 0.0]; // top-2 = {0,2}
+        acc.add(&full, &approx, 0);
+        let r = acc.finish();
+        assert!((r.precision_at_k - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perplexity_worsens_when_target_suppressed() {
+        let mut acc = QualityAccumulator::new(1);
+        let full = vec![2.0, 0.0, 0.0];
+        let approx = vec![-2.0, 0.0, 0.0]; // target 0 suppressed
+        acc.add(&full, &approx, 0);
+        let r = acc.finish();
+        assert!(r.perplexity_approx > r.perplexity_full);
+        assert!(r.perplexity_ratio() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn finish_requires_data() {
+        QualityAccumulator::new(1).finish();
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let mut acc = QualityAccumulator::new(1);
+        assert!(acc.is_empty());
+        acc.add(&[1.0, 0.0], &[1.0, 0.0], 0);
+        assert!(!acc.is_empty());
+        assert_eq!(acc.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Online threshold adaptation.
+//!
+//! The FILTER threshold is calibrated offline on a validation set (paper
+//! §4.2), but query distributions drift in production: a fixed threshold
+//! then admits too many candidates (hurting latency) or too few (hurting
+//! quality). [`ThresholdController`] closes the loop the way the hardware
+//! naturally can — the `CandidateCount` status register already reports
+//! each query's admitted count (paper Table 1's QUERY path), so the host
+//! nudges the threshold register between queries with a multiplicative-
+//! style integral controller.
+
+/// Proportional-integral threshold controller targeting a candidate count.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThresholdController {
+    threshold: f32,
+    target: usize,
+    /// Step size per unit of relative error.
+    gain: f32,
+    /// Integral state (smoothed relative error).
+    integral: f32,
+}
+
+impl ThresholdController {
+    /// Creates a controller starting from `initial` threshold, aiming at
+    /// `target` candidates per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == 0` or `gain` is not finite and positive.
+    pub fn new(initial: f32, target: usize, gain: f32) -> Self {
+        assert!(target > 0, "target candidate count must be positive");
+        assert!(gain.is_finite() && gain > 0.0, "gain must be positive");
+        ThresholdController { threshold: initial, target, gain, integral: 0.0 }
+    }
+
+    /// Current threshold to program into the FILTER register.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The candidate budget being tracked.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Feeds back one query's observed candidate count and updates the
+    /// threshold: too many candidates raises it, too few lowers it.
+    pub fn observe(&mut self, observed: usize) {
+        // Relative error in log space keeps the update scale-free.
+        let ratio = (observed.max(1) as f32 / self.target as f32).ln();
+        self.integral = 0.9 * self.integral + 0.1 * ratio;
+        let step = self.gain * (ratio + 0.5 * self.integral);
+        self.threshold += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::SelectionPolicy;
+    use crate::screener::{Screener, ScreenerConfig};
+    use crate::train::fit_least_squares;
+    use enmc_tensor::dist::standard_normal;
+    use enmc_tensor::quant::Precision;
+    use enmc_tensor::{Matrix, Vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validated() {
+        let _ = ThresholdController::new(0.0, 1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target candidate count")]
+    fn zero_target_rejected() {
+        ThresholdController::new(0.0, 0, 0.1);
+    }
+
+    #[test]
+    fn raises_threshold_when_over_budget() {
+        let mut c = ThresholdController::new(0.0, 10, 0.1);
+        c.observe(100);
+        assert!(c.threshold() > 0.0);
+    }
+
+    #[test]
+    fn lowers_threshold_when_under_budget() {
+        let mut c = ThresholdController::new(0.0, 100, 0.1);
+        c.observe(3);
+        assert!(c.threshold() < 0.0);
+    }
+
+    /// Full loop: against a live screener, the controller converges to the
+    /// target admitted count within a few dozen queries.
+    #[test]
+    fn converges_on_a_live_screener() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (l, d) = (2000, 64);
+        let mut w = Matrix::zeros(l, d);
+        for v in w.as_mut_slice() {
+            *v = standard_normal(&mut rng) / (d as f32).sqrt();
+        }
+        let b = Vector::zeros(l);
+        let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Int4, per_row_scales: false, seed: 2 };
+        let mut screener = Screener::new(l, d, &cfg).expect("dims");
+        let train: Vec<Vector> = (0..64)
+            .map(|_| (0..d).map(|_| standard_normal(&mut rng)).collect())
+            .collect();
+        fit_least_squares(&mut screener, &w, &b, &train, 1e-4);
+
+        let target = 60usize;
+        let mut ctl = ThresholdController::new(0.0, target, 0.08);
+        let mut last_counts = Vec::new();
+        for q in 0..120 {
+            let h: Vector = (0..d).map(|_| standard_normal(&mut rng)).collect();
+            let approx = screener.screen(&h);
+            let admitted = SelectionPolicy::Threshold(ctl.threshold())
+                .select(approx.as_slice())
+                .len();
+            ctl.observe(admitted);
+            if q >= 90 {
+                last_counts.push(admitted);
+            }
+        }
+        let mean: f64 =
+            last_counts.iter().map(|&c| c as f64).sum::<f64>() / last_counts.len() as f64;
+        assert!(
+            (mean - target as f64).abs() < target as f64 * 0.5,
+            "converged to {mean}, target {target}"
+        );
+    }
+
+    #[test]
+    fn stable_once_converged() {
+        // If observations equal the target, the threshold settles.
+        let mut c = ThresholdController::new(1.0, 50, 0.1);
+        for _ in 0..50 {
+            c.observe(50);
+        }
+        let before = c.threshold();
+        c.observe(50);
+        assert!((c.threshold() - before).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Beam-search decoding over an approximate classifier.
+//!
+//! The paper motivates screening with translation: "we only use the top-K
+//! values of softmax-normalized probabilities to select the translated
+//! words, where K is the beam search size" (§3.1). This module implements
+//! that consumer — a beam decoder that, at every step, expands each
+//! hypothesis with the top-K probabilities from a classification — so
+//! beam-level fidelity (do the approximate and exact decoders keep the
+//! same beams?) can be measured directly.
+//!
+//! The "front-end" is abstract: a callback maps (hypothesis last token,
+//! step) → hidden state. Tests and harnesses drive it with the synthetic
+//! trace generator.
+
+use enmc_tensor::activation::softmax;
+use enmc_tensor::select::top_k_indices;
+use enmc_tensor::Vector;
+
+/// One beam hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// Emitted token sequence.
+    pub tokens: Vec<usize>,
+    /// Accumulated log-probability.
+    pub log_prob: f64,
+}
+
+impl Hypothesis {
+    fn empty() -> Self {
+        Hypothesis { tokens: Vec::new(), log_prob: 0.0 }
+    }
+}
+
+/// Runs beam search for `steps` steps with width `beam`.
+///
+/// `classify` maps a hidden state to logits over the vocabulary;
+/// `front_end` maps (previous token, step index) to the next hidden state
+/// (`None` as the previous token for step 0).
+///
+/// Returns hypotheses sorted by descending log-probability.
+///
+/// # Panics
+///
+/// Panics if `beam == 0` or `steps == 0`.
+pub fn beam_search<C, F>(
+    beam: usize,
+    steps: usize,
+    mut classify: C,
+    mut front_end: F,
+) -> Vec<Hypothesis>
+where
+    C: FnMut(&Vector) -> Vector,
+    F: FnMut(Option<usize>, usize) -> Vector,
+{
+    assert!(beam > 0, "beam width must be positive");
+    assert!(steps > 0, "need at least one step");
+    let mut beams = vec![Hypothesis::empty()];
+    for step in 0..steps {
+        let mut expanded: Vec<Hypothesis> = Vec::with_capacity(beams.len() * beam);
+        for hyp in &beams {
+            let hidden = front_end(hyp.tokens.last().copied(), step);
+            let logits = classify(&hidden);
+            let probs = softmax(logits.as_slice());
+            for &tok in &top_k_indices(&probs, beam) {
+                let mut tokens = hyp.tokens.clone();
+                tokens.push(tok);
+                expanded.push(Hypothesis {
+                    tokens,
+                    log_prob: hyp.log_prob + (probs[tok].max(1e-30) as f64).ln(),
+                });
+            }
+        }
+        expanded.sort_by(|a, b| {
+            b.log_prob.partial_cmp(&a.log_prob).expect("finite log probs")
+        });
+        expanded.truncate(beam);
+        beams = expanded;
+    }
+    beams
+}
+
+/// Fraction of positions where two decoders' best hypotheses agree.
+pub fn sequence_agreement(a: &Hypothesis, b: &Hypothesis) -> f64 {
+    if a.tokens.is_empty() && b.tokens.is_empty() {
+        return 1.0;
+    }
+    let n = a.tokens.len().max(b.tokens.len());
+    let same = a.tokens.iter().zip(&b.tokens).filter(|(x, y)| x == y).count();
+    same as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enmc_tensor::Matrix;
+
+    /// A toy deterministic "language": logits favour (prev_token + 1) mod l.
+    fn successor_world(l: usize) -> (impl FnMut(&Vector) -> Vector, impl FnMut(Option<usize>, usize) -> Vector)
+    {
+        let w = {
+            let mut m = Matrix::zeros(l, l);
+            for i in 0..l {
+                m.set(i, i, 4.0); // logit bump for the encoded favourite
+            }
+            m
+        };
+        let classify = move |h: &Vector| w.matvec(h);
+        let front_end = move |prev: Option<usize>, _step: usize| {
+            let favourite = prev.map(|p| (p + 1) % l).unwrap_or(0);
+            let mut h = vec![0.1_f32; l];
+            h[favourite] = 1.0;
+            Vector::from(h)
+        };
+        (classify, front_end)
+    }
+
+    #[test]
+    fn greedy_beam_follows_the_successor_chain() {
+        let (classify, front_end) = successor_world(10);
+        let beams = beam_search(1, 5, classify, front_end);
+        assert_eq!(beams.len(), 1);
+        assert_eq!(beams[0].tokens, vec![0, 1, 2, 3, 4]);
+        assert!(beams[0].log_prob < 0.0);
+    }
+
+    #[test]
+    fn wider_beams_keep_more_hypotheses() {
+        let (classify, front_end) = successor_world(10);
+        let beams = beam_search(4, 3, classify, front_end);
+        assert_eq!(beams.len(), 4);
+        // Best hypothesis first, log-probs non-increasing.
+        for pair in beams.windows(2) {
+            assert!(pair[0].log_prob >= pair[1].log_prob);
+        }
+        // The greedy chain must be the top beam.
+        assert_eq!(beams[0].tokens, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn beam_scores_accumulate_logs() {
+        let (classify, front_end) = successor_world(5);
+        let one = beam_search(1, 1, classify, front_end);
+        let (classify, front_end) = successor_world(5);
+        let two = beam_search(1, 2, classify, front_end);
+        assert!(two[0].log_prob < one[0].log_prob, "longer sequences less probable");
+    }
+
+    #[test]
+    fn agreement_metric() {
+        let a = Hypothesis { tokens: vec![1, 2, 3, 4], log_prob: 0.0 };
+        let b = Hypothesis { tokens: vec![1, 2, 9, 4], log_prob: 0.0 };
+        assert!((sequence_agreement(&a, &b) - 0.75).abs() < 1e-12);
+        let empty = Hypothesis::empty();
+        assert_eq!(sequence_agreement(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn approximate_decoder_tracks_exact_decoder() {
+        // Exact vs "slightly noisy" classifier: the beams should still
+        // agree at most positions.
+        let (exact_classify, front_end) = successor_world(20);
+        let exact = beam_search(2, 8, exact_classify, front_end);
+        let (mut noisy_classify, front_end) = {
+            let (c, f) = successor_world(20);
+            (c, f)
+        };
+        let noisy = beam_search(
+            2,
+            8,
+            move |h| {
+                let mut z = noisy_classify(h);
+                for (i, v) in z.as_mut_slice().iter_mut().enumerate() {
+                    *v += ((i * 2654435761) % 97) as f32 * 1e-4; // tiny bias
+                }
+                z
+            },
+            front_end,
+        );
+        assert!(sequence_agreement(&exact[0], &noisy[0]) > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width")]
+    fn zero_beam_rejected() {
+        let (c, f) = successor_world(4);
+        beam_search(0, 1, c, f);
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end approximate classification (paper §4.2, Fig. 6).
+//!
+//! [`ApproxClassifier`] owns the full classifier and a trained
+//! [`Screener`]; each query runs screen → filter → candidates-only exact
+//! computation → mix, and reports both the mixed logits and the cost
+//! accounting used for speedup figures.
+
+use crate::cost::ClassificationCost;
+use crate::screener::Screener;
+use enmc_tensor::select::{threshold_filter, top_k_indices};
+use enmc_tensor::{Matrix, TensorError, Vector};
+
+/// How candidates are selected from the approximate logits (paper §4.2:
+/// "top-m searching or thresholding, where the threshold value can be tuned
+/// on validation sets").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SelectionPolicy {
+    /// Select exactly the `m` highest approximate logits.
+    TopM(usize),
+    /// Select every approximate logit above the threshold (the hardware
+    /// FILTER instruction path).
+    Threshold(f32),
+}
+
+impl SelectionPolicy {
+    /// Applies the policy to approximate logits.
+    pub fn select(&self, approx: &[f32]) -> Vec<usize> {
+        match *self {
+            SelectionPolicy::TopM(m) => top_k_indices(approx, m),
+            SelectionPolicy::Threshold(t) => {
+                threshold_filter(approx, t).into_iter().map(|c| c.index).collect()
+            }
+        }
+    }
+}
+
+/// Output of one approximate classification.
+#[derive(Debug, Clone)]
+pub struct ApproxOutput {
+    /// Mixed logits: exact for candidates, approximate elsewhere.
+    pub logits: Vector,
+    /// The candidate indices that received exact computation.
+    pub candidates: Vec<usize>,
+    /// Cost of this query (screening + candidates-only).
+    pub cost: ClassificationCost,
+}
+
+/// A full classifier paired with its trained screening module.
+#[derive(Debug, Clone)]
+pub struct ApproxClassifier {
+    weights: Matrix,
+    bias: Vector,
+    screener: Screener,
+    policy: SelectionPolicy,
+}
+
+impl ApproxClassifier {
+    /// Bundles a trained screener with its classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the screener was built for
+    /// different `(l, d)`.
+    pub fn new(
+        weights: Matrix,
+        bias: Vector,
+        screener: Screener,
+        policy: SelectionPolicy,
+    ) -> Result<Self, TensorError> {
+        if screener.categories() != weights.rows() || screener.hidden_dim() != weights.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ApproxClassifier::new",
+                expected: (weights.rows(), weights.cols()),
+                found: (screener.categories(), screener.hidden_dim()),
+            });
+        }
+        if bias.len() != weights.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ApproxClassifier::new",
+                expected: (weights.rows(), 1),
+                found: (bias.len(), 1),
+            });
+        }
+        Ok(ApproxClassifier { weights, bias, screener, policy })
+    }
+
+    /// The candidate selection policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Replaces the selection policy (e.g. after threshold calibration).
+    pub fn set_policy(&mut self, policy: SelectionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The full classifier weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The screening module.
+    pub fn screener(&self) -> &Screener {
+        &self.screener
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Exact full classification (the reference and the CPU baseline).
+    pub fn full_logits(&self, h: &Vector) -> Vector {
+        self.weights.matvec_bias(h, &self.bias)
+    }
+
+    /// Cost of one full classification at batch size 1.
+    pub fn full_cost(&self) -> ClassificationCost {
+        ClassificationCost::full(self.weights.rows(), self.weights.cols(), 1)
+    }
+
+    /// Runs the approximate pipeline for a batch of queries.
+    ///
+    /// Screening weights are streamed once for the whole batch (the
+    /// hardware's weight-reuse path), so the per-query cost of the
+    /// screening phase is amortized: the returned outputs carry the
+    /// amortized accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's length differs from the hidden dimension or
+    /// the batch is empty.
+    pub fn classify_batch(&mut self, batch: &[Vector]) -> Vec<ApproxOutput> {
+        assert!(!batch.is_empty(), "batch must be non-empty");
+        let n = batch.len() as u64;
+        let mut outs: Vec<ApproxOutput> =
+            batch.iter().map(|h| self.classify(h)).collect();
+        // Amortize the weight-stream bytes and integer MACs' storage
+        // traffic: the stream is read once per batch, not once per query.
+        let stream_bytes = self.screener.weight_bytes();
+        for out in &mut outs {
+            out.cost.bytes_read =
+                out.cost.bytes_read - stream_bytes + stream_bytes.div_ceil(n);
+        }
+        outs
+    }
+
+    /// Runs the approximate pipeline for one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len()` differs from the hidden dimension.
+    pub fn classify(&mut self, h: &Vector) -> ApproxOutput {
+        let l = self.weights.rows();
+        let d = self.weights.cols();
+        let k = self.screener.reduced_dim();
+
+        // (1) screening at the configured precision.
+        let approx = self.screener.screen(h);
+
+        // (2) candidate selection.
+        let candidates = self.policy.select(approx.as_slice());
+
+        // (3) candidates-only exact computation.
+        let exact = self.weights.matvec_rows(&candidates, h, &self.bias);
+
+        // (4) mix.
+        let mut logits = approx;
+        for (idx, val) in exact {
+            logits[idx] = val;
+        }
+
+        let m = candidates.len();
+        let cost = ClassificationCost {
+            // Projection (k·d MACs at FP32 on CPU; the sparse P has ~d·k/3
+            // nonzeros but we charge the dense cost conservatively), plus
+            // candidate rows at FP32.
+            fp32_macs: (k * d + m * d) as u64,
+            int_macs: (l * k) as u64,
+            bytes_read: self.screener.weight_bytes() + (m * d * 4) as u64 + (d * 4) as u64,
+            bytes_written: (l * 4) as u64,
+        };
+        ApproxOutput { logits, candidates, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::screener::ScreenerConfig;
+    use crate::train::fit_least_squares;
+    use enmc_tensor::dist::standard_normal;
+    use enmc_tensor::quant::Precision;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a *low-rank* classifier (rank 8 factors + small noise) — the
+    /// structure real extreme classifiers have and screening exploits.
+    fn build(l: usize, d: usize, policy: SelectionPolicy) -> (ApproxClassifier, Vec<Vector>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let rank = 8;
+        let mut u = Matrix::zeros(l, rank);
+        let mut v = Matrix::zeros(rank, d);
+        for x in u.as_mut_slice() {
+            *x = standard_normal(&mut rng);
+        }
+        for x in v.as_mut_slice() {
+            *x = standard_normal(&mut rng) / (d as f32).sqrt();
+        }
+        let mut w = u.matmul(&v);
+        for x in w.as_mut_slice() {
+            *x += standard_normal(&mut rng) * 0.02 / (d as f32).sqrt();
+        }
+        let b = Vector::zeros(l);
+        // Queries concentrate near classifier rows (in-distribution data):
+        // h = 2·ŵ_t + noise, like a trained front-end would produce.
+        let samples: Vec<Vector> = (0..64)
+            .map(|_| {
+                let t = rng.random_range(0..l);
+                let row = w.row(t);
+                let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+                row.iter()
+                    .map(|&x| 2.0 * x / norm + standard_normal(&mut rng) / (d as f32).sqrt())
+                    .collect()
+            })
+            .collect();
+        let cfg = ScreenerConfig { scale: 0.5, precision: Precision::Fp32, per_row_scales: false, seed: 2 };
+        let mut s = Screener::new(l, d, &cfg).unwrap();
+        fit_least_squares(&mut s, &w, &b, &samples, 1e-3);
+        let clf = ApproxClassifier::new(w, b, s, policy).unwrap();
+        (clf, samples)
+    }
+
+    #[test]
+    fn new_rejects_shape_mismatch() {
+        let cfg = ScreenerConfig::default();
+        let s = Screener::new(10, 8, &cfg).unwrap();
+        let err =
+            ApproxClassifier::new(Matrix::zeros(12, 8), Vector::zeros(12), s, SelectionPolicy::TopM(1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn candidates_get_exact_logits() {
+        let (mut clf, samples) = build(64, 16, SelectionPolicy::TopM(8));
+        let h = &samples[0];
+        let full = clf.full_logits(h);
+        let out = clf.classify(h);
+        assert_eq!(out.candidates.len(), 8);
+        for &c in &out.candidates {
+            assert!(
+                (out.logits[c] - full[c]).abs() < 1e-5,
+                "candidate {c}: {} vs {}",
+                out.logits[c],
+                full[c]
+            );
+        }
+    }
+
+    #[test]
+    fn top1_agrees_with_full_when_screener_good() {
+        // k = 16 comfortably covers the rank-8 classifier structure.
+        let (mut clf, samples) = build(64, 32, SelectionPolicy::TopM(8));
+        let mut agree = 0;
+        for h in &samples {
+            let full = clf.full_logits(h);
+            let out = clf.classify(h);
+            let t_full = top_k_indices(full.as_slice(), 1)[0];
+            let t_out = top_k_indices(out.logits.as_slice(), 1)[0];
+            if t_full == t_out {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / samples.len() as f64;
+        assert!(rate > 0.85, "top-1 agreement {rate}");
+    }
+
+    #[test]
+    fn threshold_policy_uses_filter() {
+        let (mut clf, samples) = build(64, 16, SelectionPolicy::Threshold(f32::INFINITY));
+        let out = clf.classify(&samples[0]);
+        assert!(out.candidates.is_empty());
+        clf.set_policy(SelectionPolicy::Threshold(f32::NEG_INFINITY));
+        let out = clf.classify(&samples[0]);
+        assert_eq!(out.candidates.len(), 64);
+    }
+
+    #[test]
+    fn cost_is_far_below_full() {
+        // Paper-like configuration: scale 0.25 + INT4 screening weights.
+        let mut rng = StdRng::seed_from_u64(77);
+        let (l, d) = (2048, 128);
+        let mut w = Matrix::zeros(l, d);
+        for v in w.as_mut_slice() {
+            *v = standard_normal(&mut rng) / (d as f32).sqrt();
+        }
+        let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Int4, per_row_scales: false, seed: 5 };
+        let s = Screener::new(l, d, &cfg).unwrap();
+        let mut clf =
+            ApproxClassifier::new(w, Vector::zeros(l), s, SelectionPolicy::TopM(16)).unwrap();
+        let h = Vector::from(vec![0.1; d]);
+        let out = clf.classify(&h);
+        let full = clf.full_cost();
+        assert!(out.cost.total_bytes() * 8 < full.total_bytes(), "{out:?}");
+        assert!(out.cost.fp32_macs * 8 < full.fp32_macs);
+    }
+
+    #[test]
+    fn batch_amortizes_the_weight_stream() {
+        let (mut clf, samples) = build(64, 32, SelectionPolicy::TopM(8));
+        let single = clf.classify(&samples[0]).cost;
+        let batch = clf.classify_batch(&samples[..4]);
+        assert_eq!(batch.len(), 4);
+        // Per-query bytes must drop when the stream is shared.
+        assert!(batch[0].cost.bytes_read < single.bytes_read);
+        // And the results themselves are identical to one-at-a-time runs.
+        let again = clf.classify(&samples[0]);
+        assert_eq!(batch[0].logits, again.logits);
+        assert_eq!(batch[0].candidates, again.candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_batch_rejected() {
+        let (mut clf, _) = build(64, 32, SelectionPolicy::TopM(8));
+        clf.classify_batch(&[]);
+    }
+
+    #[test]
+    fn policy_select_topm_and_threshold() {
+        let scores = [1.0, 5.0, 3.0];
+        assert_eq!(SelectionPolicy::TopM(2).select(&scores), vec![1, 2]);
+        assert_eq!(SelectionPolicy::Threshold(2.0).select(&scores), vec![1, 2]);
+    }
+}

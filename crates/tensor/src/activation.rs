@@ -1,0 +1,218 @@
+//! Softmax, sigmoid and the Executor's Taylor-approximated exponential.
+//!
+//! The classification layer ends with a softmax normalization (paper Eq. 2);
+//! multi-label recommendation models use sigmoid instead (paper §4.1). The
+//! ENMC Executor implements the exponential with a 4th-order Taylor
+//! expansion in its special-function unit (paper §6.2: "we approximate the
+//! exponential function with Taylor expansion to the 4ᵗʰ order"). We provide
+//! both the exact and the Taylor variants so that functional results can be
+//! produced with the same arithmetic the simulated hardware uses.
+
+/// Order of the Taylor expansion used by the Executor's special-function
+/// unit (paper §6.2).
+pub const TAYLOR_EXP_ORDER: u32 = 4;
+
+/// 4th-order Taylor approximation of `exp(x)` with range reduction.
+///
+/// Direct truncated-Taylor evaluation is only accurate near zero, so the
+/// hardware-style implementation reduces the range first:
+/// `exp(x) = 2^n · exp(r)` with `x = n·ln2 + r`, `|r| ≤ ln2/2`, then applies
+/// the degree-4 polynomial to `r`. The `2^n` factor is an exponent-field
+/// shift in hardware.
+///
+/// # Example
+///
+/// ```
+/// use enmc_tensor::taylor_exp;
+/// assert!((taylor_exp(1.0) - 1.0f32.exp()).abs() < 1e-3);
+/// ```
+pub fn taylor_exp(x: f32) -> f32 {
+    if !x.is_finite() {
+        return if x > 0.0 { f32::INFINITY } else { 0.0 };
+    }
+    const LN2: f32 = core::f32::consts::LN_2;
+    let n = (x / LN2).round();
+    let r = x - n * LN2;
+    // exp(r) ≈ 1 + r + r²/2 + r³/6 + r⁴/24 for |r| ≤ ln2/2.
+    let r2 = r * r;
+    let poly = 1.0 + r + r2 * 0.5 + r2 * r / 6.0 + r2 * r2 / 24.0;
+    // Clamp n so exp2 stays in range.
+    let n = n.clamp(-126.0, 127.0);
+    poly * pow2i(n as i32)
+}
+
+/// `2^n` for integer `n` in `[-126, 127]` via exponent-field construction.
+fn pow2i(n: i32) -> f32 {
+    f32::from_bits(((n + 127) as u32) << 23)
+}
+
+/// Numerically stable logistic sigmoid `1 / (1 + e^{-x})`.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid computed with the Executor's Taylor exponential.
+pub fn sigmoid_taylor(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + taylor_exp(-x))
+    } else {
+        let e = taylor_exp(x);
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softmax (paper Eq. 2): subtracts the maximum before
+/// exponentiating.
+///
+/// Returns a probability vector summing to 1 (for non-empty, finite input).
+pub fn softmax(z: &[f32]) -> Vec<f32> {
+    let mut out = z.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax`].
+pub fn softmax_in_place(z: &mut [f32]) {
+    softmax_impl(z, f32::exp)
+}
+
+/// Softmax evaluated with the Executor's Taylor exponential — the exact
+/// arithmetic the simulated special-function unit performs.
+pub fn softmax_taylor(z: &[f32]) -> Vec<f32> {
+    let mut out = z.to_vec();
+    softmax_impl(&mut out, taylor_exp);
+    out
+}
+
+fn softmax_impl(z: &mut [f32], exp: impl Fn(f32) -> f32) {
+    if z.is_empty() {
+        return;
+    }
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0_f32;
+    for v in z.iter_mut() {
+        *v = exp(*v - max);
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in z.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Natural-log perplexity contribution of predicting `target` from logits:
+/// `-log p(target)` under a stable log-softmax.
+///
+/// # Panics
+///
+/// Panics if `target >= z.len()`.
+pub fn neg_log_prob(z: &[f32], target: usize) -> f64 {
+    assert!(target < z.len(), "target out of range");
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let log_sum: f64 = (z.iter().map(|&v| ((v as f64) - max).exp()).sum::<f64>()).ln() + max;
+    log_sum - z[target] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taylor_exp_accurate_over_working_range() {
+        for i in -80..=80 {
+            let x = i as f32 * 0.25; // [-20, 20]
+            let exact = x.exp();
+            let approx = taylor_exp(x);
+            let rel = ((approx - exact) / exact).abs();
+            assert!(rel < 2e-4, "x={x} exact={exact} approx={approx} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn taylor_exp_handles_extremes() {
+        assert_eq!(taylor_exp(f32::NEG_INFINITY), 0.0);
+        assert_eq!(taylor_exp(f32::INFINITY), f32::INFINITY);
+        assert!(taylor_exp(-1000.0) >= 0.0);
+        assert!(taylor_exp(0.0) - 1.0 < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0, -1.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_taylor_close_to_exact() {
+        let z = [0.3, -1.2, 2.5, 0.0, 1.1];
+        let exact = softmax(&z);
+        let taylor = softmax_taylor(&z);
+        for (a, b) in exact.iter().zip(&taylor) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.5;
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_taylor_close_to_exact() {
+        for i in -20..=20 {
+            let x = i as f32 * 0.4;
+            assert!((sigmoid(x) - sigmoid_taylor(x)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn neg_log_prob_matches_softmax() {
+        let z = [0.5, 1.5, -0.5];
+        let p = softmax(&z);
+        for t in 0..3 {
+            let nlp = neg_log_prob(&z, t);
+            assert!((nlp - (-(p[t] as f64).ln())).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pow2i_matches_exp2() {
+        for n in [-10, -1, 0, 1, 10, 30] {
+            assert_eq!(pow2i(n), (n as f32).exp2());
+        }
+    }
+}

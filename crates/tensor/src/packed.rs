@@ -1,0 +1,176 @@
+//! Bit-packed INT4 storage — the wire/DRAM format of the Screener's
+//! weights and activations.
+//!
+//! The ENMC DIMM stores screening operands as signed 4-bit codes, two per
+//! byte (low nibble first). [`PackedInt4`] is that exact memory image with
+//! safe accessors, so the functional DIMM model, the host runtime and any
+//! serialization share one canonical packing.
+
+/// A sequence of signed 4-bit values packed two per byte.
+///
+/// # Example
+///
+/// ```
+/// use enmc_tensor::packed::PackedInt4;
+/// let p = PackedInt4::from_codes(&[-8, 7, 3]);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.get(0), -8);
+/// assert_eq!(p.to_codes(), vec![-8, 7, 3]);
+/// assert_eq!(p.as_bytes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedInt4 {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl PackedInt4 {
+    /// Packs signed codes; each must be in `[-8, 7]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if a code is out of the 4-bit range.
+    pub fn from_codes(codes: &[i8]) -> Self {
+        let mut bytes = vec![0u8; codes.len().div_ceil(2)];
+        for (i, &c) in codes.iter().enumerate() {
+            debug_assert!((-8..=7).contains(&c), "code {c} out of INT4 range");
+            let nibble = (c as u8) & 0x0f;
+            if i % 2 == 0 {
+                bytes[i / 2] |= nibble;
+            } else {
+                bytes[i / 2] |= nibble << 4;
+            }
+        }
+        PackedInt4 { bytes, len: codes.len() }
+    }
+
+    /// Reinterprets raw bytes as `len` packed codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `len` codes require.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Self {
+        assert!(bytes.len() >= len.div_ceil(2), "byte buffer too short for {len} codes");
+        PackedInt4 { bytes, len }
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying packed bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Code at position `i`, sign-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> i8 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        let b = self.bytes[i / 2];
+        let nibble = if i.is_multiple_of(2) { b & 0x0f } else { b >> 4 };
+        if nibble >= 8 {
+            nibble as i8 - 16
+        } else {
+            nibble as i8
+        }
+    }
+
+    /// Unpacks all codes.
+    pub fn to_codes(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Integer dot product of a code range against unpacked codes —
+    /// the Screener MAC semantics operating directly on the packed image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `len` or `other.len() != range length`.
+    pub fn dot_range(&self, start: usize, other: &[i8]) -> i32 {
+        assert!(start + other.len() <= self.len, "range out of bounds");
+        other
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| self.get(start + j) as i32 * x as i32)
+            .sum()
+    }
+}
+
+impl FromIterator<i8> for PackedInt4 {
+    fn from_iter<I: IntoIterator<Item = i8>>(iter: I) -> Self {
+        let codes: Vec<i8> = iter.into_iter().collect();
+        PackedInt4::from_codes(&codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_values() {
+        let codes: Vec<i8> = (-8..8).collect();
+        let p = PackedInt4::from_codes(&codes);
+        assert_eq!(p.to_codes(), codes);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.as_bytes().len(), 8);
+    }
+
+    #[test]
+    fn odd_length_roundtrip() {
+        let codes = vec![1i8, -2, 3, -4, 5];
+        let p = PackedInt4::from_codes(&codes);
+        assert_eq!(p.to_codes(), codes);
+        assert_eq!(p.as_bytes().len(), 3);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let p = PackedInt4::from_codes(&[]);
+        assert!(p.is_empty());
+        assert!(p.to_codes().is_empty());
+    }
+
+    #[test]
+    fn from_bytes_reinterprets() {
+        let orig = PackedInt4::from_codes(&[7, -8, 0, 1]);
+        let p = PackedInt4::from_bytes(orig.as_bytes().to_vec(), 4);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn from_bytes_checks_length() {
+        PackedInt4::from_bytes(vec![0u8; 1], 4);
+    }
+
+    #[test]
+    fn dot_range_matches_unpacked() {
+        let codes: Vec<i8> = (0..32).map(|i| ((i * 5) % 15) as i8 - 7).collect();
+        let p = PackedInt4::from_codes(&codes);
+        let other: Vec<i8> = (0..8).map(|i| (i - 4) as i8).collect();
+        for start in [0usize, 8, 24] {
+            let expect: i32 = (0..8)
+                .map(|j| codes[start + j] as i32 * other[j] as i32)
+                .sum();
+            assert_eq!(p.dot_range(start, &other), expect, "start {start}");
+        }
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: PackedInt4 = (-3i8..3).collect();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.get(0), -3);
+    }
+}

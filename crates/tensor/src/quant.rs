@@ -1,0 +1,536 @@
+//! Symmetric linear quantization and integer MAC semantics.
+//!
+//! The ENMC Screener processes the screening weights `W̃` and the projected
+//! feature vector with *fixed-point* arithmetic — the paper evaluates INT4 as
+//! the sweet spot (Fig. 12b) and provisions 128 INT4 MACs per rank
+//! (Table 3). This module provides:
+//!
+//! * [`Precision`] — the precisions the hardware (and the sensitivity study)
+//!   support: FP32, INT8, INT4, INT2;
+//! * [`QuantVector`] / [`QuantMatrix`] — symmetrically quantized tensors that
+//!   remember their scale;
+//! * integer multiply-accumulate kernels whose numerical results are exactly
+//!   what an integer MAC array would produce (`i32` accumulation of `i8×i8`
+//!   products, rescaled once at the end).
+//!
+//! Quantization is *symmetric per-tensor*: `q = clamp(round(x / s))` with
+//! `s = max|x| / qmax`. This matches the paper's description of "4-bit
+//! fixed-point quantization on the screening module" (§7.1).
+
+use crate::matrix::{Matrix, Vector};
+use crate::TensorError;
+
+/// Numeric precision of a screening operand.
+///
+/// `Fp32` is included so the sensitivity sweep of paper Fig. 12(b) can
+/// compare quantized screening against single-precision screening with the
+/// same code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// IEEE-754 single precision (no quantization).
+    Fp32,
+    /// 8-bit signed integers, range `[-127, 127]`.
+    Int8,
+    /// 4-bit signed integers, range `[-7, 7]` (the ENMC Screener default).
+    Int4,
+    /// 2-bit signed integers, range `[-1, 1]`.
+    Int2,
+}
+
+impl Precision {
+    /// Bits per element.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Fp32 => 32,
+            Precision::Int8 => 8,
+            Precision::Int4 => 4,
+            Precision::Int2 => 2,
+        }
+    }
+
+    /// Bytes consumed by `n` elements at this precision (densely packed).
+    pub fn nbytes(self, n: usize) -> usize {
+        (n * self.bits() as usize).div_ceil(8)
+    }
+
+    /// Largest representable magnitude of the integer code, or `None` for
+    /// floating point.
+    pub fn qmax(self) -> Option<i32> {
+        match self {
+            Precision::Fp32 => None,
+            Precision::Int8 => Some(127),
+            Precision::Int4 => Some(7),
+            Precision::Int2 => Some(1),
+        }
+    }
+
+    /// All precisions in decreasing-fidelity order, as swept by Fig. 12(b).
+    pub fn sweep() -> [Precision; 4] {
+        [Precision::Fp32, Precision::Int8, Precision::Int4, Precision::Int2]
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Precision::Fp32 => "FP32",
+            Precision::Int8 => "INT8",
+            Precision::Int4 => "INT4",
+            Precision::Int2 => "INT2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A symmetrically quantized vector: integer codes plus a single scale.
+///
+/// Dequantized value of element `i` is `codes[i] as f32 * scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantVector {
+    codes: Vec<i8>,
+    scale: f32,
+    precision: Precision,
+}
+
+impl QuantVector {
+    /// Quantizes `v` at `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `precision` is
+    /// [`Precision::Fp32`] (use the float path instead) or `v` is empty.
+    pub fn quantize(v: &Vector, precision: Precision) -> Result<Self, TensorError> {
+        let qmax = precision
+            .qmax()
+            .ok_or(TensorError::InvalidArgument("cannot integer-quantize at FP32"))?;
+        if v.is_empty() {
+            return Err(TensorError::InvalidArgument("cannot quantize empty vector"));
+        }
+        let max_abs = v.max_abs();
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax as f32 };
+        let codes = v
+            .as_slice()
+            .iter()
+            .map(|&x| quantize_one(x, scale, qmax))
+            .collect();
+        Ok(QuantVector { codes, scale, precision })
+    }
+
+    /// The integer codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The per-tensor scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The precision this vector was quantized at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Reconstructs the floating-point vector.
+    pub fn dequantize(&self) -> Vector {
+        self.codes.iter().map(|&c| c as f32 * self.scale).collect()
+    }
+
+    /// Packed storage size in bytes at the nominal bit width.
+    pub fn nbytes(&self) -> usize {
+        self.precision.nbytes(self.codes.len())
+    }
+}
+
+/// A symmetrically quantized row-major matrix (per-tensor scale).
+///
+/// This is the in-memory image of the Screener weight `W̃` on the ENMC DIMM:
+/// each row is one category's reduced-dimension weight vector, stored at
+/// INT4 (by default) and streamed through the integer MAC array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    scale: f32,
+    precision: Precision,
+}
+
+/// A row-wise quantized matrix: one scale per category row.
+///
+/// Per-row scales cost `4·l` extra bytes (folded into the same stream as
+/// the FP32 bias, so the hardware cost is one more multiplier per output)
+/// but preserve outlier rows that a single tensor-wide scale would crush —
+/// the standard accuracy/storage trade-off the Fig. 12(b) study can be
+/// extended with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrixPerRow {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    precision: Precision,
+}
+
+impl QuantMatrixPerRow {
+    /// Quantizes `m` with an independent symmetric scale per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `precision` is
+    /// [`Precision::Fp32`] or `m` has zero elements.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Result<Self, TensorError> {
+        let qmax = precision
+            .qmax()
+            .ok_or(TensorError::InvalidArgument("cannot integer-quantize at FP32"))?;
+        if m.rows() == 0 || m.cols() == 0 {
+            return Err(TensorError::InvalidArgument("cannot quantize empty matrix"));
+        }
+        let mut codes = Vec::with_capacity(m.rows() * m.cols());
+        let mut scales = Vec::with_capacity(m.rows());
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0.0_f32, |acc, &x| acc.max(x.abs()));
+            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax as f32 };
+            scales.push(scale);
+            codes.extend(row.iter().map(|&x| quantize_one(x, scale, qmax)));
+        }
+        Ok(QuantMatrixPerRow { rows: m.rows(), cols: m.cols(), codes, scales, precision })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Integer codes of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reconstructs the floating-point matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (dst, &c) in out.row_mut(r).iter_mut().zip(self.row(r)) {
+                *dst = c as f32 * s;
+            }
+        }
+        out
+    }
+
+    /// Integer matrix-vector product with per-row rescale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_quant(&self, x: &QuantVector) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec_quant: dimension mismatch");
+        let xcodes = x.codes();
+        (0..self.rows)
+            .map(|r| dot_i8(self.row(r), xcodes) as f32 * (self.scales[r] * x.scale()))
+            .collect()
+    }
+
+    /// Packed code bytes plus the FP32 scale column.
+    pub fn nbytes(&self) -> usize {
+        self.precision.nbytes(self.codes.len()) + self.rows * 4
+    }
+}
+
+impl QuantMatrix {
+    /// Quantizes `m` at `precision` with one shared scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `precision` is
+    /// [`Precision::Fp32`] or `m` has zero elements.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Result<Self, TensorError> {
+        let qmax = precision
+            .qmax()
+            .ok_or(TensorError::InvalidArgument("cannot integer-quantize at FP32"))?;
+        if m.rows() == 0 || m.cols() == 0 {
+            return Err(TensorError::InvalidArgument("cannot quantize empty matrix"));
+        }
+        let max_abs = m.max_abs();
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax as f32 };
+        let codes = m
+            .as_slice()
+            .iter()
+            .map(|&x| quantize_one(x, scale, qmax))
+            .collect();
+        Ok(QuantMatrix { rows: m.rows(), cols: m.cols(), codes, scale, precision })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-tensor scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Precision of the codes.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Integer codes of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reconstructs the floating-point matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let data = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// Integer matrix-vector product against a quantized activation,
+    /// reproducing the Screener MAC array: `i8 × i8` products accumulated in
+    /// `i32`, rescaled once by `scale_w * scale_x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_quant(&self, x: &QuantVector) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec_quant: dimension mismatch");
+        let rescale = self.scale * x.scale();
+        let xcodes = x.codes();
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let acc = dot_i8(self.row(r), xcodes);
+            out.push(acc as f32 * rescale);
+        }
+        Vector::from(out)
+    }
+
+    /// Packed storage size in bytes at the nominal bit width — the quantity
+    /// that determines Screener DRAM traffic.
+    pub fn nbytes(&self) -> usize {
+        self.precision.nbytes(self.codes.len())
+    }
+}
+
+/// Quantizes one value: `clamp(round(x / scale), -qmax, qmax)`.
+fn quantize_one(x: f32, scale: f32, qmax: i32) -> i8 {
+    let q = (x / scale).round() as i32;
+    q.clamp(-qmax, qmax) as i8
+}
+
+/// Integer dot product with `i32` accumulation (the MAC-array semantics).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32]) -> Vector {
+        Vector::from(data.to_vec())
+    }
+
+    #[test]
+    fn precision_bits_and_bytes() {
+        assert_eq!(Precision::Fp32.bits(), 32);
+        assert_eq!(Precision::Int4.bits(), 4);
+        assert_eq!(Precision::Int4.nbytes(3), 2); // 12 bits -> 2 bytes
+        assert_eq!(Precision::Int8.nbytes(3), 3);
+        assert_eq!(Precision::Int2.nbytes(8), 2);
+    }
+
+    #[test]
+    fn precision_qmax() {
+        assert_eq!(Precision::Fp32.qmax(), None);
+        assert_eq!(Precision::Int8.qmax(), Some(127));
+        assert_eq!(Precision::Int4.qmax(), Some(7));
+        assert_eq!(Precision::Int2.qmax(), Some(1));
+    }
+
+    #[test]
+    fn quantize_vector_roundtrip_error_bounded() {
+        let x = v(&[0.9, -0.5, 0.1, 0.0, 0.33]);
+        let q = QuantVector::quantize(&x, Precision::Int8).unwrap();
+        let back = q.dequantize();
+        // Error bound for symmetric quantization is scale/2 per element.
+        for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= q.scale() / 2.0 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_rejects_fp32_and_empty() {
+        assert!(QuantVector::quantize(&v(&[1.0]), Precision::Fp32).is_err());
+        assert!(QuantVector::quantize(&Vector::zeros(0), Precision::Int4).is_err());
+        assert!(QuantMatrix::quantize(&Matrix::zeros(0, 4), Precision::Int4).is_err());
+    }
+
+    #[test]
+    fn quantize_zero_vector_is_stable() {
+        let q = QuantVector::quantize(&Vector::zeros(4), Precision::Int4).unwrap();
+        assert_eq!(q.dequantize(), Vector::zeros(4));
+    }
+
+    #[test]
+    fn int4_codes_clamped_to_pm7() {
+        let x = v(&[1.0, -1.0, 0.5]);
+        let q = QuantVector::quantize(&x, Precision::Int4).unwrap();
+        assert!(q.codes().iter().all(|&c| (-7..=7).contains(&(c as i32))));
+        assert_eq!(q.codes()[0], 7);
+        assert_eq!(q.codes()[1], -7);
+    }
+
+    #[test]
+    fn int2_is_ternary() {
+        let x = v(&[1.0, -1.0, 0.1, -0.1]);
+        let q = QuantVector::quantize(&x, Precision::Int2).unwrap();
+        assert!(q.codes().iter().all(|&c| (-1..=1).contains(&(c as i32))));
+    }
+
+    #[test]
+    fn matvec_quant_matches_dequantized_float_product() {
+        let m = Matrix::from_rows(&[&[0.5, -0.25][..], &[1.0, 1.0][..]]);
+        let qm = QuantMatrix::quantize(&m, Precision::Int8).unwrap();
+        let x = v(&[0.7, -0.3]);
+        let qx = QuantVector::quantize(&x, Precision::Int8).unwrap();
+        let z_int = qm.matvec_quant(&qx);
+        let z_ref = qm.dequantize().matvec(&qx.dequantize());
+        for (a, b) in z_int.as_slice().iter().zip(z_ref.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_matvec_approximates_float_matvec() {
+        // A smooth matrix quantized at INT4 should approximate the float
+        // product with relative error well under 20%.
+        let rows: Vec<Vec<f32>> =
+            (0..8).map(|r| (0..16).map(|c| ((r * 16 + c) as f32).sin()).collect()).collect();
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&slices);
+        let x: Vector = (0..16).map(|i| (i as f32 * 0.37).cos()).collect();
+        let qm = QuantMatrix::quantize(&m, Precision::Int4).unwrap();
+        let qx = QuantVector::quantize(&x, Precision::Int4).unwrap();
+        let approx = qm.matvec_quant(&qx);
+        let exact = m.matvec(&x);
+        let err: f32 = approx
+            .as_slice()
+            .iter()
+            .zip(exact.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / exact.as_slice().iter().map(|b| b.abs()).sum::<f32>();
+        assert!(err < 0.2, "relative error too large: {err}");
+    }
+
+    #[test]
+    fn quant_matrix_nbytes_packs_int4() {
+        let m = Matrix::zeros(10, 16);
+        let q = QuantMatrix::quantize(&m, Precision::Int4).unwrap();
+        assert_eq!(q.nbytes(), 80); // 160 elements * 0.5 bytes
+    }
+
+    #[test]
+    fn per_row_quantization_handles_outlier_rows() {
+        // One huge row would destroy per-tensor INT4 resolution of the
+        // small rows; per-row scales keep both accurate.
+        let mut m = Matrix::zeros(4, 8);
+        for (r, scale) in [(0usize, 0.01f32), (1, 0.02), (2, 0.015), (3, 100.0)] {
+            for (c, v) in m.row_mut(r).iter_mut().enumerate() {
+                *v = scale * ((c as f32 * 0.7).sin());
+            }
+        }
+        let x: Vector = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+        let qx = QuantVector::quantize(&x, Precision::Int4).unwrap();
+        let exact = m.matvec(&x);
+
+        let per_tensor = QuantMatrix::quantize(&m, Precision::Int4).unwrap().matvec_quant(&qx);
+        let per_row = QuantMatrixPerRow::quantize(&m, Precision::Int4).unwrap().matvec_quant(&qx);
+        let err = |approx: &Vector, r: usize| (approx[r] - exact[r]).abs() / exact[r].abs().max(1e-9);
+        // Small rows: per-tensor collapses them to zero codes; per-row keeps
+        // them within quantization noise.
+        for r in 0..3 {
+            assert!(err(&per_row, r) < 0.25, "row {r}: per-row err {}", err(&per_row, r));
+            assert!(err(&per_tensor, r) > 0.5, "row {r}: per-tensor err {}", err(&per_tensor, r));
+        }
+    }
+
+    #[test]
+    fn per_row_roundtrip_bounded() {
+        let rows: Vec<Vec<f32>> =
+            (0..6).map(|r| (0..10).map(|c| ((r * 10 + c) as f32).sin() * (r + 1) as f32).collect()).collect();
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&slices);
+        let q = QuantMatrixPerRow::quantize(&m, Precision::Int8).unwrap();
+        let back = q.dequantize();
+        for r in 0..6 {
+            for c in 0..10 {
+                assert!((m.get(r, c) - back.get(r, c)).abs() <= q.scales()[r] * 0.5 + 1e-6);
+            }
+        }
+        assert_eq!(q.nbytes(), 60 + 24); // 60 codes @ INT8 + 6 scales
+    }
+
+    #[test]
+    fn per_row_rejects_bad_input() {
+        assert!(QuantMatrixPerRow::quantize(&Matrix::zeros(0, 4), Precision::Int4).is_err());
+        assert!(QuantMatrixPerRow::quantize(&Matrix::zeros(4, 4), Precision::Fp32).is_err());
+    }
+
+    #[test]
+    fn dot_i8_accumulates_in_i32() {
+        // 128 * 127*127 overflows i16 but not i32.
+        let a = vec![127i8; 128];
+        assert_eq!(dot_i8(&a, &a), 128 * 127 * 127);
+    }
+
+    #[test]
+    fn precision_display() {
+        assert_eq!(Precision::Int4.to_string(), "INT4");
+        assert_eq!(Precision::Fp32.to_string(), "FP32");
+    }
+}

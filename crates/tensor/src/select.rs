@@ -1,0 +1,185 @@
+//! Candidate selection: top-k search and threshold filtering (paper §4.2).
+//!
+//! After the Screener produces approximate logits `z̃`, ENMC selects the most
+//! important `m` values ("candidates") either by top-m search (software
+//! path) or by comparing against a preloaded threshold (the hardware FILTER
+//! instruction backed by a comparator array, paper §5.2). Both are provided
+//! here, plus a helper that calibrates a threshold to hit a target candidate
+//! count on a validation set — the paper notes "the threshold value can be
+//! tuned on validation sets".
+
+/// A selected candidate: category index plus its approximate score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Category index in `[0, l)`.
+    pub index: usize,
+    /// The approximate (screening) logit that triggered selection.
+    pub score: f32,
+}
+
+/// Returns the indices of the `k` largest values, sorted by descending
+/// value (ties broken by lower index first).
+///
+/// If `k >= values.len()` all indices are returned.
+///
+/// This is an O(l log k) partial selection over a binary heap — the software
+/// analogue of the comparator array.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if k == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    // Min-heap of (value, Reverse(index)) keeps the k best seen so far.
+    let mut heap: BinaryHeap<Reverse<(Ordered, Reverse<usize>)>> = BinaryHeap::new();
+    for (i, &v) in values.iter().enumerate() {
+        let item = Reverse((ordered(v), Reverse(i)));
+        if heap.len() < k {
+            heap.push(item);
+        } else if let Some(&Reverse((top, _))) = heap.peek() {
+            if ordered(v) > top {
+                heap.pop();
+                heap.push(item);
+            }
+        }
+    }
+    let mut out: Vec<(f32, usize)> =
+        heap.into_iter().map(|Reverse((v, Reverse(i)))| (v.0, i)).collect();
+    out.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    out.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Total-order wrapper so NaN logits sort below everything instead of
+/// poisoning comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ordered(f32);
+
+fn ordered(v: f32) -> Ordered {
+    Ordered(if v.is_nan() { f32::NEG_INFINITY } else { v })
+}
+
+impl Eq for Ordered {}
+
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN mapped to -inf")
+    }
+}
+
+/// The hardware FILTER semantics: every value strictly greater than
+/// `threshold` becomes a candidate, in index order (the order the comparator
+/// array emits them).
+pub fn threshold_filter(values: &[f32], threshold: f32) -> Vec<Candidate> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v > threshold)
+        .map(|(index, &score)| Candidate { index, score })
+        .collect()
+}
+
+/// Calibrates a threshold such that, over the provided validation score
+/// vectors, the *average* number of values above the threshold is at most
+/// `target_candidates`.
+///
+/// Returns the calibrated threshold. With an empty validation set the
+/// threshold is `f32::NEG_INFINITY` (select everything).
+pub fn calibrate_threshold(validation: &[Vec<f32>], target_candidates: usize) -> f32 {
+    if validation.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    // Pool the per-sample scores that *would* be the m-th largest; the
+    // average of those order statistics is a robust threshold.
+    let mut cut_scores = Vec::with_capacity(validation.len());
+    for scores in validation {
+        let idx = top_k_indices(scores, target_candidates);
+        if let Some(&last) = idx.last() {
+            cut_scores.push(scores[last]);
+        }
+    }
+    if cut_scores.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let sum: f64 = cut_scores.iter().map(|&x| x as f64).sum();
+    // Slightly below the mean cut so the average count lands near the target
+    // (strictly-greater filter semantics).
+    (sum / cut_scores.len() as f64) as f32 - f32::EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_basic() {
+        let v = [0.1, 5.0, -2.0, 3.0, 4.0];
+        assert_eq!(top_k_indices(&v, 3), vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn top_k_larger_than_len_returns_all_sorted() {
+        let v = [1.0, 3.0, 2.0];
+        assert_eq!(top_k_indices(&v, 10), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_zero_and_empty() {
+        assert!(top_k_indices(&[1.0], 0).is_empty());
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_ties_prefer_lower_index() {
+        let v = [2.0, 2.0, 1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_ignores_nan() {
+        let v = [f32::NAN, 1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn threshold_filter_strictly_greater() {
+        let c = threshold_filter(&[0.5, 1.0, 1.5], 1.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].index, 2);
+        assert_eq!(c[0].score, 1.5);
+    }
+
+    #[test]
+    fn threshold_filter_emits_index_order() {
+        let c = threshold_filter(&[5.0, -1.0, 7.0, 6.0], 0.0);
+        let idx: Vec<usize> = c.iter().map(|c| c.index).collect();
+        assert_eq!(idx, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn calibrated_threshold_hits_target_on_average() {
+        // 50 validation vectors of 100 scores each.
+        let validation: Vec<Vec<f32>> = (0..50)
+            .map(|s| (0..100).map(|i| ((i * 37 + s * 13) % 101) as f32 / 101.0).collect())
+            .collect();
+        let target = 10;
+        let t = calibrate_threshold(&validation, target);
+        let avg: f64 = validation
+            .iter()
+            .map(|v| threshold_filter(v, t).len() as f64)
+            .sum::<f64>()
+            / validation.len() as f64;
+        assert!((avg - target as f64).abs() <= 3.0, "avg candidates {avg}");
+    }
+
+    #[test]
+    fn calibrate_empty_selects_everything() {
+        assert_eq!(calibrate_threshold(&[], 5), f32::NEG_INFINITY);
+    }
+}

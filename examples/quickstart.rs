@@ -1,0 +1,68 @@
+//! Quickstart: build an approximate-screening classifier, check that its
+//! output matches full classification, and project the hardware speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use enmc::arch::system::Scheme;
+use enmc::pipeline::{Pipeline, PipelineConfig};
+
+fn main() -> Result<(), String> {
+    // 1. Build: synthesize an extreme classifier (8K categories), distill
+    //    the screening module from it, and wrap both behind one API.
+    let config = PipelineConfig {
+        categories: 8_192,
+        hidden: 128,
+        candidates: 160, // ~2% of categories computed exactly
+        train_queries: 128,
+        seed: 2021,
+        ..Default::default()
+    };
+    let mut pipeline = Pipeline::build(&config)?;
+    println!(
+        "built pipeline: {} categories, hidden {}, screener k={} at {}",
+        config.categories,
+        config.hidden,
+        pipeline.classifier().screener().reduced_dim(),
+        pipeline.classifier().screener().precision(),
+    );
+
+    // 2. Quality: classify 100 fresh queries approximately and compare
+    //    with exact full classification on the same queries.
+    let quality = pipeline.evaluate_quality(100);
+    println!("\nquality vs full classification over {} queries:", quality.queries);
+    println!("  top-1 agreement : {:.1}%", 100.0 * quality.top1_agreement);
+    println!("  precision@10    : {:.1}%", 100.0 * quality.precision_at_k);
+    println!("  perplexity ratio: {:.3} (1.0 = lossless)", quality.perplexity_ratio());
+
+    // 3. Performance: simulate the same job on the CPU baseline and on
+    //    the ENMC DIMM (cycle-level DRAM + rank-unit model).
+    let cpu = pipeline.simulate(Scheme::CpuFull, 1);
+    let cpu_screened = pipeline.simulate(Scheme::CpuScreened, 1);
+    let enmc = pipeline.simulate_enmc();
+    println!("\nprojected latency per query batch:");
+    println!("  CPU, full classification : {:>10.1} us", cpu.ns / 1e3);
+    println!("  CPU + screening          : {:>10.1} us", cpu_screened.ns / 1e3);
+    println!("  ENMC DIMM                : {:>10.1} us", enmc.ns / 1e3);
+    println!("\nspeedups over CPU-full:");
+    println!("  screening alone: {:.1}x", enmc_speedup(&cpu, &cpu_screened));
+    println!("  ENMC co-design : {:.1}x", enmc_speedup(&cpu, &enmc));
+    if let Some(e) = &enmc.energy {
+        println!(
+            "\nENMC energy: {:.2} uJ (static {:.0}%, access {:.0}%, logic {:.0}%)",
+            e.total_nj() / 1e3,
+            100.0 * e.dram_static_nj / e.total_nj(),
+            100.0 * e.dram_access_nj / e.total_nj(),
+            100.0 * e.logic_nj / e.total_nj()
+        );
+    }
+    Ok(())
+}
+
+fn enmc_speedup(
+    baseline: &enmc::arch::system::SchemeResult,
+    fast: &enmc::arch::system::SchemeResult,
+) -> f64 {
+    fast.speedup_over(baseline)
+}

@@ -1,0 +1,87 @@
+//! Recommendation scenario (the paper's Amazon-670K workload): multi-label
+//! top-k product retrieval with the hardware FILTER path — a threshold
+//! calibrated on a validation set instead of exact top-m search.
+//!
+//! ```sh
+//! cargo run --release --example recommendation
+//! ```
+
+use enmc::model::synth::{SynthesisConfig, SyntheticClassifier};
+use enmc::screen::infer::{ApproxClassifier, SelectionPolicy};
+use enmc::screen::screener::{Screener, ScreenerConfig};
+use enmc::screen::train::fit_least_squares;
+use enmc::tensor::quant::Precision;
+use enmc::tensor::select::{calibrate_threshold, top_k_indices};
+
+fn main() -> Result<(), String> {
+    // An Amazon-670K-like catalogue slice: many categories, flat
+    // popularity, broad cluster structure.
+    let catalogue = 8_000;
+    let hidden = 160;
+    let synth = SyntheticClassifier::generate(&SynthesisConfig {
+        categories: catalogue,
+        hidden,
+        clusters: 96,
+        row_noise: 0.5,
+        zipf_exponent: 0.9,
+        bias_scale: 1.0,
+        query_signal: 1.9,
+        seed: 670,
+    })?;
+
+    let cfg = ScreenerConfig { scale: 0.25, precision: Precision::Int4, per_row_scales: false, seed: 5 };
+    let mut screener = Screener::new(catalogue, hidden, &cfg).map_err(|e| e.to_string())?;
+    let train: Vec<_> =
+        synth.sample_queries_seeded(256, 42).into_iter().map(|q| q.hidden).collect();
+    fit_least_squares(&mut screener, synth.weights(), synth.bias(), &train, 1e-4);
+
+    // Calibrate the FILTER threshold on a held-out validation set so the
+    // comparator array admits ~200 candidates per query (paper §4.2: "the
+    // threshold value can be tuned on validation sets").
+    let mut calib_screener = screener.clone();
+    let validation: Vec<Vec<f32>> = synth
+        .sample_queries_seeded(64, 4242)
+        .iter()
+        .map(|q| calib_screener.screen(&q.hidden).into_inner())
+        .collect();
+    let target_candidates = 200;
+    let threshold = calibrate_threshold(&validation, target_candidates);
+    println!("calibrated FILTER threshold: {threshold:.4} (target {target_candidates} candidates)");
+
+    let mut clf = ApproxClassifier::new(
+        synth.weights().clone(),
+        synth.bias().clone(),
+        screener,
+        SelectionPolicy::Threshold(threshold),
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Serve 50 users: retrieve top-10 products, score against the exact
+    // classifier's top-10.
+    let users = synth.sample_queries_seeded(50, 999);
+    let mut p_at_10 = 0.0;
+    let mut candidate_total = 0usize;
+    for user in &users {
+        let exact = synth.full_logits(&user.hidden);
+        let out = clf.classify(&user.hidden);
+        candidate_total += out.candidates.len();
+        let want: std::collections::HashSet<usize> =
+            top_k_indices(exact.as_slice(), 10).into_iter().collect();
+        let got = top_k_indices(out.logits.as_slice(), 10);
+        p_at_10 += got.iter().filter(|i| want.contains(i)).count() as f64 / 10.0;
+    }
+    let n = users.len() as f64;
+    println!("\nserved {} users:", users.len());
+    println!("  precision@10 vs exact retrieval: {:.1}%", 100.0 * p_at_10 / n);
+    println!(
+        "  mean candidates admitted by FILTER: {:.0} of {} ({:.2}%)",
+        candidate_total as f64 / n,
+        catalogue,
+        100.0 * candidate_total as f64 / n / catalogue as f64
+    );
+    println!(
+        "  exact-compute reduction vs full classification: {:.0}x",
+        catalogue as f64 / (candidate_total as f64 / n)
+    );
+    Ok(())
+}

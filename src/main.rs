@@ -1,0 +1,198 @@
+//! `enmc` — command-line front door to the reproduction.
+//!
+//! ```text
+//! enmc demo                          quickstart pipeline + projections
+//! enmc simulate [options]            simulate one classification job
+//!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --scheme <name>                cpu|cpu-as|nda|chameleon|tensordimm|enmc
+//!     --batch <n>                    batch size (default 1)
+//!     --candidates <fraction>        exact fraction (default per workload)
+//! enmc asm <file>                    assemble an ENMC program, print frames
+//! enmc workloads                     print the Table 2 workloads
+//! ```
+
+use enmc::arch::baseline::BaselineKind;
+use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc::isa::Program;
+use enmc::model::workloads::{Workload, WorkloadId};
+use enmc::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("workloads") => cmd_workloads(),
+        _ => {
+            eprint!("{}", USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+enmc — ENMC (MICRO'21) reproduction
+
+usage:
+  enmc demo                       run the quickstart pipeline
+  enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
+  enmc asm <file.s>               assemble and dump PRECHARGE frames
+  enmc workloads                  list the Table 2 workloads
+
+schemes: cpu, cpu-as, nda, chameleon, tensordimm, tensordimm-large, enmc
+workloads: lstm, transformer, gnmt, xmlcnn, s1m, s10m, s100m
+";
+
+fn cmd_demo() -> i32 {
+    let mut pipeline = match Pipeline::build(&PipelineConfig::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let q = pipeline.evaluate_quality(60);
+    println!("quality vs exact classification over {} queries:", q.queries);
+    println!("  top-1 agreement {:.1}%, P@10 {:.1}%, ppl ratio {:.3}",
+        100.0 * q.top1_agreement, 100.0 * q.precision_at_k, q.perplexity_ratio());
+    let cpu = pipeline.simulate(Scheme::CpuFull, 1);
+    let enmc = pipeline.simulate_enmc();
+    println!("latency: CPU {:.1} us -> ENMC {:.2} us ({:.1}x)",
+        cpu.ns / 1e3, enmc.ns / 1e3, cpu.ns / enmc.ns);
+    0
+}
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    let id = match s.to_ascii_lowercase().as_str() {
+        "lstm" => WorkloadId::LstmW33K,
+        "transformer" => WorkloadId::TransformerW268K,
+        "gnmt" => WorkloadId::GnmtE32K,
+        "xmlcnn" => WorkloadId::Xmlcnn670K,
+        "s1m" => WorkloadId::S1M,
+        "s10m" => WorkloadId::S10M,
+        "s100m" => WorkloadId::S100M,
+        _ => return None,
+    };
+    Some(id.workload())
+}
+
+fn parse_scheme(s: &str) -> Option<Scheme> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "cpu" => Scheme::CpuFull,
+        "cpu-as" => Scheme::CpuScreened,
+        "nda" => Scheme::Baseline(BaselineKind::Nda),
+        "chameleon" => Scheme::Baseline(BaselineKind::Chameleon),
+        "tensordimm" => Scheme::Baseline(BaselineKind::TensorDimm),
+        "tensordimm-large" => Scheme::Baseline(BaselineKind::TensorDimmLarge),
+        "enmc" => Scheme::Enmc,
+        _ => return None,
+    })
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_simulate(args: &[String]) -> i32 {
+    let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("transformer")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    let scheme = match parse_scheme(flag_value(args, "--scheme").unwrap_or("enmc")) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown scheme; try: cpu cpu-as nda chameleon tensordimm enmc");
+            return 2;
+        }
+    };
+    let batch: usize = flag_value(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let frac: f64 =
+        flag_value(args, "--candidates").and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    if batch == 0 || !(0.0..=1.0).contains(&frac) {
+        eprintln!("--batch must be >= 1 and --candidates in [0, 1]");
+        return 2;
+    }
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch,
+        candidates: ((workload.categories as f64) * frac).round() as usize,
+    };
+    let sys = SystemModel::table3();
+    println!(
+        "simulating {} (l={}, d={}) batch {batch}, {} exact candidates",
+        workload.abbr, workload.categories, workload.hidden, job.candidates
+    );
+    let result = sys.run(&job, scheme);
+    let cpu = sys.run(&job, Scheme::CpuFull);
+    println!("  latency : {:.2} us", result.ns / 1e3);
+    println!("  speedup : {:.1}x vs CPU full classification", result.speedup_over(&cpu));
+    if let Some(e) = &result.energy {
+        println!(
+            "  energy  : {:.2} uJ (static {:.0}% / access {:.0}% / logic {:.0}%)",
+            e.total_nj() / 1e3,
+            100.0 * e.dram_static_nj / e.total_nj(),
+            100.0 * e.dram_access_nj / e.total_nj(),
+            100.0 * e.logic_nj / e.total_nj()
+        );
+    }
+    if let Some(r) = &result.rank_report {
+        println!(
+            "  per-rank: {} DRAM cycles, row-hit {:.1}%, bus util {:.1}%",
+            r.dram_cycles,
+            100.0 * r.dram.row_hit_rate(),
+            100.0 * r.dram.bus_utilization()
+        );
+    }
+    0
+}
+
+fn cmd_asm(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: enmc asm <file.s>");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match Program::parse(&text) {
+        Ok(program) => {
+            for inst in program.iter() {
+                let frame = inst.encode();
+                let data =
+                    frame.data.map(|d| format!(" DQ={d:#018x}")).unwrap_or_default();
+                println!("{:#06x}{data}  ; {}", frame.command, enmc::isa::asm::disassemble(inst));
+            }
+            println!("; {} instructions, {} wire bytes", program.len(), program.wire_bytes());
+            0
+        }
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_workloads() -> i32 {
+    for id in WorkloadId::table2().iter().chain(WorkloadId::scaling().iter()) {
+        let w = id.workload();
+        println!(
+            "{:<18} l={:<10} d={:<5} classifier {:.2} GiB",
+            w.abbr,
+            w.categories,
+            w.hidden,
+            w.classifier_bytes() as f64 / (1u64 << 30) as f64
+        );
+    }
+    0
+}

@@ -1,0 +1,194 @@
+//! High-level end-to-end pipeline: synthesize → distill → screen →
+//! simulate.
+//!
+//! This is the programmer-facing API of Fig. 9(a): build an `ENMC`-backed
+//! classifier once, then classify queries and/or ask for hardware
+//! performance projections. The heavy lifting lives in the sub-crates;
+//! this module wires them together the way the paper's evaluation does.
+
+use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, SystemModel};
+use enmc_model::quality::{QualityAccumulator, QualityReport};
+use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};
+use enmc_screen::infer::{ApproxClassifier, SelectionPolicy};
+use enmc_screen::screener::{Screener, ScreenerConfig};
+use enmc_screen::train::fit_least_squares;
+use enmc_tensor::quant::Precision;
+
+/// Configuration for a complete pipeline run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PipelineConfig {
+    /// Categories to materialize for the algorithm-level evaluation.
+    pub categories: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Screening parameter-reduction scale (paper default 0.25).
+    pub scale: f64,
+    /// Screening precision (paper default INT4).
+    pub precision: Precision,
+    /// Candidates computed exactly per query.
+    pub candidates: usize,
+    /// Queries used to distill the screener.
+    pub train_queries: usize,
+    /// RNG seed for everything.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            categories: 4000,
+            hidden: 128,
+            scale: 0.25,
+            precision: Precision::Int4,
+            candidates: 80,
+            train_queries: 128,
+            seed: 0xe2c,
+        }
+    }
+}
+
+/// A built pipeline: synthetic workload + trained approximate classifier +
+/// hardware models.
+#[derive(Debug)]
+pub struct Pipeline {
+    synth: SyntheticClassifier,
+    classifier: ApproxClassifier,
+    system: SystemModel,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Synthesizes the workload, distills the screening module (closed-form
+    /// least squares) and assembles the approximate classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the configuration is degenerate (zero
+    /// dimensions, more clusters than categories, …).
+    pub fn build(config: &PipelineConfig) -> Result<Self, String> {
+        let synth_cfg = SynthesisConfig {
+            categories: config.categories,
+            hidden: config.hidden,
+            clusters: 32.min(config.categories),
+            row_noise: 0.4,
+            zipf_exponent: 1.0,
+            bias_scale: 1.0,
+            query_signal: 2.2,
+            seed: config.seed,
+        };
+        let synth = SyntheticClassifier::generate(&synth_cfg)?;
+        let screener_cfg = ScreenerConfig {
+            scale: config.scale,
+            precision: config.precision,
+            per_row_scales: false, seed: config.seed ^ 0xabcd,
+        };
+        let mut screener = Screener::new(config.categories, config.hidden, &screener_cfg)
+            .map_err(|e| e.to_string())?;
+        let train: Vec<_> = synth
+            .sample_queries_seeded(config.train_queries, config.seed ^ 0x7ea1)
+            .into_iter()
+            .map(|q| q.hidden)
+            .collect();
+        fit_least_squares(&mut screener, synth.weights(), synth.bias(), &train, 1e-4);
+        let classifier = ApproxClassifier::new(
+            synth.weights().clone(),
+            synth.bias().clone(),
+            screener,
+            SelectionPolicy::TopM(config.candidates),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(Pipeline { synth, classifier, system: SystemModel::table3(), config: config.clone() })
+    }
+
+    /// The synthetic workload.
+    pub fn synth(&self) -> &SyntheticClassifier {
+        &self.synth
+    }
+
+    /// The approximate classifier (screener + full weights).
+    pub fn classifier(&self) -> &ApproxClassifier {
+        &self.classifier
+    }
+
+    /// The configuration this pipeline was built from.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Classifies `n` fresh queries approximately and scores them against
+    /// the exact classifier (top-1 agreement, precision@10, perplexity).
+    pub fn evaluate_quality(&mut self, n: usize) -> QualityReport {
+        let queries = self.synth.sample_queries_seeded(n, self.config.seed ^ 0x5ca1e);
+        let mut acc = QualityAccumulator::new(10);
+        for q in &queries {
+            let full = self.synth.full_logits(&q.hidden);
+            let out = self.classifier.classify(&q.hidden);
+            acc.add(full.as_slice(), out.logits.as_slice(), q.target);
+        }
+        acc.finish()
+    }
+
+    /// The hardware-level job this pipeline's shape corresponds to.
+    pub fn job(&self, batch: usize) -> ClassificationJob {
+        ClassificationJob {
+            categories: self.config.categories,
+            hidden: self.config.hidden,
+            reduced: self.classifier.screener().reduced_dim(),
+            batch,
+            candidates: self.config.candidates,
+        }
+    }
+
+    /// Simulates the job on the ENMC architecture (batch 1).
+    pub fn simulate_enmc(&self) -> SchemeResult {
+        self.system.run(&self.job(1), Scheme::Enmc)
+    }
+
+    /// Simulates the job under any scheme.
+    pub fn simulate(&self, scheme: Scheme, batch: usize) -> SchemeResult {
+        self.system.run(&self.job(batch), scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate_small_pipeline() {
+        let mut p = Pipeline::build(&PipelineConfig {
+            categories: 1000,
+            hidden: 48,
+            candidates: 30,
+            train_queries: 64,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        let q = p.evaluate_quality(40);
+        assert!(q.top1_agreement > 0.75, "agreement {}", q.top1_agreement);
+        assert!(q.perplexity_ratio() < 1.5, "ppl ratio {}", q.perplexity_ratio());
+    }
+
+    #[test]
+    fn enmc_simulation_is_faster_than_cpu() {
+        let p = Pipeline::build(&PipelineConfig {
+            categories: 8192,
+            hidden: 128,
+            candidates: 128,
+            train_queries: 16,
+            seed: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let cpu = p.simulate(Scheme::CpuFull, 1);
+        let enmc = p.simulate_enmc();
+        assert!(enmc.ns < cpu.ns);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_config() {
+        let bad = PipelineConfig { categories: 0, ..Default::default() };
+        assert!(Pipeline::build(&bad).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration tests for the compiler → ISA → wire-format path.
+
+use enmc::compiler::{
+    estimate_candidate_program, lower_full_classification, lower_screening, MemoryLayout,
+    TaskDescriptor, Tiling,
+};
+use enmc::isa::{Instruction, Program};
+
+fn task() -> (TaskDescriptor, MemoryLayout) {
+    let task = TaskDescriptor::paper_default(4096, 512, 2);
+    let layout = MemoryLayout::for_task(&task);
+    (task, layout)
+}
+
+#[test]
+fn compiled_program_round_trips_the_wire_format() {
+    let (task, layout) = task();
+    let program = lower_screening(&task, &layout, 256).expect("compiles");
+    for inst in program.iter() {
+        let frame = inst.encode();
+        assert!(frame.is_valid_width(), "{inst:?} exceeds 13 bits");
+        assert_eq!(Instruction::decode(&frame).expect("decodes"), *inst);
+    }
+}
+
+#[test]
+fn compiled_program_round_trips_assembly() {
+    let (task, layout) = task();
+    let program = lower_screening(&task, &layout, 256).expect("compiles");
+    let text = program.disassemble();
+    let back = Program::parse(&text).expect("parses");
+    assert_eq!(back, program);
+}
+
+#[test]
+fn instruction_counts_match_tiling() {
+    let (task, layout) = task();
+    let tiling = Tiling::new(&task, 256).expect("tiles");
+    let program = lower_screening(&task, &layout, 256).expect("compiles");
+    let weight_loads = program
+        .iter()
+        .filter(|i| matches!(i, Instruction::Ldr { buffer, .. } if *buffer == enmc::isa::BufferId::WeightInt4))
+        .count();
+    assert_eq!(weight_loads, tiling.screen_tiles * task.batch);
+}
+
+#[test]
+fn screening_wire_traffic_is_negligible_vs_data_traffic() {
+    // The instruction stream must not meaningfully compete with weight
+    // traffic on the channel (the design premise of the PRECHARGE hijack).
+    let (task, layout) = task();
+    let program = lower_screening(&task, &layout, 256).expect("compiles");
+    let wire = program.wire_bytes();
+    let data = task.screen_weight_bytes();
+    assert!(wire * 10 < data, "wire {wire} vs data {data}");
+}
+
+#[test]
+fn candidate_programs_cover_each_row_exactly() {
+    let (task, layout) = task();
+    let tiling = Tiling::new(&task, 256).expect("tiles");
+    for cand in [0usize, 1, 4095] {
+        let p = estimate_candidate_program(&task, &layout, 256, cand).expect("compiles");
+        let loads = p.iter().filter(|i| matches!(i, Instruction::Ldr { .. })).count();
+        assert_eq!(loads, tiling.tiles_per_row);
+        let macs = p.iter().filter(|i| matches!(i, Instruction::MulAddFp32 { .. })).count();
+        assert_eq!(macs, tiling.tiles_per_row);
+    }
+}
+
+#[test]
+fn naive_full_program_dwarfs_screening_program() {
+    let (task, layout) = task();
+    let screen = lower_screening(&task, &layout, 256).expect("compiles");
+    let full = lower_full_classification(&task, &layout, 256, 512).expect("compiles");
+    // The paper's premise: naive NMP must stream every FP32 row.
+    assert!(full.len() > 10 * screen.len(), "{} vs {}", full.len(), screen.len());
+}

@@ -1,0 +1,95 @@
+//! Integration tests spanning the whole stack: workload synthesis →
+//! screening → candidate selection → architecture simulation.
+
+use enmc::arch::baseline::BaselineKind;
+use enmc::arch::system::Scheme;
+use enmc::pipeline::{Pipeline, PipelineConfig};
+use enmc::tensor::quant::Precision;
+
+fn config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        categories: 4096,
+        hidden: 96,
+        scale: 0.25,
+        precision: Precision::Int4,
+        candidates: 120,
+        train_queries: 128,
+        seed,
+    }
+}
+
+#[test]
+fn quality_survives_the_full_stack() {
+    let mut p = Pipeline::build(&config(11)).expect("valid config");
+    let q = p.evaluate_quality(80);
+    assert!(q.top1_agreement > 0.85, "top-1 agreement {}", q.top1_agreement);
+    assert!(q.precision_at_k > 0.8, "P@10 {}", q.precision_at_k);
+    assert!(q.perplexity_ratio() < 1.3, "ppl ratio {}", q.perplexity_ratio());
+}
+
+#[test]
+fn scheme_ordering_matches_paper() {
+    // CPU-full < CPU+AS < NMP baselines < ENMC, in performance.
+    let p = Pipeline::build(&config(12)).expect("valid config");
+    let cpu_full = p.simulate(Scheme::CpuFull, 1);
+    let cpu_as = p.simulate(Scheme::CpuScreened, 1);
+    let td = p.simulate(Scheme::Baseline(BaselineKind::TensorDimm), 1);
+    let enmc = p.simulate(Scheme::Enmc, 1);
+    assert!(cpu_as.ns < cpu_full.ns, "screening must beat full on CPU");
+    assert!(enmc.ns < td.ns, "ENMC must beat TensorDIMM");
+    assert!(enmc.ns < cpu_as.ns, "ENMC must beat the screened CPU");
+}
+
+#[test]
+fn more_candidates_cost_more_but_improve_quality() {
+    let mut few = Pipeline::build(&PipelineConfig { candidates: 20, ..config(13) })
+        .expect("valid config");
+    let mut many = Pipeline::build(&PipelineConfig { candidates: 400, ..config(13) })
+        .expect("valid config");
+    let q_few = few.evaluate_quality(60);
+    let q_many = many.evaluate_quality(60);
+    assert!(q_many.precision_at_k >= q_few.precision_at_k);
+    let t_few = few.simulate_enmc();
+    let t_many = many.simulate_enmc();
+    assert!(t_many.ns > t_few.ns, "more exact rows must take longer");
+}
+
+#[test]
+fn quantized_screening_matches_fp32_screening_quality() {
+    let mut int4 = Pipeline::build(&config(14)).expect("valid config");
+    let mut fp32 = Pipeline::build(&PipelineConfig {
+        precision: Precision::Fp32,
+        ..config(14)
+    })
+    .expect("valid config");
+    let qi = int4.evaluate_quality(60);
+    let qf = fp32.evaluate_quality(60);
+    // Fig. 12(b): INT4 tracks FP32 closely.
+    assert!(
+        (qi.top1_agreement - qf.top1_agreement).abs() < 0.08,
+        "INT4 {} vs FP32 {}",
+        qi.top1_agreement,
+        qf.top1_agreement
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let mut a = Pipeline::build(&config(15)).expect("valid config");
+    let mut b = Pipeline::build(&config(15)).expect("valid config");
+    let qa = a.evaluate_quality(30);
+    let qb = b.evaluate_quality(30);
+    assert_eq!(qa, qb);
+    let sa = a.simulate_enmc();
+    let sb = b.simulate_enmc();
+    assert_eq!(sa.ns, sb.ns);
+}
+
+#[test]
+fn batch_sizes_scale_sanely() {
+    let p = Pipeline::build(&config(16)).expect("valid config");
+    let b1 = p.simulate(Scheme::Enmc, 1);
+    let b4 = p.simulate(Scheme::Enmc, 4);
+    assert!(b4.ns > b1.ns, "batch 4 cannot be free");
+    assert!(b4.ns < 4.5 * b1.ns, "batch 4 should amortize the weight stream");
+}

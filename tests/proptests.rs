@@ -1,0 +1,171 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the tensor, ISA and DRAM crates.
+
+use enmc::dram::{AddressMapping, DramConfig};
+use enmc::isa::{BufferId, Instruction, RegId};
+use enmc::tensor::activation::{softmax, taylor_exp};
+use enmc::tensor::quant::{Precision, QuantVector};
+use enmc::tensor::select::{threshold_filter, top_k_indices};
+use enmc::tensor::{Matrix, Vector};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1e4f32..1e4).prop_filter("finite", |x| x.is_finite())
+}
+
+fn buffer_strategy() -> impl Strategy<Value = BufferId> {
+    (0u8..8).prop_map(|c| BufferId::from_code(c).expect("in range"))
+}
+
+fn reg_strategy() -> impl Strategy<Value = RegId> {
+    (0u8..15).prop_map(|c| RegId::from_code(c).expect("in range"))
+}
+
+fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (reg_strategy(), any::<u64>()).prop_map(|(reg, data)| Instruction::Init { reg, data }),
+        reg_strategy().prop_map(|reg| Instruction::Query { reg }),
+        (buffer_strategy(), any::<u64>())
+            .prop_map(|(buffer, addr)| Instruction::Ldr { buffer, addr }),
+        (buffer_strategy(), any::<u64>())
+            .prop_map(|(buffer, addr)| Instruction::Str { buffer, addr }),
+        (buffer_strategy(), buffer_strategy())
+            .prop_map(|(dst, src)| Instruction::Move { dst, src }),
+        (buffer_strategy(), buffer_strategy())
+            .prop_map(|(a, b)| Instruction::MulAddInt4 { a, b }),
+        (buffer_strategy(), buffer_strategy())
+            .prop_map(|(a, b)| Instruction::MulAddFp32 { a, b }),
+        buffer_strategy().prop_map(|buffer| Instruction::Filter { buffer }),
+        Just(Instruction::Softmax),
+        Just(Instruction::Sigmoid),
+        Just(Instruction::Barrier),
+        Just(Instruction::Nop),
+        Just(Instruction::Return),
+        Just(Instruction::Clr),
+    ]
+}
+
+proptest! {
+    // ---- tensor ---------------------------------------------------------
+
+    #[test]
+    fn quantization_error_bounded_by_half_step(
+        values in prop::collection::vec(finite_f32(), 1..64),
+        precision in prop_oneof![Just(Precision::Int8), Just(Precision::Int4)],
+    ) {
+        let v = Vector::from(values.clone());
+        let q = QuantVector::quantize(&v, precision).expect("nonempty");
+        let back = q.dequantize();
+        for (orig, rec) in values.iter().zip(back.as_slice()) {
+            prop_assert!((orig - rec).abs() <= q.scale() * 0.5 + 1e-3,
+                "{orig} vs {rec} (scale {})", q.scale());
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(values in prop::collection::vec(finite_f32(), 1..64)) {
+        let p = softmax(&values);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(values in prop::collection::vec(-50.0f32..50.0, 2..64)) {
+        let p = softmax(&values);
+        let am_in = top_k_indices(&values, 1)[0];
+        let am_out = top_k_indices(&p, 1)[0];
+        // Ties can legitimately flip; only check when the max is unique.
+        let max = values[am_in];
+        if values.iter().filter(|&&v| v == max).count() == 1 {
+            prop_assert_eq!(am_in, am_out);
+        }
+    }
+
+    #[test]
+    fn taylor_exp_tracks_exp(x in -30.0f32..30.0) {
+        let exact = x.exp();
+        let approx = taylor_exp(x);
+        prop_assert!(((approx - exact) / exact).abs() < 1e-3, "x={x}");
+    }
+
+    #[test]
+    fn top_k_matches_sorting(values in prop::collection::vec(finite_f32(), 0..128), k in 0usize..130) {
+        let got = top_k_indices(&values, k);
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite").then(a.cmp(&b)));
+        order.truncate(k);
+        prop_assert_eq!(got, order);
+    }
+
+    #[test]
+    fn threshold_filter_is_exact(values in prop::collection::vec(finite_f32(), 0..128), t in finite_f32()) {
+        let got = threshold_filter(&values, t);
+        for c in &got {
+            prop_assert!(values[c.index] > t);
+            prop_assert_eq!(c.score, values[c.index]);
+        }
+        let expected = values.iter().filter(|&&v| v > t).count();
+        prop_assert_eq!(got.len(), expected);
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        rows in 1usize..8, cols in 1usize..8,
+        s in -3.0f32..3.0,
+        seed in any::<u64>(),
+    ) {
+        // W(a + s·b) == W a + s·(W b), up to f32 tolerance.
+        let mut lcg = seed;
+        let mut next = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((lcg >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        let mut w = Matrix::zeros(rows, cols);
+        for v in w.as_mut_slice() { *v = next(); }
+        let a: Vector = (0..cols).map(|_| next()).collect();
+        let b: Vector = (0..cols).map(|_| next()).collect();
+        let mut combo = a.clone();
+        combo.axpy(s, &b);
+        let left = w.matvec(&combo);
+        let mut right = w.matvec(&a);
+        right.axpy(s, &w.matvec(&b));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    // ---- ISA ------------------------------------------------------------
+
+    #[test]
+    fn every_generated_instruction_roundtrips(inst in instruction_strategy()) {
+        let frame = inst.encode();
+        prop_assert!(frame.is_valid_width());
+        prop_assert_eq!(Instruction::decode(&frame).expect("decodes"), inst);
+    }
+
+    #[test]
+    fn assembly_roundtrips(inst in instruction_strategy()) {
+        let text = enmc::isa::asm::disassemble(&inst);
+        let back = enmc::isa::asm::assemble_line(&text).expect("parses");
+        prop_assert_eq!(back, inst);
+    }
+
+    // ---- DRAM -----------------------------------------------------------
+
+    #[test]
+    fn address_mapping_roundtrips(addr in 0u64..(1u64 << 39), host in any::<bool>()) {
+        let org = DramConfig::enmc_table3().organization;
+        let mapping = if host { AddressMapping::RoBaRaCoCh } else { AddressMapping::RoRaBaCoBg };
+        // The host mapping spans all channels (512 GiB); the on-DIMM ENMC
+        // mapping addresses a single channel's ranks (64 GiB).
+        let space = if host { org.total_bytes() } else { org.channel_bytes() };
+        let addr = (addr % space) & !63; // in range, burst aligned
+        let coord = mapping.decode(addr, &org);
+        prop_assert_eq!(mapping.encode(&coord, &org), addr);
+        prop_assert!(coord.channel < org.channels);
+        prop_assert!(coord.rank < org.ranks);
+        prop_assert!(coord.row < org.rows);
+        prop_assert!(coord.column < org.bursts_per_row());
+    }
+}

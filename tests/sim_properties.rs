@@ -1,0 +1,102 @@
+//! Consistency properties of the timing simulators: monotonicity and
+//! conservation laws that any sane performance model must satisfy.
+
+use enmc::arch::config::EnmcConfig;
+use enmc::arch::unit::{RankJob, RankUnit, UnitParams};
+use enmc::dram::{DramConfig, DramSystem, MemRequest};
+use proptest::prelude::*;
+
+fn job(l: usize, batch: usize, m: usize) -> RankJob {
+    RankJob {
+        categories: l,
+        hidden: 256,
+        reduced: 64,
+        batch,
+        candidates_per_item: vec![m; batch],
+    }
+}
+
+fn enmc() -> RankUnit {
+    RankUnit::new(UnitParams::enmc(&EnmcConfig::table3()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// More categories never make the job faster.
+    #[test]
+    fn cycles_monotone_in_categories(l in 256usize..2048, extra in 1usize..1024) {
+        let a = enmc().simulate(&job(l, 1, 8));
+        let b = enmc().simulate(&job(l + extra, 1, 8));
+        prop_assert!(b.dram_cycles >= a.dram_cycles, "{l}+{extra}: {} < {}", b.dram_cycles, a.dram_cycles);
+    }
+
+    /// More candidates never make the job faster.
+    #[test]
+    fn cycles_monotone_in_candidates(m in 0usize..64, extra in 1usize..64) {
+        let a = enmc().simulate(&job(1024, 1, m));
+        let b = enmc().simulate(&job(1024, 1, m + extra));
+        prop_assert!(b.dram_cycles >= a.dram_cycles);
+        prop_assert!(b.exact_bytes > a.exact_bytes);
+    }
+
+    /// Larger batches never make the job faster, and never more than
+    /// linearly slower.
+    #[test]
+    fn cycles_sane_in_batch(batch in 1usize..4) {
+        let a = enmc().simulate(&job(1024, batch, 8));
+        let b = enmc().simulate(&job(1024, batch + 1, 8));
+        prop_assert!(b.dram_cycles >= a.dram_cycles);
+        let ratio = b.dram_cycles as f64 / a.dram_cycles as f64;
+        prop_assert!(ratio <= (batch + 1) as f64 / batch as f64 + 0.25, "ratio {ratio}");
+    }
+
+    /// DRAM stats conservation: every enqueued read completes exactly once
+    /// and bytes match 64 × reads.
+    #[test]
+    fn dram_conserves_requests(n in 1u64..512) {
+        let mut sys = DramSystem::new(DramConfig::enmc_single_rank());
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        while done < n {
+            while sent < n && sys.enqueue(MemRequest::read(sent * 64)).is_some() {
+                sent += 1;
+            }
+            sys.tick();
+            done += sys.drain_completions().len() as u64;
+            prop_assert!(sys.cycle() < 10_000_000, "stalled");
+        }
+        let stats = sys.stats();
+        prop_assert_eq!(stats.reads, n);
+        prop_assert_eq!(stats.bytes(), n * 64);
+        prop_assert!(sys.is_idle());
+    }
+
+    /// Latency sanity: no read completes faster than the pure pipeline
+    /// latency, and the first read pays exactly the cold-start cost.
+    #[test]
+    fn dram_latency_bounds(addr in 0u64..(1u64 << 30)) {
+        let cfg = DramConfig::enmc_single_rank();
+        let t = cfg.timing;
+        let mut sys = DramSystem::new(cfg);
+        sys.enqueue(MemRequest::read(addr & !63)).expect("queue empty");
+        let done = sys.run_until_idle(100_000);
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(done[0].latency(), t.trcd + t.cl + t.tbl);
+    }
+}
+
+#[test]
+fn screener_busy_bounded_by_total() {
+    let r = enmc().simulate(&job(2048, 2, 16));
+    assert!(r.screener_busy <= r.dram_cycles);
+    assert!(r.executor_busy <= r.dram_cycles);
+}
+
+#[test]
+fn traffic_accounting_adds_up() {
+    let r = enmc().simulate(&job(1024, 1, 16));
+    // Every byte the unit requested is visible in the DRAM stats.
+    let requested = r.screen_bytes + r.exact_bytes + r.spill_bytes;
+    assert_eq!(r.dram.bytes(), requested, "{:?}", r);
+}
