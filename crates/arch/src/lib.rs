@@ -14,7 +14,9 @@
 //!   baselines (NDA, Chameleon, TensorDIMM, TensorDIMM-Large);
 //! * [`mod@unit`] — the cycle-level model of one rank's ENMC logic: Screener
 //!   and Executor pipelines running in parallel against the rank's DRAM
-//!   (dual-module architecture, §5.1–5.2);
+//!   (dual-module architecture, §5.1–5.2); `simulate_traced` additionally
+//!   emits per-stage `enmc_obs` spans and DRAM command events for the
+//!   Chrome/Perfetto trace exporter;
 //! * [`baseline`] — the homogeneous-FP32 NMP model the paper compares
 //!   against, including the z̃ spill-to-DRAM behaviour that limited
 //!   buffers force (§7.2);

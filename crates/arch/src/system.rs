@@ -13,6 +13,7 @@ use crate::cpu::CpuModel;
 use crate::energy::{LogicEnergyModel, SystemEnergy};
 use crate::unit::{RankJob, RankUnit, UnitParams, UnitReport};
 use enmc_dram::energy::EnergyModel;
+use enmc_obs::trace::TraceBuffer;
 
 /// A classification job at system scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -125,6 +126,18 @@ impl SystemModel {
 
     /// Runs `job` under `scheme`.
     pub fn run(&self, job: &ClassificationJob, scheme: Scheme) -> SchemeResult {
+        self.run_traced(job, scheme, None)
+    }
+
+    /// [`SystemModel::run`] with an optional trace collector for the
+    /// simulated schemes. One representative rank-unit is traced (they are
+    /// symmetric); the analytic CPU schemes emit nothing.
+    pub fn run_traced(
+        &self,
+        job: &ClassificationJob,
+        scheme: Scheme,
+        trace: Option<&mut TraceBuffer>,
+    ) -> SchemeResult {
         match scheme {
             Scheme::CpuFull => SchemeResult {
                 scheme,
@@ -147,7 +160,7 @@ impl SystemModel {
             },
             Scheme::Enmc => {
                 let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
-                let report = unit.simulate(&job.rank_slice(self.total_ranks));
+                let report = unit.simulate_traced(&job.rank_slice(self.total_ranks), trace);
                 let energy = SystemEnergy::from_rank(
                     &report,
                     self.total_ranks,
@@ -165,7 +178,7 @@ impl SystemModel {
                 let baseline = NmpBaseline::new(kind);
                 // "Large" variants deploy more rank-units per channel.
                 let units = kind.config().units_per_channel * 8;
-                let report = baseline.unit().simulate(&job.rank_slice(units));
+                let report = baseline.unit().simulate_traced(&job.rank_slice(units), trace);
                 let total_mw = match kind {
                     BaselineKind::Nda => 293.6,
                     BaselineKind::Chameleon => 249.0,
@@ -299,6 +312,28 @@ mod tests {
         // But the screening stream dominates, so even a 2x-hot rank costs
         // far less than 2x end-to-end.
         assert!(skewed.ns < 1.8 * uniform.ns, "{} vs {}", skewed.ns, uniform.ns);
+    }
+
+    #[test]
+    fn run_traced_collects_events_for_simulated_schemes() {
+        let sys = SystemModel::table3();
+        let j = ClassificationJob {
+            categories: 32_768,
+            hidden: 128,
+            reduced: 32,
+            batch: 1,
+            candidates: 256,
+        };
+        let mut tb = TraceBuffer::unbounded();
+        let traced = sys.run_traced(&j, Scheme::Enmc, Some(&mut tb));
+        assert!(!tb.is_empty(), "ENMC run must emit trace events");
+        // Tracing must not change the answer.
+        let plain = sys.run(&j, Scheme::Enmc);
+        assert_eq!(plain.ns, traced.ns);
+        // Analytic CPU schemes have nothing to trace.
+        let mut cpu_tb = TraceBuffer::unbounded();
+        sys.run_traced(&j, Scheme::CpuFull, Some(&mut cpu_tb));
+        assert!(cpu_tb.is_empty());
     }
 
     #[test]

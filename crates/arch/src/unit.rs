@@ -22,7 +22,15 @@
 
 use crate::config::EnmcConfig;
 use enmc_dram::{AddressMapping, DramConfig, DramStats, DramSystem, MemRequest, RequestId};
+use enmc_obs::trace::{
+    TraceBuffer, TraceEvent, TraceSink, CAT_PIPELINE, TID_EXECUTOR, TID_PHASES, TID_SCREENER,
+    TID_SFU,
+};
 use std::collections::{HashMap, VecDeque};
+
+/// Ring capacity per DRAM channel when a traced simulation turns the
+/// controller's command trace on.
+const DRAM_TRACE_CAPACITY: usize = 1 << 20;
 
 /// What one rank has to do for one classification job.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -116,6 +124,32 @@ pub struct UnitReport {
     pub exact_bytes: u64,
     /// Bytes of spill traffic (baselines only).
     pub spill_bytes: u64,
+    /// DRAM-clock cycle at which the Screener retired its last tile.
+    pub screen_done_cycle: u64,
+    /// DRAM-clock cycle at which the Executor finished the last candidate
+    /// (and, for spill baselines, the last compute-filter).
+    pub exec_done_cycle: u64,
+}
+
+impl UnitReport {
+    /// Records the unit's counters (plus its DRAM statistics via
+    /// [`DramStats::record_into`]) into a metrics registry under the
+    /// `unit.` / `dram.` prefixes.
+    pub fn record_into(
+        &self,
+        registry: &mut enmc_obs::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        registry.counter_add("unit.dram_cycles", labels, self.dram_cycles);
+        registry.counter_add("unit.screener_busy_cycles", labels, self.screener_busy);
+        registry.counter_add("unit.executor_busy_cycles", labels, self.executor_busy);
+        registry.counter_add("unit.sfu_cycles", labels, self.sfu_cycles);
+        registry.counter_add("unit.screen_bytes", labels, self.screen_bytes);
+        registry.counter_add("unit.exact_bytes", labels, self.exact_bytes);
+        registry.counter_add("unit.spill_bytes", labels, self.spill_bytes);
+        registry.gauge_set("unit.ns", labels, self.ns);
+        self.dram.record_into(registry, labels);
+    }
 }
 
 /// One rank's near-memory engine.
@@ -197,11 +231,31 @@ impl RankUnit {
     /// Panics if `job.candidates_per_item.len() != job.batch` or any
     /// dimension is zero.
     pub fn simulate(&self, job: &RankJob) -> UnitReport {
+        self.simulate_traced(job, None)
+    }
+
+    /// [`RankUnit::simulate`] with an optional trace collector.
+    ///
+    /// When `trace` is `Some`, the run emits pipeline-stage spans
+    /// (`screen_tile`, `exec_row`, `compute_filter`, `sfu` on the
+    /// [`TID_SCREENER`] / [`TID_EXECUTOR`] / [`TID_SFU`] tracks), phase
+    /// summary spans (`screen` / `gather` / `activation` on
+    /// [`TID_PHASES`]), and the DRAM controller's per-command events.
+    /// Passing `None` is exactly [`RankUnit::simulate`]: the hot loop pays
+    /// one branch per retired tile/row and nothing else.
+    pub fn simulate_traced(
+        &self,
+        job: &RankJob,
+        mut trace: Option<&mut TraceBuffer>,
+    ) -> UnitReport {
         assert_eq!(job.candidates_per_item.len(), job.batch, "candidate counts per item");
         assert!(job.categories > 0 && job.hidden > 0 && job.reduced > 0 && job.batch > 0);
         let p = self.params;
         let mut dram =
             DramSystem::with_mapping(DramConfig::enmc_single_rank(), AddressMapping::RoRaBaCoBg);
+        if trace.is_some() {
+            dram.enable_trace(DRAM_TRACE_CAPACITY);
+        }
 
         // ---- derived shapes ------------------------------------------------
         let elems_per_tile = (p.buffer_bytes * 8 / p.screen_bits as usize).max(1);
@@ -340,10 +394,18 @@ impl RankUnit {
                     }
                     Tag::SpillRead(group) => {
                         // Compute-filter the group's logits on the FP32 lanes.
-                        let done = now.max(exec_mac_free) + compute_filter_cycles;
+                        let start = now.max(exec_mac_free);
+                        let done = start + compute_filter_cycles;
                         exec_mac_free = done;
                         report.executor_busy += compute_filter_cycles;
                         filter_done_at[group] = Some(done);
+                        if let Some(tb) = trace.as_deref_mut() {
+                            tb.record(
+                                TraceEvent::begin("compute_filter", CAT_PIPELINE, start, 0, TID_EXECUTOR)
+                                    .with_arg("group", group as u64),
+                            );
+                            tb.record(TraceEvent::end("compute_filter", CAT_PIPELINE, done, 0, TID_EXECUTOR));
+                        }
                     }
                 }
             }
@@ -355,6 +417,20 @@ impl RankUnit {
                     let dur = screen_tile_cycles(items_in_group(group));
                     screen_mac_free = now + dur;
                     report.screener_busy += dur;
+                    if let Some(tb) = trace.as_deref_mut() {
+                        tb.record(
+                            TraceEvent::begin("screen_tile", CAT_PIPELINE, now, 0, TID_SCREENER)
+                                .with_arg("tile", t as u64)
+                                .with_arg("group", group as u64),
+                        );
+                        tb.record(TraceEvent::end(
+                            "screen_tile",
+                            CAT_PIPELINE,
+                            screen_mac_free,
+                            0,
+                            TID_SCREENER,
+                        ));
+                    }
                     tiles_computed += 1;
                     group_tiles_done[group] += 1;
                     if p.inline_filter {
@@ -403,12 +479,26 @@ impl RankUnit {
             }
 
             // (6) Executor MAC consumes ready rows.
-            if exec_mac_free <= now
-                && rows_ready.pop_front().is_some() {
+            if exec_mac_free <= now {
+                if let Some(cand) = rows_ready.pop_front() {
                     exec_mac_free = now + exec_row_cycles;
                     report.executor_busy += exec_row_cycles;
                     candidates_computed += 1;
+                    if let Some(tb) = trace.as_deref_mut() {
+                        tb.record(
+                            TraceEvent::begin("exec_row", CAT_PIPELINE, now, 0, TID_EXECUTOR)
+                                .with_arg("candidate", cand as u64),
+                        );
+                        tb.record(TraceEvent::end(
+                            "exec_row",
+                            CAT_PIPELINE,
+                            exec_mac_free,
+                            0,
+                            TID_EXECUTOR,
+                        ));
+                    }
                 }
+            }
 
             dram.tick();
             let now = dram.cycle();
@@ -429,6 +519,13 @@ impl RankUnit {
             }
         }
 
+        // Phase boundaries: the Screener retired its last tile at
+        // `screen_mac_free` (the loop cannot exit before it); everything up
+        // to the loop's exit cycle is candidate gather + filtering.
+        let loop_end = dram.cycle();
+        report.screen_done_cycle = screen_mac_free.min(loop_end);
+        report.exec_done_cycle = loop_end;
+
         // (8) Final activation in the special-function unit.
         let sfu_logic = ((job.categories * job.batch) as f64 / p.sfu_per_cycle).ceil() as u64;
         report.sfu_cycles = sfu_logic * p.clock_ratio;
@@ -439,6 +536,28 @@ impl RankUnit {
         report.dram_cycles = dram.cycle();
         report.ns = dram.elapsed_ns();
         report.dram = dram.stats();
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.record(
+                TraceEvent::begin("sfu", CAT_PIPELINE, loop_end, 0, TID_SFU)
+                    .with_arg("evals", (job.categories * job.batch) as u64),
+            );
+            tb.record(TraceEvent::end("sfu", CAT_PIPELINE, report.dram_cycles, 0, TID_SFU));
+            // Whole-run phase summary spans on their own track. They tile
+            // the timeline exactly: screen ∪ gather ∪ activation covers
+            // [0, dram_cycles] with no overlap.
+            let bounds: [(&'static str, u64, u64); 3] = [
+                ("screen", 0, report.screen_done_cycle),
+                ("gather", report.screen_done_cycle, report.exec_done_cycle),
+                ("activation", report.exec_done_cycle, report.dram_cycles),
+            ];
+            for (name, start, end) in bounds {
+                tb.record(TraceEvent::begin(name, CAT_PIPELINE, start, 0, TID_PHASES));
+                tb.record(TraceEvent::end(name, CAT_PIPELINE, end, 0, TID_PHASES));
+            }
+            for e in dram.take_trace() {
+                tb.record(e);
+            }
+        }
         report
     }
 }
@@ -566,6 +685,43 @@ mod tests {
         let ratio = with_cands.dram_cycles as f64 / no_cands.dram_cycles as f64;
         assert!(ratio > 1.0, "candidates cannot be free: {ratio}");
         assert!(ratio < 1.6, "no overlap visible: {ratio}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_spans() {
+        let j = job(1024, 1, 16);
+        let unit = enmc_unit();
+        let plain = unit.simulate(&j);
+        let mut tb = TraceBuffer::unbounded();
+        let traced = unit.simulate_traced(&j, Some(&mut tb));
+        // Tracing must not perturb timing.
+        assert_eq!(plain.dram_cycles, traced.dram_cycles);
+        assert_eq!(plain.dram, traced.dram);
+        let events = tb.drain();
+        let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name).collect();
+        for expected in ["screen_tile", "exec_row", "sfu", "screen", "gather", "activation", "ACT", "RD"] {
+            assert!(names.contains(expected), "missing {expected} in {names:?}");
+        }
+        // Phase boundaries tile [0, dram_cycles].
+        assert!(traced.screen_done_cycle <= traced.exec_done_cycle);
+        assert!(traced.exec_done_cycle <= traced.dram_cycles);
+        assert_eq!(traced.dram_cycles - traced.exec_done_cycle, traced.sfu_cycles);
+    }
+
+    #[test]
+    fn baseline_trace_includes_compute_filter() {
+        let mut tb = TraceBuffer::unbounded();
+        baseline_unit().simulate_traced(&job(2048, 1, 8), Some(&mut tb));
+        assert!(tb.iter().any(|e| e.name == "compute_filter"));
+    }
+
+    #[test]
+    fn report_records_metrics() {
+        let r = enmc_unit().simulate(&job(1024, 1, 16));
+        let mut reg = enmc_obs::MetricsRegistry::new();
+        r.record_into(&mut reg, &[("rank", "0")]);
+        assert_eq!(reg.counter_value("unit.dram_cycles", &[("rank", "0")]), r.dram_cycles);
+        assert_eq!(reg.counter_value("dram.reads", &[("rank", "0")]), r.dram.reads);
     }
 
     #[test]

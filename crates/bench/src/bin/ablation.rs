@@ -9,6 +9,7 @@
 
 use enmc_arch::config::EnmcConfig;
 use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 
 fn job() -> RankJob {
@@ -60,6 +61,9 @@ fn main() {
     row("256 INT4 MACs", UnitParams { screen_macs_per_cycle: 256.0, ..base });
 
     t.print();
+    let mut rep = Reporter::from_env("ablation");
+    rep.table("ablations", &t);
+    rep.finish();
     println!("\nReading: INT4 storage and the inline filter are the big levers");
     println!("(they set DRAM traffic); MAC width beyond 128 buys little because");
     println!("screening is bandwidth-bound (Fig. 5b).");

@@ -1,6 +1,7 @@
 //! Regenerates paper Fig. 4: parameter/operation breakdown into
 //! classification vs non-classification.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::Table;
 use enmc_model::breakdown::figure4_breakdown;
 
@@ -23,6 +24,9 @@ fn main() {
         ]);
     }
     t.print();
+    let mut rep = Reporter::from_env("fig04_breakdown");
+    rep.table("breakdown", &t);
+    rep.finish();
     println!("\nShape check: classification share grows with category count and");
     println!("dominates (>99%) for the million-category recommendation points.");
 }

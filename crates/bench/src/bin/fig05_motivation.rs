@@ -2,11 +2,13 @@
 //! time vs category count; (b) roofline placement of the major kernels.
 
 use enmc_arch::cpu::CpuModel;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, fmt_bytes, Table};
 use enmc_model::footprint::figure5a_sweep;
 use enmc_model::roofline::{figure5b_points, Roofline};
 
 fn main() {
+    let mut rep = Reporter::from_env("fig05_motivation");
     println!("Figure 5(a): classifier memory footprint and CPU time (d = 512)\n");
     let cpu = CpuModel::xeon_8280();
     let mut t = Table::new(&["Categories", "Classifier bytes", "Screener bytes", "CPU time (ms)"]);
@@ -20,6 +22,7 @@ fn main() {
         ]);
     }
     t.print();
+    rep.table("fig05a_footprint", &t);
 
     println!("\nFigure 5(b): roofline placement (Xeon 8280, ridge at {:.1} FLOP/B)\n",
         Roofline::xeon_8280().ridge_point());
@@ -38,6 +41,8 @@ fn main() {
         }
     }
     t.print();
+    rep.table("fig05b_roofline", &t);
+    rep.finish();
     println!("\nShape check: screening and candidate-only classification sit left of");
     println!("the ridge (memory-bound) at deployment batch sizes; the front-end");
     println!("moves right with batch size.");

@@ -9,6 +9,7 @@
 //! Workloads run at their algorithm-level eval shapes (see DESIGN.md) —
 //! relative positions of the three frontiers are the result.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, fmt_speedup, Table};
 use enmc_bench::{eval_shape, fit_pipeline};
 use enmc_model::quality::QualityAccumulator;
@@ -24,6 +25,7 @@ const FRACTIONS: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.15];
 
 fn main() {
     let cpu = CpuCostModel::default();
+    let mut rep = Reporter::from_env("fig11_quality_speedup");
     println!("Figure 11: quality vs speedup — AS vs SVD-softmax vs FGD");
     println!("(eval shapes; quality vs exact full classification on the same queries)\n");
 
@@ -120,8 +122,10 @@ fn main() {
             ]);
         }
         t.print();
+        rep.table(w.abbr, &t);
         println!();
     }
+    rep.finish();
     println!("Shape check: at matched quality, AS sits at higher speedup than SVD");
     println!("(whose FP32 preview costs ~4x AS's INT4 screening). FGD's ppl ratio");
     println!("is far below 1 because its truncated output concentrates all mass on");

@@ -1,6 +1,7 @@
 //! Regenerates paper Fig. 12: sensitivity of Approximate Screening to
 //! (a) the parameter-reduction scale and (b) the quantization level.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 use enmc_bench::{eval_shape, fit_pipeline};
 use enmc_model::quality::QualityAccumulator;
@@ -31,6 +32,7 @@ fn evaluate(id: WorkloadId, scale: f64, precision: Precision) -> (f64, f64, f64)
 }
 
 fn main() {
+    let mut rep = Reporter::from_env("fig12_sensitivity");
     let id = WorkloadId::TransformerW268K;
     let w = id.workload();
     let (l, d) = eval_shape(&w);
@@ -55,6 +57,7 @@ fn main() {
         ]);
     }
     t.print();
+    rep.table("fig12a_scale", &t);
 
     println!("\n(b) Quantization level (at scale 0.25):\n");
     let mut t = Table::new(&["precision", "top-1 agree", "ppl ratio", "P@10"]);
@@ -63,6 +66,8 @@ fn main() {
         t.row_owned(vec![precision.to_string(), fmt(agree, 3), fmt(ppl, 3), fmt(p10, 3)]);
     }
     t.print();
+    rep.table("fig12b_precision", &t);
+    rep.finish();
 
     println!("\nShape check: quality saturates around scale 0.25 (the paper's pick)");
     println!("and INT4 matches FP32 while INT2 degrades — Fig. 12's conclusions.");

@@ -7,6 +7,7 @@
 
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::candidate_fraction;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt_speedup, Table};
 use enmc_model::workloads::WorkloadId;
 use enmc_tensor::stats::geometric_mean;
@@ -50,6 +51,8 @@ fn main() {
         }
     }
     t.print();
+    let mut rep = Reporter::from_env("fig13_performance");
+    rep.table("speedups", &t);
 
     println!("\nGeometric-mean speedups over CPU-full:");
     let mut means = Vec::new();
@@ -57,7 +60,9 @@ fn main() {
         let g = geometric_mean(vals);
         means.push((name.clone(), g));
         println!("  {name:<12} {}", fmt_speedup(g));
+        rep.note(&format!("geomean {name}: {}", fmt_speedup(g)));
     }
+    rep.finish();
     let enmc = means.last().expect("five schemes").1;
     println!("\nENMC advantage over baselines:");
     for (name, g) in &means[..means.len() - 1] {

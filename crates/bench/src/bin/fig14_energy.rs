@@ -5,6 +5,7 @@
 use enmc_arch::baseline::BaselineKind;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::candidate_fraction;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 use enmc_model::workloads::WorkloadId;
 
@@ -49,6 +50,9 @@ fn main() {
         ratios_tdl.push(tdl.total_nj() / enmc.total_nj());
     }
     t.print();
+    let mut rep = Reporter::from_env("fig14_energy");
+    rep.table("energy_breakdown", &t);
+    rep.finish();
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("\nAverage energy reduction of ENMC: {:.1}x vs TensorDIMM, {:.1}x vs TensorDIMM-Large",
         avg(&ratios_td), avg(&ratios_tdl));

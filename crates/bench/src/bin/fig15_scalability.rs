@@ -11,6 +11,7 @@ use enmc_arch::cpu::CpuModel;
 use enmc_arch::endtoend::end_to_end;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::candidate_fraction;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt_speedup, Table};
 use enmc_model::workloads::WorkloadId;
 
@@ -62,6 +63,10 @@ fn main() {
         t.row_owned(row);
     }
     t.print();
+    let mut rep = Reporter::from_env("fig15_scalability");
+    rep.table("scalability", &t);
+    rep.note(&format!("sim scale 1/{scale}"));
+    rep.finish();
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("\nENMC advantage: {:.1}x vs TensorDIMM, {:.1}x vs TensorDIMM-Large (average)",
         avg(&adv_td), avg(&adv_tdl));

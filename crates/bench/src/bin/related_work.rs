@@ -6,8 +6,9 @@
 //! methods truncate the output distribution; this harness quantifies both
 //! on the same synthetic workload.
 
-use enmc_bench::table::{fmt, fmt_speedup, Table};
 use enmc_bench::fit_pipeline;
+use enmc_bench::report::Reporter;
+use enmc_bench::table::{fmt, fmt_speedup, Table};
 use enmc_model::quality::QualityAccumulator;
 use enmc_model::workloads::WorkloadId;
 use enmc_screen::cost::{ClassificationCost, CpuCostModel};
@@ -108,6 +109,9 @@ fn main() {
     }
 
     t.print();
+    let mut rep = Reporter::from_env("related_work");
+    rep.table("methods", &t);
+    rep.finish();
     println!("\nReading: MACH trades accuracy for memory exactly as the paper");
     println!("claims; hierarchical softmax is fast but truncates unvisited");
     println!("clusters; AS keeps full-output fidelity at comparable speedups.");

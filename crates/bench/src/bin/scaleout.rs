@@ -4,6 +4,7 @@
 
 use enmc_arch::scaleout::{scale_out, Network};
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 
 fn main() {
@@ -32,6 +33,9 @@ fn main() {
         ]);
     }
     t.print();
+    let mut rep = Reporter::from_env("scaleout");
+    rep.table("node_sweep", &t);
+    rep.finish();
     println!("\nScreening makes the gathered payload tiny (candidates only), so the");
     println!("fabric stays a small share of latency until deep into the node sweep.");
 }

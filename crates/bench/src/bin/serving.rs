@@ -9,6 +9,7 @@ use enmc_arch::baseline::{BaselineKind, NmpBaseline};
 use enmc_arch::config::EnmcConfig;
 use enmc_arch::throughput::{saturation_period_ns, serve, ServeConfig};
 use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 
 fn main() {
@@ -46,6 +47,8 @@ fn main() {
         }
     }
     t.print();
+    let mut rep = Reporter::from_env("serving");
+    rep.table("load_sweep", &t);
 
     let enmc_sat = saturation_period_ns(&enmc, &template, 4, 300);
     let td_sat = saturation_period_ns(td.unit(), &template, 4, 300);
@@ -53,4 +56,6 @@ fn main() {
     println!("  ENMC       {:.1} kQPS per rank", 1e6 / enmc_sat);
     println!("  TensorDIMM {:.1} kQPS per rank", 1e6 / td_sat);
     println!("  ratio      {:.1}x", td_sat / enmc_sat);
+    rep.note(&format!("saturation kQPS: ENMC {:.1}, TensorDIMM {:.1}", 1e6 / enmc_sat, 1e6 / td_sat));
+    rep.finish();
 }

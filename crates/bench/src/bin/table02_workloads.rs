@@ -1,5 +1,6 @@
 //! Regenerates paper Table 2: evaluated models and datasets.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::Table;
 use enmc_model::workloads::{TaskKind, WorkloadId};
 
@@ -22,4 +23,7 @@ fn main() {
         ]);
     }
     t.print();
+    let mut rep = Reporter::from_env("table02_workloads");
+    rep.table("workloads", &t);
+    rep.finish();
 }

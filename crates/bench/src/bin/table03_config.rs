@@ -1,12 +1,14 @@
 //! Regenerates paper Table 3: DRAM and ENMC configurations.
 
 use enmc_arch::config::EnmcConfig;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::Table;
 use enmc_dram::DramConfig;
 
 fn main() {
     let dram = DramConfig::enmc_table3();
     let enmc = EnmcConfig::table3();
+    let mut rep = Reporter::from_env("table03_config");
     println!("Table 3: ENMC Configurations\n");
 
     let mut t = Table::new(&["DRAM parameter", "Value"]);
@@ -33,6 +35,7 @@ fn main() {
         format!("{:.1} GB/s", tim.peak_channel_bandwidth() / 1e9),
     ]);
     t.print();
+    rep.table("dram", &t);
 
     println!();
     let mut t = Table::new(&["ENMC parameter", "Value"]);
@@ -45,4 +48,6 @@ fn main() {
         format!("{}B+{}B each", enmc.buffer_bytes, enmc.buffer_bytes),
     ]);
     t.print();
+    rep.table("enmc", &t);
+    rep.finish();
 }

@@ -1,6 +1,7 @@
 //! Regenerates paper Table 4: NMP designs at iso area/power budget.
 
 use enmc_arch::physical::PhysicalModel;
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 
 fn main() {
@@ -22,6 +23,9 @@ fn main() {
         ]);
     }
     t.print();
+    let mut rep = Reporter::from_env("table04_baselines");
+    rep.table("budgets", &t);
+    rep.finish();
     println!("\nPaper reference: NDA 0.445/293.6, Chameleon 0.398/249.0,");
     println!("TensorDIMM 0.457/303.5, ENMC 0.442/285.4");
 }

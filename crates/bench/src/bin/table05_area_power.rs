@@ -1,6 +1,7 @@
 //! Regenerates paper Table 5: ENMC area and power breakdown.
 
 use enmc_arch::physical::{table5_rows, PhysicalModel};
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 
 fn main() {
@@ -25,6 +26,9 @@ fn main() {
         "100%".into(),
     ]);
     t.print();
+    let mut rep = Reporter::from_env("table05_area_power");
+    rep.table("area_power", &t);
+    rep.finish();
     println!("\nPaper reference: total 0.442 mm^2, 285.4 mW;");
     println!("compute units 40.8% area / 25% power, buffers 23.5% / 32.2%.");
 }

@@ -8,6 +8,7 @@
 //! * bank-group interleave beats single-bank streaming (tCCD_S vs tCCD_L);
 //! * refresh steals ~tRFC/tREFI of time.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 use enmc_dram::{AddressMapping, DramConfig, DramSystem, MemRequest};
 
@@ -70,6 +71,10 @@ fn main() {
     table.row_owned(vec!["random rows".into(), fmt(bw3, 1), fmt(hit3, 3), fmt(util3, 3)]);
 
     table.print();
+    let mut rep = Reporter::from_env("validate_dram");
+    rep.table("patterns", &table);
+    rep.note(&format!("cold read latency: {lat} cycles"));
+    rep.finish();
     println!(
         "\nexpectations: sequential ≈ {:.1} GB/s peak with ~100% hits;",
         t.peak_channel_bandwidth() / 1e9

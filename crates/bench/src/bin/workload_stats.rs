@@ -2,6 +2,7 @@
 //! DESIGN.md substitution argument relies on, for every Table 2 workload's
 //! synthetic instantiation.
 
+use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
 use enmc_bench::{eval_shape, fit_pipeline};
 use enmc_model::statistics::measure;
@@ -27,6 +28,9 @@ fn main() {
         ]);
     }
     t.print();
+    let mut rep = Reporter::from_env("workload_stats");
+    rep.table("statistics", &t);
+    rep.finish();
     println!("\ntop-10 mass well above uniform (10/l), entropy below the uniform");
     println!("maximum, high spectral mass (low effective rank) and a popular head:");
     println!("the geometry approximate screening exploits, verified per workload.");

@@ -9,8 +9,12 @@
 //! * [`candidate_fraction`] — the per-workload candidate budgets implied
 //!   by the paper's reported speedups;
 //! * [`fit_pipeline`] — synthesize + distill for one workload;
-//! * [`table`] — fixed-width table printing for harness output.
+//! * [`table`] — fixed-width table printing for harness output;
+//! * [`report`] — the shared JSON report emitter: every binary mirrors its
+//!   printed tables into `<name>.json` when `--json <file>` or
+//!   `ENMC_REPORT_DIR` asks for it.
 
+pub mod report;
 pub mod table;
 
 use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};

@@ -1,0 +1,168 @@
+//! Shared machine-readable report emitter for the harness binaries.
+//!
+//! Every `fig*` / `table*` binary prints fixed-width tables for humans; a
+//! [`Reporter`] mirrors those tables into one JSON document so downstream
+//! tooling (plotting scripts, CI diffs) can consume the same numbers
+//! without scraping stdout.
+//!
+//! The destination is opt-in and resolved once at startup:
+//!
+//! 1. a `--json <file>` argument wins;
+//! 2. otherwise, if the `ENMC_REPORT_DIR` environment variable is set, the
+//!    report lands in `<dir>/<name>.json`;
+//! 3. otherwise the reporter is inert and costs nothing.
+
+use crate::table::Table;
+use enmc_obs::Value;
+use std::path::PathBuf;
+
+/// Collects tables and notes from one harness binary and writes them as a
+/// single JSON document on [`Reporter::finish`].
+#[derive(Debug)]
+pub struct Reporter {
+    name: String,
+    dest: Option<PathBuf>,
+    tables: Vec<(String, Value)>,
+    notes: Vec<String>,
+}
+
+impl Reporter {
+    /// A reporter for the binary `name`, resolving its destination from
+    /// the process arguments (`--json <file>`) and the `ENMC_REPORT_DIR`
+    /// environment variable.
+    pub fn from_env(name: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let dest = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var_os("ENMC_REPORT_DIR")
+                    .map(|dir| PathBuf::from(dir).join(format!("{name}.json")))
+            });
+        Reporter { name: name.to_string(), dest, tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// A reporter writing to an explicit path (primarily for tests).
+    pub fn to_path(name: &str, path: impl Into<PathBuf>) -> Self {
+        Reporter {
+            name: name.to_string(),
+            dest: Some(path.into()),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// `true` when [`Reporter::finish`] will write somewhere.
+    pub fn active(&self) -> bool {
+        self.dest.is_some()
+    }
+
+    /// Records `table` under `key`. Cheap no-op when inactive.
+    pub fn table(&mut self, key: &str, table: &Table) {
+        if !self.active() {
+            return;
+        }
+        let columns =
+            Value::Arr(table.headers().iter().map(|h| Value::Str(h.clone())).collect());
+        let rows = Value::Arr(
+            table
+                .rows()
+                .iter()
+                .map(|r| Value::Arr(r.iter().map(|c| Value::Str(c.clone())).collect()))
+                .collect(),
+        );
+        self.tables.push((
+            key.to_string(),
+            Value::Obj(vec![("columns".to_string(), columns), ("rows".to_string(), rows)]),
+        ));
+    }
+
+    /// Attaches a free-form annotation.
+    pub fn note(&mut self, text: &str) {
+        if self.active() {
+            self.notes.push(text.to_string());
+        }
+    }
+
+    /// Serializes everything collected so far.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("tables".to_string(), Value::Obj(self.tables.clone())),
+            (
+                "notes".to_string(),
+                Value::Arr(self.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Writes the report to the resolved destination, if any. Failures are
+    /// reported on stderr but never abort the harness run — the printed
+    /// tables remain the source of truth.
+    pub fn finish(&self) {
+        let Some(dest) = &self.dest else { return };
+        match std::fs::write(dest, self.to_json()) {
+            Ok(()) => eprintln!("report written to {}", dest.display()),
+            Err(e) => eprintln!("cannot write report {}: {e}", dest.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(&["workload", "speedup"]);
+        t.row(&["GNMT-E32K", "11.8"]);
+        t.row(&["XMLCNN-670K", "17.4"]);
+        t
+    }
+
+    #[test]
+    fn inactive_reporter_collects_nothing() {
+        let mut rep = Reporter {
+            name: "x".to_string(),
+            dest: None,
+            tables: Vec::new(),
+            notes: Vec::new(),
+        };
+        rep.table("t", &sample_table());
+        rep.note("ignored");
+        assert!(!rep.active());
+        assert!(rep.tables.is_empty() && rep.notes.is_empty());
+        rep.finish(); // no destination: must be a no-op
+    }
+
+    #[test]
+    fn json_mirrors_tables_and_notes() {
+        let mut rep = Reporter::to_path("fig99", "/nonexistent/ignored.json");
+        rep.table("speedups", &sample_table());
+        rep.note("scaled shapes");
+        let v = Value::parse(&rep.to_json()).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("fig99"));
+        let t = v.get("tables").and_then(|t| t.get("speedups")).expect("table present");
+        let cols = t.get("columns").and_then(Value::as_arr).unwrap();
+        assert_eq!(cols.len(), 2);
+        let rows = t.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_str(), Some("GNMT-E32K"));
+        let notes = v.get("notes").and_then(Value::as_arr).unwrap();
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn finish_writes_the_file() {
+        let path = std::env::temp_dir().join("enmc-bench-report-test.json");
+        let mut rep = Reporter::to_path("fig00", &path);
+        rep.table("t", &sample_table());
+        rep.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("fig00"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -39,6 +39,16 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let cols = self.headers.len();

@@ -43,6 +43,20 @@ impl CommandKind {
     pub fn auto_precharge(self) -> bool {
         matches!(self, CommandKind::Rda | CommandKind::Wra)
     }
+
+    /// The conventional mnemonic, as it appears in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandKind::Act => "ACT",
+            CommandKind::Pre => "PRE",
+            CommandKind::PreA => "PREA",
+            CommandKind::Rd => "RD",
+            CommandKind::Wr => "WR",
+            CommandKind::Rda => "RDA",
+            CommandKind::Wra => "WRA",
+            CommandKind::Ref => "REF",
+        }
+    }
 }
 
 /// A fully addressed DDR command.
@@ -78,5 +92,21 @@ mod tests {
         assert!(CommandKind::Wra.is_write());
         assert!(CommandKind::Rda.auto_precharge());
         assert!(!CommandKind::Rd.auto_precharge());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let all = [
+            CommandKind::Act,
+            CommandKind::Pre,
+            CommandKind::PreA,
+            CommandKind::Rd,
+            CommandKind::Wr,
+            CommandKind::Rda,
+            CommandKind::Wra,
+            CommandKind::Ref,
+        ];
+        let names: std::collections::HashSet<&str> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), all.len());
     }
 }

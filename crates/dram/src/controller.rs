@@ -22,6 +22,7 @@ use crate::mapping::Coord;
 use crate::rank::RankState;
 use crate::stats::DramStats;
 use crate::system::{Completion, RequestId, RequestKind};
+use enmc_obs::trace::{TraceBuffer, TraceEvent, TraceSink, CAT_DRAM};
 
 /// A request queued inside the controller.
 #[derive(Debug, Clone)]
@@ -46,6 +47,11 @@ pub struct ChannelController {
     /// Ranks with an overdue refresh.
     refresh_due: Vec<bool>,
     stats: DramStats,
+    /// Command-event trace collector; `None` (the default) costs one
+    /// branch per issued command and nothing else.
+    trace: Option<TraceBuffer>,
+    /// `pid` stamped on emitted events (the channel index, by convention).
+    trace_pid: u32,
 }
 
 impl ChannelController {
@@ -61,8 +67,43 @@ impl ChannelController {
             next_refresh: (0..config.organization.ranks).map(|_| trefi).collect(),
             refresh_due: vec![false; config.organization.ranks],
             stats: DramStats::default(),
+            trace: None,
+            trace_pid: 0,
             config,
         }
+    }
+
+    /// Starts collecting command events into a ring of `capacity` events,
+    /// stamped with `pid` (the channel index).
+    pub fn enable_trace(&mut self, capacity: usize, pid: u32) {
+        self.trace = Some(TraceBuffer::new(capacity));
+        self.trace_pid = pid;
+    }
+
+    /// `true` when command events are being collected.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Removes and returns the collected events (collection stays on).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(TraceBuffer::drain).unwrap_or_default()
+    }
+
+    /// Emits one command event when tracing is enabled. `tid` is the flat
+    /// bank index within the channel, so each bank gets its own track.
+    fn trace_cmd(&mut self, now: u64, kind: CommandKind, coord: &Coord) {
+        let Some(trace) = self.trace.as_mut() else { return };
+        let org = &self.config.organization;
+        let bank = coord.flat_bank(org);
+        let tid = (coord.rank * org.banks_per_rank() + bank) as u32;
+        trace.record(
+            TraceEvent::instant(kind.name(), CAT_DRAM, now, self.trace_pid, tid)
+                .with_arg("rank", coord.rank as u64)
+                .with_arg("bank", bank as u64)
+                .with_arg("row", coord.row as u64)
+                .with_arg("column", coord.column as u64),
+        );
     }
 
     /// Number of free queue slots.
@@ -113,6 +154,7 @@ impl ChannelController {
             if self.ranks[r].all_closed() {
                 if self.ranks[r].earliest(CommandKind::Ref, &any) <= now {
                     self.ranks[r].issue(CommandKind::Ref, &any, now);
+                    self.trace_cmd(now, CommandKind::Ref, &any);
                     self.stats.refreshes += 1;
                     self.refresh_due[r] = false;
                     self.next_refresh[r] += self.config.timing.trefi;
@@ -120,6 +162,7 @@ impl ChannelController {
                 }
             } else if self.ranks[r].earliest(CommandKind::PreA, &any) <= now {
                 self.ranks[r].issue(CommandKind::PreA, &any, now);
+                self.trace_cmd(now, CommandKind::PreA, &any);
                 self.stats.precharges += 1;
                 return None;
             }
@@ -173,6 +216,7 @@ impl ChannelController {
                 (PagePolicy::Closed, RequestKind::Write) => CommandKind::Wra,
             };
             self.ranks[e.coord.rank].issue(cmd, &e.coord, now);
+            self.trace_cmd(now, cmd, &e.coord);
             if self.config.page_policy == PagePolicy::Closed {
                 self.stats.precharges += 1; // implicit auto-precharge
             }
@@ -203,6 +247,7 @@ impl ChannelController {
                 (c, was)
             };
             self.ranks[coord.rank].issue(CommandKind::Act, &coord, now);
+            self.trace_cmd(now, CommandKind::Act, &coord);
             self.stats.activations += 1;
             if !classified {
                 self.stats.row_misses += 1;
@@ -218,6 +263,7 @@ impl ChannelController {
                 (c, was)
             };
             self.ranks[coord.rank].issue(CommandKind::Pre, &coord, now);
+            self.trace_cmd(now, CommandKind::Pre, &coord);
             self.stats.precharges += 1;
             if !classified {
                 self.stats.row_conflicts += 1;
@@ -428,6 +474,26 @@ mod tests {
         let open = stream(PagePolicy::Open);
         let closed = stream(PagePolicy::Closed);
         assert!(open < closed, "open {open} vs closed {closed}");
+    }
+
+    #[test]
+    fn trace_captures_act_and_rd() {
+        let mut ctrl = controller();
+        ctrl.enable_trace(1024, 0);
+        assert!(ctrl.trace_enabled());
+        run_one(&mut ctrl, 1, 0);
+        let events = ctrl.take_trace();
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"ACT"), "trace {names:?}");
+        assert!(names.contains(&"RD"), "trace {names:?}");
+        // ACT must precede RD, and timestamps must be ordered.
+        let act = events.iter().position(|e| e.name == "ACT").unwrap();
+        let rd = events.iter().position(|e| e.name == "RD").unwrap();
+        assert!(act < rd);
+        assert!(events[act].ts < events[rd].ts);
+        // Draining empties the buffer but leaves tracing on.
+        assert!(ctrl.take_trace().is_empty());
+        assert!(ctrl.trace_enabled());
     }
 
     #[test]

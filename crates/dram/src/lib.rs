@@ -18,7 +18,12 @@
 //! * **statistics and energy counters** — row hits/misses/conflicts, bus
 //!   utilization, and an IDD-derived energy model with the
 //!   activate/read/write/refresh/background split used by Fig. 14
-//!   ([`energy`]).
+//!   ([`energy`]);
+//! * **command-event tracing** — when enabled via
+//!   [`system::DramSystem::enable_trace`], every issued ACT / PRE / RD / WR /
+//!   REF becomes an `enmc_obs` trace event (one `pid` per channel, one `tid`
+//!   per bank) that the CLI exports as a Chrome/Perfetto trace. Disabled by
+//!   default at the cost of a single branch per issued command.
 //!
 //! # Example
 //!

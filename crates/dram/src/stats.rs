@@ -62,8 +62,48 @@ impl DramStats {
         }
     }
 
-    /// Merges another controller's counters into this one.
-    pub fn merge(&mut self, other: &DramStats) {
+    /// Merges the counters of a controller that ran **in parallel** with
+    /// this one (e.g. another channel of the same subsystem, ticked in
+    /// lockstep): event counts add, elapsed time is the *maximum* of the
+    /// two clocks.
+    ///
+    /// For controllers that ran one after the other use
+    /// [`DramStats::merge_sequential`], which sums `total_cycles`.
+    ///
+    /// ```
+    /// use enmc_dram::DramStats;
+    /// let mut a = DramStats { reads: 1, total_cycles: 10, ..Default::default() };
+    /// let b = DramStats { reads: 2, total_cycles: 7, ..Default::default() };
+    /// a.merge_parallel(&b);
+    /// assert_eq!(a.reads, 3);
+    /// assert_eq!(a.total_cycles, 10); // wall clock of the slower channel
+    /// ```
+    pub fn merge_parallel(&mut self, other: &DramStats) {
+        self.merge_events(other);
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+    }
+
+    /// Merges the counters of a run that happened **after** this one in
+    /// the same timing domain (e.g. two jobs executed back to back on one
+    /// rank): event counts add and `total_cycles` *sums*, so rates such as
+    /// [`DramStats::bus_utilization`] stay meaningful.
+    ///
+    /// ```
+    /// use enmc_dram::DramStats;
+    /// let mut a = DramStats { reads: 1, busy_cycles: 4, total_cycles: 10, ..Default::default() };
+    /// let b = DramStats { reads: 2, busy_cycles: 6, total_cycles: 7, ..Default::default() };
+    /// a.merge_sequential(&b);
+    /// assert_eq!(a.reads, 3);
+    /// assert_eq!(a.total_cycles, 17); // phases ran back to back
+    /// assert!((a.bus_utilization() - 10.0 / 17.0).abs() < 1e-12);
+    /// ```
+    pub fn merge_sequential(&mut self, other: &DramStats) {
+        self.merge_events(other);
+        self.total_cycles += other.total_cycles;
+    }
+
+    /// The event-count part shared by both merge flavours.
+    fn merge_events(&mut self, other: &DramStats) {
         self.reads += other.reads;
         self.writes += other.writes;
         self.activations += other.activations;
@@ -74,7 +114,30 @@ impl DramStats {
         self.row_conflicts += other.row_conflicts;
         self.busy_cycles += other.busy_cycles;
         self.idle_cycles += other.idle_cycles;
-        self.total_cycles = self.total_cycles.max(other.total_cycles);
+    }
+
+    /// Records every counter (plus the derived rates as gauges) into a
+    /// metrics registry under the `dram.` prefix.
+    pub fn record_into(
+        &self,
+        registry: &mut enmc_obs::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        registry.counter_add("dram.reads", labels, self.reads);
+        registry.counter_add("dram.writes", labels, self.writes);
+        registry.counter_add("dram.activations", labels, self.activations);
+        registry.counter_add("dram.precharges", labels, self.precharges);
+        registry.counter_add("dram.refreshes", labels, self.refreshes);
+        registry.counter_add("dram.row_hits", labels, self.row_hits);
+        registry.counter_add("dram.row_misses", labels, self.row_misses);
+        registry.counter_add("dram.row_conflicts", labels, self.row_conflicts);
+        registry.counter_add("dram.busy_cycles", labels, self.busy_cycles);
+        registry.counter_add("dram.idle_cycles", labels, self.idle_cycles);
+        registry.counter_add("dram.total_cycles", labels, self.total_cycles);
+        registry.counter_add("dram.bytes", labels, self.bytes());
+        registry.gauge_set("dram.row_hit_rate", labels, self.row_hit_rate());
+        registry.gauge_set("dram.bus_utilization", labels, self.bus_utilization());
+        registry.gauge_set("dram.idle_fraction", labels, self.idle_fraction());
     }
 }
 
@@ -96,12 +159,41 @@ mod tests {
     }
 
     #[test]
-    fn merge_adds_counts_and_maxes_cycles() {
+    fn merge_parallel_adds_counts_and_maxes_cycles() {
         let mut a = DramStats { reads: 1, total_cycles: 10, ..Default::default() };
         let b = DramStats { reads: 2, total_cycles: 7, busy_cycles: 3, ..Default::default() };
-        a.merge(&b);
+        a.merge_parallel(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.total_cycles, 10);
         assert_eq!(a.busy_cycles, 3);
+    }
+
+    #[test]
+    fn merge_sequential_sums_cycles() {
+        let mut a = DramStats { writes: 4, total_cycles: 10, ..Default::default() };
+        let b = DramStats { writes: 1, total_cycles: 7, ..Default::default() };
+        a.merge_sequential(&b);
+        assert_eq!(a.writes, 5);
+        assert_eq!(a.total_cycles, 17);
+    }
+
+    #[test]
+    fn record_into_exports_counters_and_rates() {
+        let s = DramStats {
+            reads: 3,
+            writes: 1,
+            row_hits: 3,
+            row_misses: 1,
+            busy_cycles: 16,
+            total_cycles: 32,
+            ..Default::default()
+        };
+        let mut reg = enmc_obs::MetricsRegistry::new();
+        s.record_into(&mut reg, &[("channel", "0")]);
+        assert_eq!(reg.counter_value("dram.reads", &[("channel", "0")]), 3);
+        assert_eq!(reg.counter_value("dram.bytes", &[("channel", "0")]), 256);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("dram.row_hit_rate", &[("channel", "0")]), Some(0.75));
+        assert_eq!(snap.gauge("dram.bus_utilization", &[("channel", "0")]), Some(0.5));
     }
 }

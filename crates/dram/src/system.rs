@@ -5,6 +5,7 @@ use crate::controller::ChannelController;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::mapping::AddressMapping;
 use crate::stats::DramStats;
+use enmc_obs::trace::TraceEvent;
 
 /// Identifier assigned to an accepted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -164,13 +165,39 @@ impl DramSystem {
         out
     }
 
-    /// Aggregated statistics over all channels.
+    /// Aggregated statistics over all channels. Channels tick in lockstep,
+    /// so the parallel merge (max of clocks) is the right flavour.
     pub fn stats(&self) -> DramStats {
         let mut s = DramStats::default();
         for ch in &self.channels {
-            s.merge(ch.stats());
+            s.merge_parallel(ch.stats());
         }
         s
+    }
+
+    /// Starts collecting command events on every channel, each into its own
+    /// ring of `capacity_per_channel` events stamped with the channel index
+    /// as `pid`.
+    pub fn enable_trace(&mut self, capacity_per_channel: usize) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.enable_trace(capacity_per_channel, i as u32);
+        }
+    }
+
+    /// `true` when command events are being collected.
+    pub fn trace_enabled(&self) -> bool {
+        self.channels.iter().any(ChannelController::trace_enabled)
+    }
+
+    /// Removes and returns all collected events, merged across channels in
+    /// timestamp order (collection stays on).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for ch in &mut self.channels {
+            events.extend(ch.take_trace());
+        }
+        events.sort_by_key(|e| e.ts);
+        events
     }
 
     /// DRAM energy so far under `model`.
@@ -276,6 +303,23 @@ mod tests {
         assert!(!sys.is_idle());
         sys.run_until_idle(100_000);
         assert!(sys.is_idle());
+    }
+
+    #[test]
+    fn system_trace_merges_channels_in_order() {
+        let mut sys = DramSystem::new(DramConfig::enmc_table3());
+        sys.enable_trace(4096);
+        assert!(sys.trace_enabled());
+        for i in 0..64 {
+            sys.enqueue(MemRequest::read(i * 64)).unwrap();
+        }
+        sys.run_until_idle(1_000_000);
+        let events = sys.take_trace();
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts), "out of order");
+        // Multi-channel config with interleaved addresses: several pids.
+        let pids: std::collections::HashSet<u32> = events.iter().map(|e| e.pid).collect();
+        assert!(pids.len() > 1, "expected multiple channels, got {pids:?}");
     }
 
     #[test]

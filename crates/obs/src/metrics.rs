@@ -1,0 +1,535 @@
+//! A unified metrics registry: typed counters, gauges, and histograms
+//! with labels, snapshotted into a serializable [`MetricsReport`].
+//!
+//! Producers register samples under a metric name plus a label set
+//! (`("channel", "0")`-style pairs); labels are canonicalized by sorting,
+//! so `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]` address the same
+//! series. A [`MetricsRegistry`] is cheap to create, mergeable, and turns
+//! into a [`MetricsReport`] — plain data with a JSON round trip — via
+//! [`MetricsRegistry::snapshot`].
+//!
+//! # Example
+//!
+//! ```
+//! use enmc_obs::metrics::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter_add("dram.reads", &[("channel", "0")], 128);
+//! reg.gauge_set("dram.row_hit_rate", &[("channel", "0")], 0.93);
+//! reg.observe("dram.request_latency_cycles", &[], 37.0);
+//! let report = reg.snapshot();
+//! assert_eq!(report.counters.len(), 1);
+//! assert_eq!(report.counters[0].value, 128);
+//! ```
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// Canonical identity of one metric series: name + sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dot-separated by convention (`dram.reads`).
+    pub name: String,
+    /// Label pairs, sorted by key then value.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, canonicalizing the label order.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+}
+
+/// A histogram with explicit upper bucket bounds plus an overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; an implicit `+inf` bucket
+    /// follows.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be ascending).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, … 2^(n-1)` — a sensible default for
+    /// cycle counts and byte sizes.
+    pub fn exponential(n: usize) -> Self {
+        let bounds: Vec<f64> = (0..n as u32).map(|i| (1u64 << i.min(62)) as f64).collect();
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram with identical bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match to merge");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// One counter series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One histogram series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The histogram state.
+    pub histogram: Histogram,
+}
+
+/// An immutable snapshot of a [`MetricsRegistry`], ordered by metric key.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MetricsReport {
+    /// Counter series.
+    pub counters: Vec<CounterSample>,
+    /// Gauge series.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram series.
+    pub histograms: Vec<HistogramSample>,
+}
+
+fn labels_to_json(labels: &[(String, String)]) -> Value {
+    Value::Obj(
+        labels.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect(),
+    )
+}
+
+fn labels_from_json(v: &Value) -> Result<Vec<(String, String)>, String> {
+    let pairs = v.as_obj().ok_or_else(|| "labels must be an object".to_string())?;
+    let mut out = Vec::with_capacity(pairs.len());
+    for (k, v) in pairs {
+        let v = v.as_str().ok_or_else(|| format!("label '{k}' must be a string"))?;
+        out.push((k.clone(), v.to_string()));
+    }
+    Ok(out)
+}
+
+impl MetricsReport {
+    /// The value of a counter series (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = MetricKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|c| c.name == key.name && c.labels == key.labels)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The value of a gauge series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges
+            .iter()
+            .find(|g| g.name == key.name && g.labels == key.labels)
+            .map(|g| g.value)
+    }
+
+    /// Serializes the report as a JSON value tree.
+    pub fn to_json_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(c.name.clone())),
+                    ("labels".to_string(), labels_to_json(&c.labels)),
+                    ("value".to_string(), Value::Int(c.value as i64)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|g| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(g.name.clone())),
+                    ("labels".to_string(), labels_to_json(&g.labels)),
+                    ("value".to_string(), Value::Num(g.value)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(h.name.clone())),
+                    ("labels".to_string(), labels_to_json(&h.labels)),
+                    (
+                        "bounds".to_string(),
+                        Value::Arr(h.histogram.bounds.iter().map(|b| Value::Num(*b)).collect()),
+                    ),
+                    (
+                        "counts".to_string(),
+                        Value::Arr(
+                            h.histogram.counts.iter().map(|c| Value::Int(*c as i64)).collect(),
+                        ),
+                    ),
+                    ("count".to_string(), Value::Int(h.histogram.count as i64)),
+                    ("sum".to_string(), Value::Num(h.histogram.sum)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("counters".to_string(), Value::Arr(counters)),
+            ("gauges".to_string(), Value::Arr(gauges)),
+            ("histograms".to_string(), Value::Arr(histograms)),
+        ])
+    }
+
+    /// Reconstructs a report from [`MetricsReport::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a field is missing or mistyped.
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        let mut report = MetricsReport::default();
+        let counters = v
+            .get("counters")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing counters".to_string())?;
+        for c in counters {
+            report.counters.push(CounterSample {
+                name: c
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "counter missing name".to_string())?
+                    .to_string(),
+                labels: labels_from_json(
+                    c.get("labels").ok_or_else(|| "counter missing labels".to_string())?,
+                )?,
+                value: c
+                    .get("value")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| "counter missing value".to_string())?,
+            });
+        }
+        let gauges = v
+            .get("gauges")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing gauges".to_string())?;
+        for g in gauges {
+            report.gauges.push(GaugeSample {
+                name: g
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "gauge missing name".to_string())?
+                    .to_string(),
+                labels: labels_from_json(
+                    g.get("labels").ok_or_else(|| "gauge missing labels".to_string())?,
+                )?,
+                value: g
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "gauge missing value".to_string())?,
+            });
+        }
+        let histograms = v
+            .get("histograms")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing histograms".to_string())?;
+        for h in histograms {
+            let bounds: Vec<f64> = h
+                .get("bounds")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| "histogram missing bounds".to_string())?
+                .iter()
+                .map(|b| b.as_f64().ok_or_else(|| "histogram bound must be numeric".to_string()))
+                .collect::<Result<_, _>>()?;
+            let counts: Vec<u64> = h
+                .get("counts")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| "histogram missing counts".to_string())?
+                .iter()
+                .map(|c| c.as_u64().ok_or_else(|| "histogram count must be integer".to_string()))
+                .collect::<Result<_, _>>()?;
+            if counts.len() != bounds.len() + 1 {
+                return Err("histogram counts/bounds length mismatch".to_string());
+            }
+            report.histograms.push(HistogramSample {
+                name: h
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "histogram missing name".to_string())?
+                    .to_string(),
+                labels: labels_from_json(
+                    h.get("labels").ok_or_else(|| "histogram missing labels".to_string())?,
+                )?,
+                histogram: Histogram {
+                    bounds,
+                    counts,
+                    count: h
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "histogram missing count".to_string())?,
+                    sum: h
+                        .get("sum")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "histogram missing sum".to_string())?,
+                },
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// The mutable registry producers write into.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter series, creating it at zero if needed.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(MetricKey::new(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Increments a counter series by one.
+    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Current value of a counter series (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&MetricKey::new(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge series.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Records `value` into a histogram series with the default
+    /// power-of-two buckets.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Histogram::exponential(24))
+            .observe(value);
+    }
+
+    /// Records `value` into a histogram series with explicit bounds (used
+    /// on first touch; later observations reuse the existing buckets).
+    pub fn observe_with(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => mine.merge(h),
+                Some(_) | None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Number of live series across all kinds.
+    pub fn series(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Snapshots the registry into plain ordered data.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| CounterSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: *v,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| GaugeSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: *v,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    histogram: h.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("x", &[("a", "1"), ("b", "2")], 3);
+        reg.counter_add("x", &[("b", "2"), ("a", "1")], 4);
+        assert_eq!(reg.counter_value("x", &[("a", "1"), ("b", "2")]), 7);
+        assert_eq!(reg.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_inc("reads", &[("channel", "0")]);
+        reg.counter_inc("reads", &[("channel", "1")]);
+        reg.counter_inc("reads", &[]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 3);
+        assert_eq!(snap.counter("reads", &[("channel", "0")]), 1);
+        assert_eq!(snap.counter("reads", &[("channel", "7")]), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("util", &[], 0.2);
+        reg.gauge_set("util", &[], 0.9);
+        assert_eq!(reg.snapshot().gauge("util", &[]), Some(0.9));
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 138.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_merge_sums_counters() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("n", &[], 2);
+        a.observe("lat", &[], 3.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("n", &[], 5);
+        b.observe("lat", &[], 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter_value("n", &[]), 7);
+        let snap = a.snapshot();
+        assert_eq!(snap.histograms[0].histogram.count, 2);
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("dram.reads", &[("channel", "0")], 42);
+        reg.gauge_set("bus_util", &[], 0.75);
+        reg.observe_with("latency", &[], &[8.0, 64.0], 17.0);
+        let report = reg.snapshot();
+        let v = report.to_json_value();
+        let text = v.to_json();
+        let parsed = crate::json::Value::parse(&text).unwrap();
+        let back = MetricsReport::from_json_value(&parsed).unwrap();
+        assert_eq!(back, report);
+    }
+}

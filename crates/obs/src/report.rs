@@ -1,0 +1,289 @@
+//! Structured run reports: phase-scoped timing plus a metrics snapshot,
+//! with a JSON round trip.
+//!
+//! A [`RunReport`] is the machine-readable summary of one simulated job:
+//! what ran, how long each phase took on the host wall clock *and* in
+//! simulated DRAM cycles, and every counter the run produced. The
+//! invariant the evaluation relies on — per-phase cycle totals summing to
+//! the headline latency — is checked by [`RunReport::is_consistent`].
+//!
+//! # Example
+//!
+//! ```
+//! use enmc_obs::report::RunReport;
+//!
+//! let mut report = RunReport::new("simulate", "lstm", "enmc");
+//! report.push_phase("screen", 1.0e6, 800, 666.4);
+//! report.push_phase("gather", 2.5e5, 200, 166.6);
+//! report.sim_cycles = 1000;
+//! assert!(report.is_consistent());
+//! let back = RunReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(back.phases.len(), 2);
+//! ```
+
+use crate::json::Value;
+use crate::metrics::MetricsReport;
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One timed phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhaseSpan {
+    /// Phase name (`synthesize`, `distill`, `screen`, …).
+    pub name: String,
+    /// Host wall-clock time spent in the phase, nanoseconds.
+    pub wall_ns: f64,
+    /// Simulated DRAM-clock cycles attributed to the phase (0 for
+    /// host-only phases).
+    pub sim_cycles: u64,
+    /// Simulated nanoseconds attributed to the phase.
+    pub sim_ns: f64,
+}
+
+/// Machine-readable summary of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The command that produced the report (`simulate`, `demo`, …).
+    pub command: String,
+    /// Workload identifier.
+    pub workload: String,
+    /// Scheme identifier (`enmc`, `cpu`, …).
+    pub scheme: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Exact candidates per batch item.
+    pub candidates: u64,
+    /// Headline simulated latency in nanoseconds.
+    pub headline_ns: f64,
+    /// Headline simulated latency in DRAM-clock cycles (0 for analytic
+    /// models with no cycle-level simulation).
+    pub sim_cycles: u64,
+    /// Timed phases, in execution order.
+    pub phases: Vec<PhaseSpan>,
+    /// Metrics snapshot.
+    pub metrics: MetricsReport,
+    /// Free-form annotations.
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// A fresh report for `command` on `workload` under `scheme`.
+    pub fn new(command: &str, workload: &str, scheme: &str) -> Self {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            command: command.to_string(),
+            workload: workload.to_string(),
+            scheme: scheme.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Appends a phase record.
+    pub fn push_phase(&mut self, name: &str, wall_ns: f64, sim_cycles: u64, sim_ns: f64) {
+        self.phases.push(PhaseSpan { name: name.to_string(), wall_ns, sim_cycles, sim_ns });
+    }
+
+    /// Sum of per-phase simulated cycles.
+    pub fn phase_sim_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim_cycles).sum()
+    }
+
+    /// Sum of per-phase host wall time, nanoseconds.
+    pub fn phase_wall_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_ns).sum()
+    }
+
+    /// `true` when the per-phase cycle totals account exactly for the
+    /// headline cycle count.
+    pub fn is_consistent(&self) -> bool {
+        self.phase_sim_cycles() == self.sim_cycles
+    }
+
+    /// Serializes the report to compact JSON.
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(p.name.clone())),
+                    ("wall_ns".to_string(), Value::Num(p.wall_ns)),
+                    ("sim_cycles".to_string(), Value::Int(p.sim_cycles as i64)),
+                    ("sim_ns".to_string(), Value::Num(p.sim_ns)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema_version".to_string(), Value::Int(self.schema_version as i64)),
+            ("command".to_string(), Value::Str(self.command.clone())),
+            ("workload".to_string(), Value::Str(self.workload.clone())),
+            ("scheme".to_string(), Value::Str(self.scheme.clone())),
+            ("batch".to_string(), Value::Int(self.batch as i64)),
+            ("candidates".to_string(), Value::Int(self.candidates as i64)),
+            ("headline_ns".to_string(), Value::Num(self.headline_ns)),
+            ("sim_cycles".to_string(), Value::Int(self.sim_cycles as i64)),
+            ("phases".to_string(), Value::Arr(phases)),
+            ("metrics".to_string(), self.metrics.to_json_value()),
+            (
+                "notes".to_string(),
+                Value::Arr(self.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses a report produced by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the text is not valid JSON or a field is
+    /// missing or mistyped.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text)?;
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field '{name}'"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name).and_then(Value::as_u64).ok_or_else(|| format!("missing field '{name}'"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            v.get(name).and_then(Value::as_f64).ok_or_else(|| format!("missing field '{name}'"))
+        };
+        let mut phases = Vec::new();
+        for p in v
+            .get("phases")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing field 'phases'".to_string())?
+        {
+            phases.push(PhaseSpan {
+                name: p
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "phase missing name".to_string())?
+                    .to_string(),
+                wall_ns: p
+                    .get("wall_ns")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "phase missing wall_ns".to_string())?,
+                sim_cycles: p
+                    .get("sim_cycles")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| "phase missing sim_cycles".to_string())?,
+                sim_ns: p
+                    .get("sim_ns")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "phase missing sim_ns".to_string())?,
+            });
+        }
+        let metrics = MetricsReport::from_json_value(
+            v.get("metrics").ok_or_else(|| "missing field 'metrics'".to_string())?,
+        )?;
+        let mut notes = Vec::new();
+        for n in v
+            .get("notes")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing field 'notes'".to_string())?
+        {
+            notes.push(
+                n.as_str().ok_or_else(|| "note must be a string".to_string())?.to_string(),
+            );
+        }
+        Ok(RunReport {
+            schema_version: u64_field("schema_version")? as u32,
+            command: str_field("command")?,
+            workload: str_field("workload")?,
+            scheme: str_field("scheme")?,
+            batch: u64_field("batch")?,
+            candidates: u64_field("candidates")?,
+            headline_ns: f64_field("headline_ns")?,
+            sim_cycles: u64_field("sim_cycles")?,
+            phases,
+            metrics,
+            notes,
+        })
+    }
+}
+
+/// A wall-clock stopwatch for phase-scoped timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: std::time::Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e9
+    }
+
+    /// Elapsed nanoseconds, restarting the watch for the next phase.
+    pub fn lap_ns(&mut self) -> f64 {
+        let ns = self.elapsed_ns();
+        self.start = std::time::Instant::now();
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("simulate", "transformer", "enmc");
+        r.batch = 4;
+        r.candidates = 128;
+        r.headline_ns = 12_345.5;
+        r.sim_cycles = 900;
+        r.push_phase("synthesize", 5.0e6, 0, 0.0);
+        r.push_phase("screen", 1.0e6, 700, 583.1);
+        r.push_phase("gather", 3.0e5, 200, 166.6);
+        r.notes.push("one rank of 64".to_string());
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        reg.counter_add("dram.reads", &[("scheme", "enmc")], 512);
+        r.metrics = reg.snapshot();
+        r
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let r = sample();
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn consistency_checks_cycle_totals() {
+        let mut r = sample();
+        assert!(r.is_consistent());
+        r.sim_cycles += 1;
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let lap = sw.lap_ns();
+        assert!(lap > 0.0);
+        assert!(sw.elapsed_ns() >= 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Command-line argument validation for the `enmc` binary.
+//!
+//! The parsing itself stays in `main.rs`; this module holds the testable
+//! validation rules so bad inputs fail with a message that names the flag,
+//! the offending value, and the accepted range — instead of silently
+//! falling back to a default.
+
+/// Validates a `--batch` value: must parse as an integer ≥ 1.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_batch(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!("--batch must be >= 1, got '{raw}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--batch expects a positive integer, got '{raw}'")),
+    }
+}
+
+/// Validates a `--candidates` value: a finite fraction in `(0, 1]`.
+///
+/// Zero is rejected — a run computing no exact candidates degenerates to
+/// pure screening, which `--scheme` cannot express; use a small fraction
+/// instead.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_candidate_fraction(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(f) if f.is_finite() && f > 0.0 && f <= 1.0 => Ok(f),
+        Ok(_) => Err(format!("--candidates must be a fraction in (0, 1], got '{raw}'")),
+        Err(_) => Err(format!("--candidates expects a number in (0, 1], got '{raw}'")),
+    }
+}
+
+/// Validates a `--report` value.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted formats.
+pub fn parse_report_format(raw: &str) -> Result<ReportFormat, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "text" => Ok(ReportFormat::Text),
+        "json" => Ok(ReportFormat::Json),
+        _ => Err(format!("--report must be 'text' or 'json', got '{raw}'")),
+    }
+}
+
+/// Output format of `enmc simulate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable summary (the default).
+    Text,
+    /// A machine-readable [`enmc_obs::RunReport`] on stdout.
+    Json,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accepts_positive_integers() {
+        assert_eq!(parse_batch("1"), Ok(1));
+        assert_eq!(parse_batch("64"), Ok(64));
+    }
+
+    #[test]
+    fn batch_rejects_zero_and_junk() {
+        assert!(parse_batch("0").unwrap_err().contains(">= 1"));
+        assert!(parse_batch("-3").unwrap_err().contains("positive integer"));
+        assert!(parse_batch("four").unwrap_err().contains("'four'"));
+        assert!(parse_batch("2.5").is_err());
+        assert!(parse_batch("").is_err());
+    }
+
+    #[test]
+    fn fraction_accepts_half_open_unit_interval() {
+        assert_eq!(parse_candidate_fraction("0.05"), Ok(0.05));
+        assert_eq!(parse_candidate_fraction("1"), Ok(1.0));
+        assert_eq!(parse_candidate_fraction("1e-3"), Ok(1e-3));
+    }
+
+    #[test]
+    fn fraction_rejects_out_of_range_and_junk() {
+        assert!(parse_candidate_fraction("0").unwrap_err().contains("(0, 1]"));
+        assert!(parse_candidate_fraction("-0.1").is_err());
+        assert!(parse_candidate_fraction("1.5").is_err());
+        assert!(parse_candidate_fraction("NaN").is_err());
+        assert!(parse_candidate_fraction("inf").is_err());
+        assert!(parse_candidate_fraction("lots").unwrap_err().contains("'lots'"));
+    }
+
+    #[test]
+    fn report_format_parses() {
+        assert_eq!(parse_report_format("json"), Ok(ReportFormat::Json));
+        assert_eq!(parse_report_format("TEXT"), Ok(ReportFormat::Text));
+        assert!(parse_report_format("xml").unwrap_err().contains("'xml'"));
+    }
+}

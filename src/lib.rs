@@ -17,6 +17,7 @@
 //! | [`isa`] | `enmc-isa` | the ENMC instruction set + PRECHARGE-frame codec |
 //! | [`compiler`] | `enmc-compiler` | tiling compiler to instruction streams |
 //! | [`arch`] | `enmc-arch` | ENMC / NDA / Chameleon / TensorDIMM / CPU models |
+//! | [`obs`] | `enmc-obs` | event tracing, metrics registry, structured run reports |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 //! ```
 
 pub use enmc_arch as arch;
+pub use enmc_obs as obs;
 pub use enmc_compiler as compiler;
 pub use enmc_dram as dram;
 pub use enmc_isa as isa;
@@ -48,4 +50,5 @@ pub use enmc_model as model;
 pub use enmc_screen as screen;
 pub use enmc_tensor as tensor;
 
+pub mod cli;
 pub mod pipeline;

@@ -6,16 +6,23 @@
 //!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
 //!     --scheme <name>                cpu|cpu-as|nda|chameleon|tensordimm|enmc
 //!     --batch <n>                    batch size (default 1)
-//!     --candidates <fraction>        exact fraction (default per workload)
+//!     --candidates <fraction>        exact fraction in (0, 1] (default 0.05)
+//!     --trace-out <file>             write a Chrome/Perfetto trace JSON
+//!     --report <text|json>           output format (default text)
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
 //! ```
 
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc::cli::{parse_batch, parse_candidate_fraction, parse_report_format, ReportFormat};
+use enmc::dram::DramConfig;
 use enmc::isa::Program;
 use enmc::model::workloads::{Workload, WorkloadId};
-use enmc::pipeline::{Pipeline, PipelineConfig};
+use enmc::obs::report::Stopwatch;
+use enmc::obs::trace::export_chrome;
+use enmc::obs::TraceBuffer;
+use enmc::pipeline::{report_from_result, Pipeline, PipelineConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +45,7 @@ enmc — ENMC (MICRO'21) reproduction
 usage:
   enmc demo                       run the quickstart pipeline
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
+                [--trace-out FILE] [--report text|json]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
   enmc workloads                  list the Table 2 workloads
 
@@ -110,13 +118,31 @@ fn cmd_simulate(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let batch: usize = flag_value(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let frac: f64 =
-        flag_value(args, "--candidates").and_then(|v| v.parse().ok()).unwrap_or(0.05);
-    if batch == 0 || !(0.0..=1.0).contains(&frac) {
-        eprintln!("--batch must be >= 1 and --candidates in [0, 1]");
-        return 2;
-    }
+    let batch = match flag_value(args, "--batch").map(parse_batch).unwrap_or(Ok(1)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let frac = match flag_value(args, "--candidates")
+        .map(parse_candidate_fraction)
+        .unwrap_or(Ok(0.05))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let format = match flag_value(args, "--report").map(parse_report_format).unwrap_or(Ok(ReportFormat::Text)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let trace_out = flag_value(args, "--trace-out");
     let job = ClassificationJob {
         categories: workload.categories,
         hidden: workload.hidden,
@@ -125,11 +151,31 @@ fn cmd_simulate(args: &[String]) -> i32 {
         candidates: ((workload.categories as f64) * frac).round() as usize,
     };
     let sys = SystemModel::table3();
-    println!(
+    eprintln!(
         "simulating {} (l={}, d={}) batch {batch}, {} exact candidates",
         workload.abbr, workload.categories, workload.hidden, job.candidates
     );
-    let result = sys.run(&job, scheme);
+    let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
+    let sw = Stopwatch::start();
+    let result = sys.run_traced(&job, scheme, trace.as_mut());
+    let sim_wall_ns = sw.elapsed_ns();
+    if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
+        // Timestamps are DRAM-clock cycles; Chrome wants microseconds.
+        let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
+        let chrome = export_chrome(&tb.drain(), ns_per_cycle);
+        match std::fs::write(path, chrome) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let report = report_from_result("simulate", workload.abbr, &job, &result, sim_wall_ns);
+    if format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return 0;
+    }
     let cpu = sys.run(&job, Scheme::CpuFull);
     println!("  latency : {:.2} us", result.ns / 1e3);
     println!("  speedup : {:.1}x vs CPU full classification", result.speedup_over(&cpu));
@@ -149,6 +195,14 @@ fn cmd_simulate(args: &[String]) -> i32 {
             100.0 * r.dram.row_hit_rate(),
             100.0 * r.dram.bus_utilization()
         );
+        for p in &report.phases {
+            println!(
+                "  phase   : {:<10} {:>12} cycles  {:>10.2} us simulated",
+                p.name,
+                p.sim_cycles,
+                p.sim_ns / 1e3
+            );
+        }
     }
     0
 }

@@ -6,8 +6,11 @@
 //! performance projections. The heavy lifting lives in the sub-crates;
 //! this module wires them together the way the paper's evaluation does.
 
+use enmc_arch::baseline::BaselineKind;
 use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, SystemModel};
 use enmc_model::quality::{QualityAccumulator, QualityReport};
+use enmc_obs::report::{PhaseSpan, RunReport, Stopwatch};
+use enmc_obs::MetricsRegistry;
 use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};
 use enmc_screen::infer::{ApproxClassifier, SelectionPolicy};
 use enmc_screen::screener::{Screener, ScreenerConfig};
@@ -55,6 +58,9 @@ pub struct Pipeline {
     classifier: ApproxClassifier,
     system: SystemModel,
     config: PipelineConfig,
+    /// Wall-clock timing of the build phases (synthesize / distill /
+    /// assemble), in execution order.
+    build_phases: Vec<PhaseSpan>,
 }
 
 impl Pipeline {
@@ -66,6 +72,13 @@ impl Pipeline {
     /// Returns a description when the configuration is degenerate (zero
     /// dimensions, more clusters than categories, …).
     pub fn build(config: &PipelineConfig) -> Result<Self, String> {
+        let mut sw = Stopwatch::start();
+        let host_phase = |name: &str, wall_ns: f64| PhaseSpan {
+            name: name.to_string(),
+            wall_ns,
+            sim_cycles: 0,
+            sim_ns: 0.0,
+        };
         let synth_cfg = SynthesisConfig {
             categories: config.categories,
             hidden: config.hidden,
@@ -77,6 +90,7 @@ impl Pipeline {
             seed: config.seed,
         };
         let synth = SyntheticClassifier::generate(&synth_cfg)?;
+        let mut build_phases = vec![host_phase("synthesize", sw.lap_ns())];
         let screener_cfg = ScreenerConfig {
             scale: config.scale,
             precision: config.precision,
@@ -90,6 +104,7 @@ impl Pipeline {
             .map(|q| q.hidden)
             .collect();
         fit_least_squares(&mut screener, synth.weights(), synth.bias(), &train, 1e-4);
+        build_phases.push(host_phase("distill", sw.lap_ns()));
         let classifier = ApproxClassifier::new(
             synth.weights().clone(),
             synth.bias().clone(),
@@ -97,7 +112,14 @@ impl Pipeline {
             SelectionPolicy::TopM(config.candidates),
         )
         .map_err(|e| e.to_string())?;
-        Ok(Pipeline { synth, classifier, system: SystemModel::table3(), config: config.clone() })
+        build_phases.push(host_phase("assemble", sw.lap_ns()));
+        Ok(Pipeline {
+            synth,
+            classifier,
+            system: SystemModel::table3(),
+            config: config.clone(),
+            build_phases,
+        })
     }
 
     /// The synthetic workload.
@@ -148,6 +170,97 @@ impl Pipeline {
     pub fn simulate(&self, scheme: Scheme, batch: usize) -> SchemeResult {
         self.system.run(&self.job(batch), scheme)
     }
+
+    /// Wall-clock timing of the build phases (synthesize / distill /
+    /// assemble).
+    pub fn build_phases(&self) -> &[PhaseSpan] {
+        &self.build_phases
+    }
+
+    /// Simulates the job under `scheme` and returns the result together
+    /// with a structured [`RunReport`] whose phases include this pipeline's
+    /// build phases followed by the simulated phases.
+    pub fn run_report(&self, scheme: Scheme, batch: usize) -> (SchemeResult, RunReport) {
+        let sw = Stopwatch::start();
+        let result = self.simulate(scheme, batch);
+        let sim_wall_ns = sw.elapsed_ns();
+        let job = self.job(batch);
+        let mut report =
+            report_from_result("pipeline", "synthetic", &job, &result, sim_wall_ns);
+        report.phases.splice(0..0, self.build_phases.iter().cloned());
+        (result, report)
+    }
+}
+
+/// The CLI-facing name of a scheme (matches `enmc simulate --scheme`).
+pub fn scheme_label(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::CpuFull => "cpu",
+        Scheme::CpuScreened => "cpu-as",
+        Scheme::Baseline(BaselineKind::Nda) => "nda",
+        Scheme::Baseline(BaselineKind::Chameleon) => "chameleon",
+        Scheme::Baseline(BaselineKind::TensorDimm) => "tensordimm",
+        Scheme::Baseline(BaselineKind::TensorDimmLarge) => "tensordimm-large",
+        Scheme::Enmc => "enmc",
+    }
+}
+
+/// Builds a [`RunReport`] from one scheme run.
+///
+/// For simulated schemes the report carries the representative rank's
+/// screen / gather / activation phases — their cycle totals sum exactly to
+/// the headline `sim_cycles` — plus the full `unit.*` / `dram.*` metrics
+/// snapshot. `sim_wall_ns` (host time spent inside the simulator) is
+/// apportioned to the simulated phases by their cycle share. Analytic CPU
+/// schemes report a single zero-cycle `analytic` phase.
+pub fn report_from_result(
+    command: &str,
+    workload: &str,
+    job: &ClassificationJob,
+    result: &SchemeResult,
+    sim_wall_ns: f64,
+) -> RunReport {
+    let label = scheme_label(result.scheme);
+    let mut report = RunReport::new(command, workload, label);
+    report.batch = job.batch as u64;
+    report.candidates = job.candidates as u64;
+    report.headline_ns = result.ns;
+    match &result.rank_report {
+        Some(r) => {
+            report.sim_cycles = r.dram_cycles;
+            let ns_per_cycle =
+                if r.dram_cycles == 0 { 0.0 } else { r.ns / r.dram_cycles as f64 };
+            let phases = [
+                ("screen", r.screen_done_cycle),
+                ("gather", r.exec_done_cycle - r.screen_done_cycle),
+                ("activation", r.dram_cycles - r.exec_done_cycle),
+            ];
+            for (name, cycles) in phases {
+                let share = if r.dram_cycles == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / r.dram_cycles as f64
+                };
+                report.push_phase(
+                    name,
+                    sim_wall_ns * share,
+                    cycles,
+                    cycles as f64 * ns_per_cycle,
+                );
+            }
+            let mut registry = MetricsRegistry::new();
+            r.record_into(&mut registry, &[("scheme", label), ("workload", workload)]);
+            report.metrics = registry.snapshot();
+            report
+                .notes
+                .push("phases describe one representative rank-unit".to_string());
+        }
+        None => {
+            report.push_phase("analytic", sim_wall_ns, 0, result.ns);
+            report.notes.push("analytic CPU model; no cycle-level simulation".to_string());
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -184,6 +297,47 @@ mod tests {
         let cpu = p.simulate(Scheme::CpuFull, 1);
         let enmc = p.simulate_enmc();
         assert!(enmc.ns < cpu.ns);
+    }
+
+    #[test]
+    fn run_report_phases_sum_to_headline() {
+        let p = Pipeline::build(&PipelineConfig {
+            categories: 8192,
+            hidden: 128,
+            candidates: 128,
+            train_queries: 16,
+            seed: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let (result, report) = p.run_report(Scheme::Enmc, 1);
+        assert!(report.is_consistent(), "phase cycles must sum to the headline");
+        assert_eq!(report.sim_cycles, result.rank_report.as_ref().unwrap().dram_cycles);
+        // 3 build phases + screen/gather/activation.
+        assert_eq!(report.phases.len(), 6);
+        assert_eq!(report.scheme, "enmc");
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // Analytic schemes stay consistent with zero simulated cycles.
+        let (_, cpu) = p.run_report(Scheme::CpuFull, 1);
+        assert!(cpu.is_consistent());
+        assert_eq!(cpu.sim_cycles, 0);
+        assert_eq!(cpu.scheme, "cpu");
+    }
+
+    #[test]
+    fn build_phases_are_recorded() {
+        let p = Pipeline::build(&PipelineConfig {
+            categories: 1000,
+            hidden: 48,
+            candidates: 30,
+            train_queries: 16,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        let names: Vec<&str> = p.build_phases().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["synthesize", "distill", "assemble"]);
     }
 
     #[test]
