@@ -14,6 +14,7 @@ use crate::energy::{LogicEnergyModel, SystemEnergy};
 use crate::unit::{RankJob, RankUnit, UnitParams, UnitReport};
 use enmc_dram::energy::EnergyModel;
 use enmc_obs::trace::TraceBuffer;
+use enmc_par::SimConfig;
 
 /// A classification job at system scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -40,6 +41,34 @@ impl ClassificationJob {
             batch: self.batch,
             candidates_per_item: vec![self.candidates.div_ceil(ranks); self.batch],
         }
+    }
+
+    /// The exact per-rank slices of this job across `ranks` symmetric
+    /// units: every category and every candidate lands in exactly one
+    /// slice (earlier ranks absorb the remainders).
+    ///
+    /// Unlike [`ClassificationJob::rank_slice`] — which rounds the load up
+    /// to a representative worst-rank slice — the returned jobs partition
+    /// the work with no duplication, so simulating all of them yields the
+    /// whole system's traffic. When the job has fewer categories than
+    /// ranks, only `categories` non-empty slices are returned.
+    pub fn rank_jobs(&self, ranks: usize) -> Vec<RankJob> {
+        let cat_ranges = enmc_par::shard_ranges(self.categories, ranks);
+        let cand_ranges = enmc_par::shard_ranges(self.candidates, cat_ranges.len().max(1));
+        cat_ranges
+            .iter()
+            .enumerate()
+            .map(|(r, cats)| RankJob {
+                categories: cats.len(),
+                hidden: self.hidden,
+                reduced: self.reduced,
+                batch: self.batch,
+                candidates_per_item: vec![
+                    cand_ranges.get(r).map_or(0, |c| c.len());
+                    self.batch
+                ],
+            })
+            .collect()
     }
 
     /// The *worst* rank's slice when candidates skew toward popular
@@ -95,6 +124,34 @@ impl SchemeResult {
     /// Speedup of this result relative to `baseline`.
     pub fn speedup_over(&self, baseline: &SchemeResult) -> f64 {
         baseline.ns / self.ns
+    }
+}
+
+/// Result of a sharded full-system run ([`SystemModel::run_sharded`]):
+/// the scheme result plus the host-side parallel execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRun {
+    /// The merged scheme result (bit-identical for any worker count).
+    pub result: SchemeResult,
+    /// Worker threads the run executed on.
+    pub workers: usize,
+    /// Independent job shards simulated.
+    pub shards: usize,
+    /// Host wall-clock nanoseconds of the parallel region.
+    pub wall_ns: f64,
+    /// Summed per-shard host wall time (the sequential-equivalent cost).
+    pub shard_wall_ns: f64,
+}
+
+impl ShardedRun {
+    /// Observed parallel speedup: summed shard time over region wall
+    /// time. Approximately 1.0 on one worker.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ns > 0.0 {
+            self.shard_wall_ns / self.wall_ns
+        } else {
+            1.0
+        }
     }
 }
 
@@ -203,6 +260,70 @@ impl SystemModel {
         }
     }
 
+    /// Runs `job` with **every** rank-unit simulated on its exact job
+    /// slice (no representative-rank shortcut), the slices executed on
+    /// the worker pool `cfg` requests.
+    ///
+    /// The shard decomposition is fixed by the workload
+    /// ([`ClassificationJob::rank_jobs`]) and the reports merge in rank
+    /// order ([`UnitReport::merge_parallel`]), so the result is
+    /// bit-identical for any worker count — threads only change the
+    /// wall-clock time recorded in the returned [`ShardedRun`]. Analytic
+    /// CPU schemes have nothing to shard and run as a single unit of
+    /// work.
+    pub fn run_sharded(&self, job: &ClassificationJob, scheme: Scheme, cfg: &SimConfig) -> ShardedRun {
+        let workers = cfg.worker_count();
+        let sharded_units = match scheme {
+            Scheme::Enmc => Some((UnitParams::enmc(&self.enmc), self.total_ranks, LogicEnergyModel::enmc_table5())),
+            Scheme::Baseline(kind) => {
+                let units = kind.config().units_per_channel * 8;
+                let total_mw = match kind {
+                    BaselineKind::Nda => 293.6,
+                    BaselineKind::Chameleon => 249.0,
+                    BaselineKind::TensorDimm => 303.5,
+                    BaselineKind::TensorDimmLarge => 303.5 * 2.5,
+                };
+                Some((*NmpBaseline::new(kind).unit().params(), units, LogicEnergyModel::baseline(total_mw)))
+            }
+            Scheme::CpuFull | Scheme::CpuScreened => None,
+        };
+        let Some((params, units, logic_model)) = sharded_units else {
+            let wall = std::time::Instant::now();
+            let result = self.run(job, scheme);
+            let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
+            return ShardedRun { result, workers: 1, shards: 1, wall_ns, shard_wall_ns: wall_ns };
+        };
+
+        let jobs = job.rank_jobs(units);
+        let shards = jobs.len();
+        let wall = std::time::Instant::now();
+        let per_rank: Vec<(UnitReport, f64)> = enmc_par::par_map(workers, jobs, |_, rank_job| {
+            let shard_wall = std::time::Instant::now();
+            let report = RankUnit::new(params).simulate(&rank_job);
+            (report, shard_wall.elapsed().as_secs_f64() * 1e9)
+        });
+        let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
+        let shard_wall_ns: f64 = per_rank.iter().map(|(_, ns)| ns).sum();
+        let reports: Vec<UnitReport> = per_rank.into_iter().map(|(r, _)| r).collect();
+        let merged = UnitReport::merge_parallel(&reports);
+        // Every rank's own activity and always-on window, summed exactly.
+        let dram_model = EnergyModel::ddr4_2400_rank(1);
+        let mut energy = SystemEnergy::default();
+        for r in &reports {
+            let e = SystemEnergy::from_rank(r, 1, &dram_model, &logic_model);
+            energy.dram_static_nj += e.dram_static_nj;
+            energy.dram_access_nj += e.dram_access_nj;
+            energy.logic_nj += e.logic_nj;
+        }
+        let result = SchemeResult {
+            scheme,
+            ns: merged.ns,
+            energy: Some(energy),
+            rank_report: Some(merged),
+        };
+        ShardedRun { result, workers, shards, wall_ns, shard_wall_ns }
+    }
+
     /// Runs `job` on ENMC with candidate load imbalance `skew` (system
     /// latency = the straggler rank).
     pub fn run_enmc_skewed(&self, job: &ClassificationJob, skew: f64) -> SchemeResult {
@@ -252,6 +373,93 @@ mod tests {
         let slice = j.rank_slice(64);
         assert_eq!(slice.categories, 4096);
         assert_eq!(slice.candidates_per_item, vec![205]);
+    }
+
+    #[test]
+    fn rank_jobs_partition_exactly() {
+        let j = job();
+        for ranks in [1usize, 7, 64] {
+            let jobs = j.rank_jobs(ranks);
+            assert_eq!(jobs.len(), ranks);
+            let cats: usize = jobs.iter().map(|r| r.categories).sum();
+            let cands: usize = jobs.iter().map(|r| r.candidates_per_item[0]).sum();
+            assert_eq!(cats, j.categories, "{ranks} ranks drop/duplicate categories");
+            assert_eq!(cands, j.candidates, "{ranks} ranks drop/duplicate candidates");
+            let max = jobs.iter().map(|r| r.categories).max().unwrap();
+            let min = jobs.iter().map(|r| r.categories).min().unwrap();
+            assert!(max - min <= 1, "unbalanced category split");
+        }
+        // Degenerate: more ranks than categories → one category each.
+        let tiny = ClassificationJob { categories: 3, hidden: 8, reduced: 4, batch: 1, candidates: 2 };
+        let jobs = tiny.rank_jobs(64);
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs.iter().all(|r| r.categories == 1));
+        assert_eq!(jobs.iter().map(|r| r.candidates_per_item[0]).sum::<usize>(), 2);
+    }
+
+    fn small_job() -> ClassificationJob {
+        ClassificationJob { categories: 32_768, hidden: 128, reduced: 32, batch: 1, candidates: 512 }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_across_worker_counts() {
+        let sys = SystemModel::table3();
+        let j = small_job();
+        let seq = sys.run_sharded(&j, Scheme::Enmc, &enmc_par::SimConfig::sequential());
+        assert_eq!(seq.workers, 1);
+        assert_eq!(seq.shards, 64);
+        for threads in [2usize, 4] {
+            let par = sys.run_sharded(&j, Scheme::Enmc, &enmc_par::SimConfig::with_threads(threads));
+            assert_eq!(par.workers, threads);
+            assert_eq!(seq.result, par.result, "{threads} threads diverge");
+        }
+    }
+
+    #[test]
+    fn sharded_run_covers_the_whole_system() {
+        let sys = SystemModel::table3();
+        let j = small_job();
+        let sharded = sys.run_sharded(&j, Scheme::Enmc, &enmc_par::SimConfig::sequential());
+        let representative = sys.run(&j, Scheme::Enmc);
+        let merged = sharded.result.rank_report.expect("simulated");
+        let one = representative.rank_report.expect("simulated");
+        // All 64 ranks' screening traffic ≈ 64× the representative rank's
+        // (exact split vs div_ceil rounding makes it ≤).
+        assert!(merged.screen_bytes > 32 * one.screen_bytes);
+        assert!(merged.screen_bytes <= 64 * one.screen_bytes);
+        // Latency is a straggler, not a sum.
+        assert!(sharded.result.ns < 2.0 * representative.ns);
+        assert!(sharded.result.ns > 0.5 * representative.ns);
+        // Phase boundaries still tile the headline cycle count.
+        assert!(merged.screen_done_cycle <= merged.exec_done_cycle);
+        assert!(merged.exec_done_cycle <= merged.dram_cycles);
+    }
+
+    #[test]
+    fn sharded_cpu_schemes_fall_back_to_analytic() {
+        let sys = SystemModel::table3();
+        let j = small_job();
+        let run = sys.run_sharded(&j, Scheme::CpuFull, &enmc_par::SimConfig::with_threads(4));
+        assert_eq!(run.shards, 1);
+        assert_eq!(run.result.ns, sys.run(&j, Scheme::CpuFull).ns);
+    }
+
+    #[test]
+    fn merge_parallel_picks_lowest_index_straggler() {
+        use crate::unit::UnitReport;
+        let mut a = UnitReport::default();
+        a.dram_cycles = 100;
+        a.ns = 1.0;
+        a.screen_bytes = 10;
+        let mut b = UnitReport::default();
+        b.dram_cycles = 100;
+        b.ns = 2.0;
+        b.screen_bytes = 20;
+        let m = UnitReport::merge_parallel(&[a, b]);
+        assert_eq!(m.ns, 1.0, "tie must resolve to the first report");
+        assert_eq!(m.screen_bytes, 30, "traffic must sum");
+        let m2 = UnitReport::merge_parallel(&[b, a]);
+        assert_eq!(m2.ns, 2.0);
     }
 
     #[test]

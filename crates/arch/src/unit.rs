@@ -132,6 +132,48 @@ pub struct UnitReport {
 }
 
 impl UnitReport {
+    /// Merges the reports of symmetric rank-units that ran **in
+    /// parallel**, one job slice each, into a system-level report.
+    ///
+    /// Latency fields (`dram_cycles`, `ns`, and the phase boundaries)
+    /// come from the straggler — the unit with the largest cycle count,
+    /// ties broken by the lowest index, so the result does not depend on
+    /// the order results arrived in. Work counters (busy cycles and
+    /// traffic bytes) sum across units, and the DRAM statistics fold with
+    /// [`DramStats::merge_parallel`] in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reports` is empty.
+    pub fn merge_parallel(reports: &[UnitReport]) -> UnitReport {
+        assert!(!reports.is_empty(), "no rank reports to merge");
+        let straggler = reports
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.dram_cycles.cmp(&b.dram_cycles).then(ib.cmp(ia))
+            })
+            .map(|(_, r)| r)
+            .expect("nonempty");
+        let mut merged = UnitReport {
+            dram_cycles: straggler.dram_cycles,
+            ns: straggler.ns,
+            sfu_cycles: straggler.sfu_cycles,
+            screen_done_cycle: straggler.screen_done_cycle,
+            exec_done_cycle: straggler.exec_done_cycle,
+            ..UnitReport::default()
+        };
+        for r in reports {
+            merged.screener_busy += r.screener_busy;
+            merged.executor_busy += r.executor_busy;
+            merged.screen_bytes += r.screen_bytes;
+            merged.exact_bytes += r.exact_bytes;
+            merged.spill_bytes += r.spill_bytes;
+            merged.dram.merge_parallel(&r.dram);
+        }
+        merged
+    }
+
     /// Records the unit's counters (plus its DRAM statistics via
     /// [`DramStats::record_into`]) into a metrics registry under the
     /// `unit.` / `dram.` prefixes.

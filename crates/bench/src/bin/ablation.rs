@@ -11,6 +11,7 @@ use enmc_arch::config::EnmcConfig;
 use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::{par_rows, sim_config};
 
 fn job() -> RankJob {
     // One rank's slice of a Transformer-W268K-like job with ~5% candidates.
@@ -32,33 +33,32 @@ fn main() {
     let base_ns = run(base);
     println!("ENMC design-choice ablations (one rank, Transformer-like slice, batch 2)\n");
     let mut t = Table::new(&["variant", "latency (us)", "slowdown vs ENMC"]);
-    let mut row = |name: &str, params: UnitParams| {
-        let ns = run(params);
+
+    let variants: Vec<(&str, UnitParams)> = vec![
+        ("ENMC (Table 3)", base),
+        // Screening precision: wider storage = more DRAM traffic; the MAC
+        // count stays at 128 lanes of the corresponding width.
+        ("screening at INT8", UnitParams { screen_bits: 8, ..base }),
+        ("screening at FP32", UnitParams { screen_bits: 32, ..base }),
+        // Remove the comparator array: logits spill to DRAM and are re-read
+        // for a compute-based filter (the naive-NMP path of §7.2).
+        ("no inline filter (spill + refilter)", UnitParams { inline_filter: false, ..base }),
+        // Serialize the dual modules: the Executor waits for screening.
+        ("serial Screener→Executor", UnitParams { serial_phases: true, ..base }),
+        // Prefetch depth (double buffering).
+        ("prefetch depth 1 (no double buffer)", UnitParams { prefetch_depth: 1, ..base }),
+        ("prefetch depth 4", UnitParams { prefetch_depth: 4, ..base }),
+        // MAC array width.
+        ("32 INT4 MACs", UnitParams { screen_macs_per_cycle: 32.0, ..base }),
+        ("64 INT4 MACs", UnitParams { screen_macs_per_cycle: 64.0, ..base }),
+        ("256 INT4 MACs", UnitParams { screen_macs_per_cycle: 256.0, ..base }),
+    ];
+    // Each variant simulates independently; shard them across the bench
+    // workers (rows keep the listed order).
+    let rows = par_rows(&sim_config(), variants, |&(name, params)| (name, run(params)));
+    for (name, ns) in rows {
         t.row_owned(vec![name.into(), fmt(ns / 1e3, 2), format!("{:.2}x", ns / base_ns)]);
-    };
-
-    row("ENMC (Table 3)", base);
-
-    // Screening precision: wider storage = more DRAM traffic; the MAC
-    // count stays at 128 lanes of the corresponding width.
-    row("screening at INT8", UnitParams { screen_bits: 8, ..base });
-    row("screening at FP32", UnitParams { screen_bits: 32, ..base });
-
-    // Remove the comparator array: logits spill to DRAM and are re-read
-    // for a compute-based filter (the naive-NMP path of §7.2).
-    row("no inline filter (spill + refilter)", UnitParams { inline_filter: false, ..base });
-
-    // Serialize the dual modules: the Executor waits for screening.
-    row("serial Screener→Executor", UnitParams { serial_phases: true, ..base });
-
-    // Prefetch depth (double buffering).
-    row("prefetch depth 1 (no double buffer)", UnitParams { prefetch_depth: 1, ..base });
-    row("prefetch depth 4", UnitParams { prefetch_depth: 4, ..base });
-
-    // MAC array width.
-    row("32 INT4 MACs", UnitParams { screen_macs_per_cycle: 32.0, ..base });
-    row("64 INT4 MACs", UnitParams { screen_macs_per_cycle: 64.0, ..base });
-    row("256 INT4 MACs", UnitParams { screen_macs_per_cycle: 256.0, ..base });
+    }
 
     t.print();
     let mut rep = Reporter::from_env("ablation");

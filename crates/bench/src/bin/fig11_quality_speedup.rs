@@ -11,7 +11,7 @@
 
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, fmt_speedup, Table};
-use enmc_bench::{eval_shape, fit_pipeline};
+use enmc_bench::{eval_shape, fit_pipeline, par_rows, sim_config};
 use enmc_model::quality::QualityAccumulator;
 use enmc_model::workloads::WorkloadId;
 use enmc_screen::cost::{ClassificationCost, CpuCostModel};
@@ -25,14 +25,16 @@ const FRACTIONS: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.15];
 
 fn main() {
     let cpu = CpuCostModel::default();
+    let cfg = sim_config();
     let mut rep = Reporter::from_env("fig11_quality_speedup");
     println!("Figure 11: quality vs speedup — AS vs SVD-softmax vs FGD");
     println!("(eval shapes; quality vs exact full classification on the same queries)\n");
 
-    for id in WorkloadId::table2() {
+    // Each workload's frontier is independent; shard them across the bench
+    // workers (the output order stays fixed).
+    let tables = par_rows(&cfg, WorkloadId::table2().to_vec(), |&id| {
         let w = id.workload();
         let (l, d) = eval_shape(&w);
-        println!("== {} (eval shape {}x{}) ==", w.abbr, l, d);
         let mut t = Table::new(&["method", "setting", "top-1 agree", "ppl ratio", "P@10", "speedup"]);
 
         // --- Approximate Screening (the paper's method, INT4, scale 0.25).
@@ -121,8 +123,12 @@ fn main() {
                 fmt_speedup(cpu.speedup(&full_cost, &mean_cost)),
             ]);
         }
+        (w, l, d, t)
+    });
+    for (w, l, d, t) in &tables {
+        println!("== {} (eval shape {}x{}) ==", w.abbr, l, d);
         t.print();
-        rep.table(w.abbr, &t);
+        rep.table(w.abbr, t);
         println!();
     }
     rep.finish();

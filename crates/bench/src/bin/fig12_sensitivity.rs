@@ -3,7 +3,7 @@
 
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
-use enmc_bench::{eval_shape, fit_pipeline};
+use enmc_bench::{eval_shape, fit_pipeline, par_rows, sim_config};
 use enmc_model::quality::QualityAccumulator;
 use enmc_model::workloads::WorkloadId;
 use enmc_screen::infer::SelectionPolicy;
@@ -44,10 +44,13 @@ fn main() {
         100.0 * TIGHT_FRACTION
     );
 
+    let cfg = sim_config();
     println!("(a) Parameter-reduction scale (at INT4):\n");
     let mut t = Table::new(&["scale", "k", "top-1 agree", "ppl ratio", "P@10"]);
-    for scale in [0.0625, 0.125, 0.25, 0.5] {
-        let (agree, ppl, p10) = evaluate(id, scale, Precision::Int4);
+    let scales = vec![0.0625, 0.125, 0.25, 0.5];
+    // Every sweep point refits from scratch — shard them across workers.
+    let rows = par_rows(&cfg, scales, |&scale| (scale, evaluate(id, scale, Precision::Int4)));
+    for (scale, (agree, ppl, p10)) in rows {
         t.row_owned(vec![
             format!("{scale}"),
             format!("{}", ((d as f64) * scale).round() as usize),
@@ -61,8 +64,10 @@ fn main() {
 
     println!("\n(b) Quantization level (at scale 0.25):\n");
     let mut t = Table::new(&["precision", "top-1 agree", "ppl ratio", "P@10"]);
-    for precision in Precision::sweep() {
-        let (agree, ppl, p10) = evaluate(id, 0.25, precision);
+    let rows = par_rows(&cfg, Precision::sweep().to_vec(), |&precision| {
+        (precision, evaluate(id, 0.25, precision))
+    });
+    for (precision, (agree, ppl, p10)) in rows {
         t.row_owned(vec![precision.to_string(), fmt(agree, 3), fmt(ppl, 3), fmt(p10, 3)]);
     }
     t.print();

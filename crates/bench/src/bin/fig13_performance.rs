@@ -6,8 +6,8 @@
 //! paper); the CPU normalization baseline runs full classification.
 
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
-use enmc_bench::candidate_fraction;
 use enmc_bench::report::Reporter;
+use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_bench::table::{fmt_speedup, Table};
 use enmc_model::workloads::WorkloadId;
 use enmc_tensor::stats::geometric_mean;
@@ -27,28 +27,37 @@ fn main() {
     let mut t = Table::new(&[
         "Workload", "Batch", "CPU+AS", "NDA", "Chameleon", "TensorDIMM", "ENMC",
     ]);
-    for id in WorkloadId::table2() {
+    let cfg = sim_config();
+    let points: Vec<(WorkloadId, usize)> = WorkloadId::table2()
+        .iter()
+        .flat_map(|&id| [1usize, 2, 4].map(|batch| (id, batch)))
+        .collect();
+    // Every (workload, batch) point simulates independently; shard them
+    // across the bench workers. Rows come back in sweep order.
+    let rows = par_rows(&cfg, points, |&(id, batch)| {
         let w = id.workload();
-        let k = (w.hidden / 4).max(1);
-        let m = ((w.categories as f64) * candidate_fraction(id)).round() as usize;
-        for batch in [1usize, 2, 4] {
-            let job = ClassificationJob {
-                categories: w.categories,
-                hidden: w.hidden,
-                reduced: k,
-                batch,
-                candidates: m,
-            };
-            let cpu_full = sys.run(&job, Scheme::CpuFull);
-            let results = sys.run_figure13_schemes(&job);
-            let mut cells = vec![w.abbr.to_string(), batch.to_string()];
-            for (i, r) in results.iter().enumerate() {
-                let s = r.speedup_over(&cpu_full);
-                per_scheme[i].1.push(s);
-                cells.push(fmt_speedup(s));
-            }
-            t.row_owned(cells);
+        let job = ClassificationJob {
+            categories: w.categories,
+            hidden: w.hidden,
+            reduced: (w.hidden / 4).max(1),
+            batch,
+            candidates: ((w.categories as f64) * candidate_fraction(id)).round() as usize,
+        };
+        let cpu_full = sys.run(&job, Scheme::CpuFull);
+        let speedups: Vec<f64> = sys
+            .run_figure13_schemes(&job)
+            .iter()
+            .map(|r| r.speedup_over(&cpu_full))
+            .collect();
+        (w.abbr, batch, speedups)
+    });
+    for (abbr, batch, speedups) in rows {
+        let mut cells = vec![abbr.to_string(), batch.to_string()];
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_scheme[i].1.push(s);
+            cells.push(fmt_speedup(s));
         }
+        t.row_owned(cells);
     }
     t.print();
     let mut rep = Reporter::from_env("fig13_performance");

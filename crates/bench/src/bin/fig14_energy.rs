@@ -4,9 +4,9 @@
 
 use enmc_arch::baseline::BaselineKind;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
-use enmc_bench::candidate_fraction;
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_model::workloads::WorkloadId;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
     ]);
     let mut ratios_td = Vec::new();
     let mut ratios_tdl = Vec::new();
-    for id in WorkloadId::table2() {
+    let cfg = sim_config();
+    // One independent three-scheme simulation per workload; shard them
+    // across the bench workers.
+    let runs = par_rows(&cfg, WorkloadId::table2().to_vec(), |&id| {
         let w = id.workload();
         let job = ClassificationJob {
             categories: w.categories,
@@ -35,10 +38,13 @@ fn main() {
             .energy
             .expect("simulated");
         let enmc = sys.run(&job, Scheme::Enmc).energy.expect("simulated");
+        (w.abbr, td, tdl, enmc)
+    });
+    for (abbr, td, tdl, enmc) in &runs {
         let norm = td.total_nj();
-        for (name, e) in [("TensorDIMM", &td), ("TensorDIMM-L", &tdl), ("ENMC", &enmc)] {
+        for (name, e) in [("TensorDIMM", td), ("TensorDIMM-L", tdl), ("ENMC", enmc)] {
             t.row_owned(vec![
-                w.abbr.to_string(),
+                abbr.to_string(),
                 name.to_string(),
                 fmt(e.dram_static_nj / norm, 3),
                 fmt(e.dram_access_nj / norm, 3),

@@ -10,9 +10,9 @@ use enmc_arch::baseline::BaselineKind;
 use enmc_arch::cpu::CpuModel;
 use enmc_arch::endtoend::end_to_end;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
-use enmc_bench::candidate_fraction;
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt_speedup, Table};
+use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_model::workloads::WorkloadId;
 
 fn main() {
@@ -28,7 +28,10 @@ fn main() {
     let mut t = Table::new(&["Dataset", "CPU", "TensorDIMM", "TensorDIMM-L", "ENMC"]);
     let mut adv_td = Vec::new();
     let mut adv_tdl = Vec::new();
-    for id in WorkloadId::scaling() {
+    let cfg = sim_config();
+    // The three datasets simulate independently; shard them across the
+    // bench workers.
+    let rows = par_rows(&cfg, WorkloadId::scaling().to_vec(), |&id| {
         let w = id.workload();
         let fe_ops = w.front_end.ops_per_query();
         // Scaled job: each rank simulates 1/scale of its slice; streaming
@@ -45,7 +48,7 @@ fn main() {
         let unscale = |ns: f64| ns * scale as f64;
 
         let cpu_serial = cpu.front_end_ns(fe_ops, 1)
-            + unscale(sys.run(&job, Scheme::CpuFull).ns) ;
+            + unscale(sys.run(&job, Scheme::CpuFull).ns);
         let mut row = vec![w.abbr.to_string(), "1.0x".to_string()];
         let mut scheme_ns = Vec::new();
         for scheme in [
@@ -58,6 +61,9 @@ fn main() {
             scheme_ns.push(ns);
             row.push(fmt_speedup(cpu_serial / ns));
         }
+        (row, scheme_ns)
+    });
+    for (row, scheme_ns) in rows {
         adv_td.push(scheme_ns[0] / scheme_ns[2]);
         adv_tdl.push(scheme_ns[1] / scheme_ns[2]);
         t.row_owned(row);

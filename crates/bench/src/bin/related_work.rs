@@ -6,40 +6,72 @@
 //! methods truncate the output distribution; this harness quantifies both
 //! on the same synthetic workload.
 
-use enmc_bench::fit_pipeline;
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, fmt_speedup, Table};
-use enmc_model::quality::QualityAccumulator;
+use enmc_bench::{fit_pipeline, sim_config};
+use enmc_model::quality::{QualityAccumulator, QualityReport};
+use enmc_model::synth::Query;
 use enmc_model::workloads::WorkloadId;
+use enmc_par::SimConfig;
 use enmc_screen::cost::{ClassificationCost, CpuCostModel};
 use enmc_screen::hierarchical::Hierarchical;
 use enmc_screen::mach::{Mach, MachConfig};
 use enmc_tensor::quant::Precision;
+use enmc_tensor::Vector;
 
 const QUERIES: usize = 100;
 
+/// Scores one method over the query set, sharded across the bench
+/// workers (8 fixed shards merged in order — worker-count independent).
+fn score<F>(
+    cfg: &SimConfig,
+    queries: &[Query],
+    full_logits: impl Fn(&Query) -> Vector + Sync,
+    f: F,
+) -> (QualityReport, ClassificationCost)
+where
+    F: Fn(&Query) -> (Vector, ClassificationCost) + Sync,
+{
+    let shards = enmc_par::shard_ranges(queries.len(), 8);
+    let parts = enmc_par::par_map(cfg.worker_count(), shards, |_, range| {
+        let mut acc = QualityAccumulator::new(10);
+        let mut cost = ClassificationCost::default();
+        for q in &queries[range] {
+            let full = full_logits(q);
+            let (logits, c) = f(q);
+            acc.add(full.as_slice(), logits.as_slice(), q.target);
+            cost = cost.add(&c);
+        }
+        (acc, cost)
+    });
+    let mut acc = QualityAccumulator::new(10);
+    let mut cost = ClassificationCost::default();
+    for (a, c) in &parts {
+        acc.merge(a);
+        cost = cost.add(c);
+    }
+    (acc.finish(), cost)
+}
+
 fn main() {
     let cpu = CpuCostModel::default();
+    let cfg = sim_config();
     let id = WorkloadId::Xmlcnn670K;
-    let mut fitted = fit_pipeline(id, 0.25, Precision::Int4, 42);
+    let fitted = fit_pipeline(id, 0.25, Precision::Int4, 42);
     let (l, d) = fitted.shape;
     println!("Related-work comparison on {} (eval shape {l}x{d})\n", fitted.workload.abbr);
     let queries = fitted.synth.sample_queries_seeded(QUERIES, 99);
+    let full = |q: &Query| fitted.synth.full_logits(&q.hidden);
     let full_cost = ClassificationCost::full(l, d, 1);
 
     let mut t = Table::new(&["method", "setting", "top-1 agree", "P@10", "memory", "speedup"]);
 
     // Approximate Screening at the paper's configuration.
     {
-        let mut acc = QualityAccumulator::new(10);
-        let mut cost = ClassificationCost::default();
-        for q in &queries {
-            let full = fitted.synth.full_logits(&q.hidden);
-            let out = fitted.classifier.classify(&q.hidden);
-            acc.add(full.as_slice(), out.logits.as_slice(), q.target);
-            cost = cost.add(&out.cost);
-        }
-        let r = acc.finish();
+        let (r, cost) = score(&cfg, &queries, full, |q| {
+            let out = fitted.classifier.classify_ref(&q.hidden);
+            (out.logits, out.cost)
+        });
         let mean = mean_cost(&cost, QUERIES);
         t.row_owned(vec![
             "AS".into(),
@@ -59,15 +91,7 @@ fn main() {
             &[],
         )
         .expect("valid MACH config");
-        let mut acc = QualityAccumulator::new(10);
-        let mut cost = ClassificationCost::default();
-        for q in &queries {
-            let full = fitted.synth.full_logits(&q.hidden);
-            let (logits, c) = mach.classify(&q.hidden);
-            acc.add(full.as_slice(), logits.as_slice(), q.target);
-            cost = cost.add(&c);
-        }
-        let r = acc.finish();
+        let (r, cost) = score(&cfg, &queries, full, |q| mach.classify(&q.hidden));
         let mean = mean_cost(&cost, QUERIES);
         t.row_owned(vec![
             "MACH".into(),
@@ -88,15 +112,10 @@ fn main() {
     )
     .expect("valid hierarchy");
     for top in [2usize, 8] {
-        let mut acc = QualityAccumulator::new(10);
-        let mut cost = ClassificationCost::default();
-        for q in &queries {
-            let full = fitted.synth.full_logits(&q.hidden);
+        let (r, cost) = score(&cfg, &queries, full, |q| {
             let (logits, _, c) = hier.classify(&q.hidden, top);
-            acc.add(full.as_slice(), logits.as_slice(), q.target);
-            cost = cost.add(&c);
-        }
-        let r = acc.finish();
+            (logits, c)
+        });
         let mean = mean_cost(&cost, QUERIES);
         t.row_owned(vec![
             "Hier. softmax".into(),

@@ -6,6 +6,7 @@ use enmc_arch::scaleout::{scale_out, Network};
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::{par_rows, sim_config};
 
 fn main() {
     let sys = SystemModel::table3();
@@ -22,15 +23,19 @@ fn main() {
     println!("ENMC scale-out: S10M-class catalogue sharded over N nodes\n");
     let mut t = Table::new(&["nodes", "latency (us)", "speedup", "network share", "efficiency"]);
     let base = scale_out(&sys, &net, &job, Scheme::Enmc, 1);
-    for nodes in [1usize, 2, 4, 8, 16, 32] {
+    // Node counts simulate independently; shard them across the workers.
+    let rows = par_rows(&sim_config(), vec![1usize, 2, 4, 8, 16, 32], |&nodes| {
         let r = scale_out(&sys, &net, &job, Scheme::Enmc, nodes);
-        t.row_owned(vec![
+        vec![
             nodes.to_string(),
             fmt(r.ns / 1e3, 1),
             format!("{:.1}x", base.ns / r.ns),
             format!("{:.1}%", 100.0 * r.network_share),
             format!("{:.0}%", 100.0 * r.efficiency),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t.print();
     let mut rep = Reporter::from_env("scaleout");

@@ -11,6 +11,7 @@ use enmc_arch::throughput::{saturation_period_ns, serve, ServeConfig};
 use enmc_arch::unit::{RankJob, RankUnit, UnitParams};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::{par_rows, sim_config};
 
 fn main() {
     let template = RankJob {
@@ -27,24 +28,31 @@ fn main() {
     let mut t = Table::new(&[
         "engine", "load (kQPS)", "mean lat (us)", "p95 lat (us)", "mean batch", "state",
     ]);
-    for (name, unit) in [("ENMC", &enmc), ("TensorDIMM", td.unit())] {
+    let grid: Vec<(&str, &RankUnit, f64)> = [("ENMC", &enmc), ("TensorDIMM", td.unit())]
+        .into_iter()
+        .flat_map(|(name, unit)| [0.3, 0.7, 1.2, 2.0].map(|load| (name, unit, load)))
+        .collect();
+    // Every (engine, load) point serves its own 400-query stream; shard
+    // the grid across the bench workers.
+    let rows = par_rows(&sim_config(), grid, |&(name, unit, load)| {
         let svc1 = unit.simulate(&template).ns;
-        for load in [0.3, 0.7, 1.2, 2.0] {
-            let period = svc1 / load;
-            let r = serve(
-                unit,
-                &template,
-                &ServeConfig { arrival_period_ns: period, max_batch: 4, queries: 400 },
-            );
-            t.row_owned(vec![
-                name.into(),
-                fmt(1e6 / period, 1),
-                fmt(r.mean_ns / 1e3, 1),
-                fmt(r.p95_ns / 1e3, 1),
-                fmt(r.mean_batch, 2),
-                if r.saturated { "SATURATED" } else { "stable" }.into(),
-            ]);
-        }
+        let period = svc1 / load;
+        let r = serve(
+            unit,
+            &template,
+            &ServeConfig { arrival_period_ns: period, max_batch: 4, queries: 400 },
+        );
+        vec![
+            name.into(),
+            fmt(1e6 / period, 1),
+            fmt(r.mean_ns / 1e3, 1),
+            fmt(r.p95_ns / 1e3, 1),
+            fmt(r.mean_batch, 2),
+            if r.saturated { "SATURATED" } else { "stable" }.into(),
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     t.print();
     let mut rep = Reporter::from_env("serving");

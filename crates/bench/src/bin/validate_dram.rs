@@ -10,6 +10,7 @@
 
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::{par_rows, sim_config};
 use enmc_dram::{AddressMapping, DramConfig, DramSystem, MemRequest};
 
 fn run_pattern(mapping: AddressMapping, addrs: &[u64]) -> (f64, f64, f64) {
@@ -49,15 +50,11 @@ fn main() {
 
     // 2. Sequential stream with the bank-group-interleaved mapping.
     let seq: Vec<u64> = (0..n).map(|i| i * 64).collect();
-    let (bw, hit, util) = run_pattern(AddressMapping::RoRaBaCoBg, &seq);
-    table.row_owned(vec!["sequential (Bg-interleaved)".into(), fmt(bw, 1), fmt(hit, 3), fmt(util, 3)]);
 
     // 3. Single-bank column walk (pays tCCD_L).
     let org = cfg.organization;
     let bank_stride = 64 * org.bank_groups as u64; // stay in bank group 0, bank 0
     let single: Vec<u64> = (0..n).map(|i| i * bank_stride).collect();
-    let (bw2, hit2, util2) = run_pattern(AddressMapping::RoRaBaCoBg, &single);
-    table.row_owned(vec!["single-bank column walk".into(), fmt(bw2, 1), fmt(hit2, 3), fmt(util2, 3)]);
 
     // 4. Random rows (every access a fresh row).
     let mut lcg: u64 = 12345;
@@ -67,8 +64,21 @@ fn main() {
             ((lcg >> 20) % org.channel_bytes()) & !63
         })
         .collect();
-    let (bw3, hit3, util3) = run_pattern(AddressMapping::RoRaBaCoBg, &rand);
-    table.row_owned(vec!["random rows".into(), fmt(bw3, 1), fmt(hit3, 3), fmt(util3, 3)]);
+
+    // The three patterns drive independent simulator instances; shard
+    // them across the bench workers.
+    let patterns: Vec<(&str, Vec<u64>)> = vec![
+        ("sequential (Bg-interleaved)", seq),
+        ("single-bank column walk", single),
+        ("random rows", rand),
+    ];
+    let rows = par_rows(&sim_config(), patterns, |(name, addrs)| {
+        let (bw, hit, util) = run_pattern(AddressMapping::RoRaBaCoBg, addrs);
+        vec![(*name).into(), fmt(bw, 1), fmt(hit, 3), fmt(util, 3)]
+    });
+    for row in rows {
+        table.row_owned(row);
+    }
 
     table.print();
     let mut rep = Reporter::from_env("validate_dram");

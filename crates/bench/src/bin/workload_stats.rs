@@ -4,7 +4,7 @@
 
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
-use enmc_bench::{eval_shape, fit_pipeline};
+use enmc_bench::{eval_shape, fit_pipelines, sim_config};
 use enmc_model::statistics::measure;
 use enmc_model::workloads::WorkloadId;
 use enmc_tensor::quant::Precision;
@@ -14,8 +14,9 @@ fn main() {
     let mut t = Table::new(&[
         "Workload", "eval shape", "top-10 mass", "entropy (nats)", "spectral mass", "head mass",
     ]);
-    for id in WorkloadId::table2() {
-        let fitted = fit_pipeline(id, 0.25, Precision::Int4, 42);
+    let fitted_all =
+        fit_pipelines(&WorkloadId::table2(), 0.25, Precision::Int4, 42, &sim_config());
+    for fitted in &fitted_all {
         let (l, d) = eval_shape(&fitted.workload);
         let s = measure(&fitted.synth, 80, 7);
         t.row_owned(vec![

@@ -17,12 +17,55 @@
 pub mod report;
 pub mod table;
 
+use enmc_par::SimConfig;
 use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};
 use enmc_model::workloads::{Workload, WorkloadId};
 use enmc_screen::infer::{ApproxClassifier, SelectionPolicy};
 use enmc_screen::screener::{Screener, ScreenerConfig};
 use enmc_screen::train::fit_least_squares;
 use enmc_tensor::quant::Precision;
+
+/// Bench-wide execution policy: `--threads N` on the command line wins,
+/// then the `ENMC_THREADS` environment hook, else sequential. Every
+/// figure/table binary reads its policy from here so the CI matrix can
+/// drive the whole harness through one environment variable.
+pub fn sim_config() -> SimConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    match flag.or_else(enmc_par::env_threads) {
+        Some(n) => SimConfig::with_threads(n),
+        None => SimConfig::sequential(),
+    }
+}
+
+/// Maps `f` over `items` under the bench execution policy. Results keep
+/// the input order, so a parallel harness run prints exactly the
+/// sequential output — `--threads` only changes wall-clock time.
+pub fn par_rows<T, U, F>(cfg: &SimConfig, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    enmc_par::par_map(cfg.worker_count(), items, |_, item| f(&item))
+}
+
+/// Fits several workloads under the bench execution policy; the results
+/// always come back in `ids` order.
+pub fn fit_pipelines(
+    ids: &[WorkloadId],
+    scale: f64,
+    precision: Precision,
+    seed: u64,
+    cfg: &SimConfig,
+) -> Vec<FittedWorkload> {
+    par_rows(cfg, ids.to_vec(), |&id| fit_pipeline(id, scale, precision, seed))
+}
 
 /// Algorithm-level evaluation shape for a workload: a representative slice
 /// of the category space that fits comfortably in memory, with the hidden
@@ -117,13 +160,16 @@ pub fn fit_pipeline(id: WorkloadId, scale: f64, precision: Precision, seed: u64)
         .collect();
     fit_least_squares(&mut screener, synth.weights(), synth.bias(), &train, 1e-4);
     let m = ((l as f64) * candidate_fraction(id)).round() as usize;
-    let classifier = ApproxClassifier::new(
+    let mut classifier = ApproxClassifier::new(
         synth.weights().clone(),
         synth.bias().clone(),
         screener,
         SelectionPolicy::TopM(m.max(1)),
     )
     .expect("shape-consistent classifier");
+    // Frozen so the harness binaries can classify through shared
+    // references when sharding query loops across workers.
+    classifier.freeze();
     FittedWorkload { workload, synth, classifier, shape: (l, d) }
 }
 
@@ -157,5 +203,14 @@ mod tests {
         let f = fit_pipeline(WorkloadId::GnmtE32K, 0.25, Precision::Fp32, 1);
         assert_eq!(f.classifier.categories(), f.shape.0);
         assert_eq!(f.synth.hidden(), f.shape.1);
+    }
+
+    #[test]
+    fn par_rows_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq = par_rows(&SimConfig::sequential(), items.clone(), |&i| i * i);
+        let par = par_rows(&SimConfig::with_threads(4), items, |&i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq[36], 36 * 36);
     }
 }

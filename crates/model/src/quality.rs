@@ -96,6 +96,24 @@ impl QualityAccumulator {
         self.nlp_approx_sum += neg_log_prob(approx, target);
     }
 
+    /// Absorbs another accumulator's queries, e.g. one evaluated on a
+    /// different shard of the batch. Merging shard accumulators in shard
+    /// order reproduces the sequential accumulation exactly: the counters
+    /// are sums, so the result is independent of how the shards were
+    /// scheduled — only of the shard boundaries and merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulators measure different `k`.
+    pub fn merge(&mut self, other: &QualityAccumulator) {
+        assert_eq!(self.k, other.k, "precision@k mismatch");
+        self.n += other.n;
+        self.top1_hits += other.top1_hits;
+        self.p_at_k_sum += other.p_at_k_sum;
+        self.nlp_full_sum += other.nlp_full_sum;
+        self.nlp_approx_sum += other.nlp_approx_sum;
+    }
+
     /// Number of queries accumulated so far.
     pub fn len(&self) -> usize {
         self.n
@@ -180,6 +198,44 @@ mod tests {
     #[should_panic(expected = "no queries")]
     fn finish_requires_data() {
         QualityAccumulator::new(1).finish();
+    }
+
+    #[test]
+    fn merged_shards_match_sequential_accumulation() {
+        let queries: Vec<(Vec<f32>, Vec<f32>, usize)> = (0..12)
+            .map(|i| {
+                let full = vec![i as f32, 1.0, 2.0, 0.5];
+                let approx = vec![i as f32 * 0.9, 1.1, 2.0, 0.4];
+                (full, approx, i % 4)
+            })
+            .collect();
+        let mut seq = QualityAccumulator::new(2);
+        for (f, a, t) in &queries {
+            seq.add(f, a, *t);
+        }
+        let mut merged = QualityAccumulator::new(2);
+        for shard in queries.chunks(5) {
+            let mut acc = QualityAccumulator::new(2);
+            for (f, a, t) in shard {
+                acc.add(f, a, *t);
+            }
+            merged.merge(&acc);
+        }
+        assert_eq!(merged.len(), seq.len());
+        let (m, s) = (merged.finish(), seq.finish());
+        assert_eq!(m.top1_agreement, s.top1_agreement);
+        assert_eq!(m.k, s.k);
+        // The float sums re-associate across shards; equal up to rounding.
+        assert!((m.precision_at_k - s.precision_at_k).abs() < 1e-12);
+        assert!((m.perplexity_full - s.perplexity_full).abs() < 1e-9 * s.perplexity_full);
+        assert!((m.perplexity_approx - s.perplexity_approx).abs() < 1e-9 * s.perplexity_approx);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision@k mismatch")]
+    fn merge_rejects_different_k() {
+        let mut a = QualityAccumulator::new(2);
+        a.merge(&QualityAccumulator::new(3));
     }
 
     #[test]

@@ -25,7 +25,12 @@ use crate::json::Value;
 use crate::metrics::MetricsReport;
 
 /// Schema version stamped into every report.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `threads` (worker count the simulation ran on; 0 = the
+/// representative-rank shortcut with nothing to parallelize) and
+/// `speedup` (observed parallel speedup of the simulation region; 1.0
+/// when sequential). v1 reports parse with both defaulted.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +68,12 @@ pub struct RunReport {
     /// Headline simulated latency in DRAM-clock cycles (0 for analytic
     /// models with no cycle-level simulation).
     pub sim_cycles: u64,
+    /// Worker threads the simulation ran on (0 when the run had no
+    /// parallelizable region, e.g. the representative-rank shortcut).
+    pub threads: u64,
+    /// Observed host-side parallel speedup of the simulation region
+    /// (summed shard wall time over region wall time; 1.0 sequential).
+    pub speedup: f64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -79,6 +90,7 @@ impl RunReport {
             command: command.to_string(),
             workload: workload.to_string(),
             scheme: scheme.to_string(),
+            speedup: 1.0,
             ..Default::default()
         }
     }
@@ -127,6 +139,8 @@ impl RunReport {
             ("candidates".to_string(), Value::Int(self.candidates as i64)),
             ("headline_ns".to_string(), Value::Num(self.headline_ns)),
             ("sim_cycles".to_string(), Value::Int(self.sim_cycles as i64)),
+            ("threads".to_string(), Value::Int(self.threads as i64)),
+            ("speedup".to_string(), Value::Num(self.speedup)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -205,6 +219,9 @@ impl RunReport {
             candidates: u64_field("candidates")?,
             headline_ns: f64_field("headline_ns")?,
             sim_cycles: u64_field("sim_cycles")?,
+            // v2 fields; default when reading a v1 report.
+            threads: v.get("threads").and_then(Value::as_u64).unwrap_or(0),
+            speedup: v.get("speedup").and_then(Value::as_f64).unwrap_or(1.0),
             phases,
             metrics,
             notes,
@@ -276,6 +293,22 @@ mod tests {
     fn from_json_rejects_missing_fields() {
         assert!(RunReport::from_json("{}").is_err());
         assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn v1_reports_parse_with_defaulted_parallel_fields() {
+        // A v1 report has no threads/speedup keys.
+        let mut r = sample();
+        r.schema_version = 1;
+        let v1_json = {
+            let json = r.to_json();
+            json.replace("\"threads\":0,", "").replace("\"speedup\":1,", "")
+        };
+        assert!(!v1_json.contains("threads"));
+        let back = RunReport::from_json(&v1_json).unwrap();
+        assert_eq!(back.threads, 0);
+        assert_eq!(back.speedup, 1.0);
+        assert_eq!(back.phases, r.phases);
     }
 
     #[test]

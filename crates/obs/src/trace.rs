@@ -44,7 +44,7 @@ pub enum SpanPhase {
 }
 
 /// One trace event, timestamped in DRAM-clock cycles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Event name (shown by the viewer; `Begin`/`End` pairs must match).
     pub name: &'static str,

@@ -35,7 +35,7 @@ impl SelectionPolicy {
 }
 
 /// Output of one approximate classification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApproxOutput {
     /// Mixed logits: exact for candidates, approximate elsewhere.
     pub logits: Vector,
@@ -131,10 +131,24 @@ impl ApproxClassifier {
     /// Panics if any query's length differs from the hidden dimension or
     /// the batch is empty.
     pub fn classify_batch(&mut self, batch: &[Vector]) -> Vec<ApproxOutput> {
+        self.freeze();
+        self.classify_batch_ref(batch)
+    }
+
+    /// [`ApproxClassifier::classify_batch`] through a shared reference;
+    /// requires [`ApproxClassifier::freeze`] first. Bit-identical to the
+    /// `&mut self` path, and safe to call from several threads at once on
+    /// disjoint batch shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, any query's length differs from the
+    /// hidden dimension, or the classifier is not frozen.
+    pub fn classify_batch_ref(&self, batch: &[Vector]) -> Vec<ApproxOutput> {
         assert!(!batch.is_empty(), "batch must be non-empty");
         let n = batch.len() as u64;
         let mut outs: Vec<ApproxOutput> =
-            batch.iter().map(|h| self.classify(h)).collect();
+            batch.iter().map(|h| self.classify_ref(h)).collect();
         // Amortize the weight-stream bytes and integer MACs' storage
         // traffic: the stream is read once per batch, not once per query.
         let stream_bytes = self.screener.weight_bytes();
@@ -145,18 +159,38 @@ impl ApproxClassifier {
         outs
     }
 
+    /// Quantizes the screener weights for deployment so the classifier can
+    /// serve queries through a shared reference
+    /// ([`ApproxClassifier::classify_ref`]). Idempotent; called implicitly
+    /// by the `&mut self` classification entry points.
+    pub fn freeze(&mut self) {
+        self.screener.freeze().expect("freeze cannot fail on trained weights");
+    }
+
     /// Runs the approximate pipeline for one query.
     ///
     /// # Panics
     ///
     /// Panics if `h.len()` differs from the hidden dimension.
     pub fn classify(&mut self, h: &Vector) -> ApproxOutput {
+        self.freeze();
+        self.classify_ref(h)
+    }
+
+    /// [`ApproxClassifier::classify`] through a shared reference; requires
+    /// [`ApproxClassifier::freeze`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len()` differs from the hidden dimension or the
+    /// classifier is not frozen.
+    pub fn classify_ref(&self, h: &Vector) -> ApproxOutput {
         let l = self.weights.rows();
         let d = self.weights.cols();
         let k = self.screener.reduced_dim();
 
         // (1) screening at the configured precision.
-        let approx = self.screener.screen(h);
+        let approx = self.screener.screen_ref(h);
 
         // (2) candidate selection.
         let candidates = self.policy.select(approx.as_slice());
@@ -324,6 +358,31 @@ mod tests {
     fn empty_batch_rejected() {
         let (mut clf, _) = build(64, 32, SelectionPolicy::TopM(8));
         clf.classify_batch(&[]);
+    }
+
+    #[test]
+    fn classify_ref_matches_classify() {
+        let (mut clf, samples) = build(64, 32, SelectionPolicy::TopM(8));
+        let expected: Vec<ApproxOutput> = samples.iter().map(|h| clf.classify(h)).collect();
+        clf.freeze();
+        let shared = &clf;
+        let got: Vec<ApproxOutput> = samples.iter().map(|h| shared.classify_ref(h)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn classify_ref_requires_freeze() {
+        let cfg = ScreenerConfig { precision: Precision::Int4, ..Default::default() };
+        let s = Screener::new(16, 8, &cfg).unwrap();
+        let clf = ApproxClassifier::new(
+            Matrix::zeros(16, 8),
+            Vector::zeros(16),
+            s,
+            SelectionPolicy::TopM(2),
+        )
+        .unwrap();
+        clf.classify_ref(&Vector::zeros(8));
     }
 
     #[test]

@@ -154,19 +154,35 @@ impl Screener {
     ///
     /// Panics if `h.len() != d`.
     pub fn screen(&mut self, h: &Vector) -> Vector {
+        self.freeze().expect("freeze cannot fail on trained weights");
+        self.screen_ref(h)
+    }
+
+    /// [`Screener::screen`] through a shared reference, for callers that
+    /// fan queries out across threads. Requires the weights to be frozen
+    /// already ([`Screener::freeze`]); produces bit-identical logits to
+    /// [`Screener::screen`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len() != d`, or if the screener uses an integer
+    /// precision and [`Screener::freeze`] has not been called.
+    pub fn screen_ref(&self, h: &Vector) -> Vector {
         let ph = self.projection.project(h);
         let mut z = match self.precision {
             Precision::Fp32 => self.weights.matvec(&ph),
             p => {
-                self.freeze().expect("freeze cannot fail on trained weights");
                 let qh = QuantVector::quantize(&ph, p).expect("nonempty activation");
                 if self.per_row_scales {
                     self.quant_weights_per_row
                         .as_ref()
-                        .expect("frozen")
+                        .expect("screen_ref requires a frozen screener")
                         .matvec_quant(&qh)
                 } else {
-                    self.quant_weights.as_ref().expect("frozen").matvec_quant(&qh)
+                    self.quant_weights
+                        .as_ref()
+                        .expect("screen_ref requires a frozen screener")
+                        .matvec_quant(&qh)
                 }
             }
         };

@@ -35,6 +35,23 @@ pub fn parse_candidate_fraction(raw: &str) -> Result<f64, String> {
     }
 }
 
+/// Validates a `--threads` value: must parse as an integer ≥ 1.
+///
+/// `--threads 1` still runs the sharded whole-system simulation (on one
+/// worker); omitting the flag keeps the representative-rank shortcut
+/// unless `ENMC_THREADS` is set.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!("--threads must be >= 1, got '{raw}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--threads expects a positive integer, got '{raw}'")),
+    }
+}
+
 /// Validates a `--report` value.
 ///
 /// # Errors
@@ -91,6 +108,20 @@ mod tests {
         assert!(parse_candidate_fraction("NaN").is_err());
         assert!(parse_candidate_fraction("inf").is_err());
         assert!(parse_candidate_fraction("lots").unwrap_err().contains("'lots'"));
+    }
+
+    #[test]
+    fn threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+    }
+
+    #[test]
+    fn threads_rejects_zero_and_junk() {
+        assert!(parse_threads("0").unwrap_err().contains(">= 1"));
+        assert!(parse_threads("-2").unwrap_err().contains("positive integer"));
+        assert!(parse_threads("many").unwrap_err().contains("'many'"));
+        assert!(parse_threads("").is_err());
     }
 
     #[test]

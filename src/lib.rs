@@ -18,6 +18,7 @@
 //! | [`compiler`] | `enmc-compiler` | tiling compiler to instruction streams |
 //! | [`arch`] | `enmc-arch` | ENMC / NDA / Chameleon / TensorDIMM / CPU models |
 //! | [`obs`] | `enmc-obs` | event tracing, metrics registry, structured run reports |
+//! | [`par`] | `enmc-par` | deterministic worker pool + execution policies |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use enmc_compiler as compiler;
 pub use enmc_dram as dram;
 pub use enmc_isa as isa;
 pub use enmc_model as model;
+pub use enmc_par as par;
 pub use enmc_screen as screen;
 pub use enmc_tensor as tensor;
 

@@ -7,6 +7,9 @@
 //!     --scheme <name>                cpu|cpu-as|nda|chameleon|tensordimm|enmc
 //!     --batch <n>                    batch size (default 1)
 //!     --candidates <fraction>        exact fraction in (0, 1] (default 0.05)
+//!     --threads <n>                  simulate every rank unit on n workers
+//!                                    (default: representative-rank shortcut,
+//!                                    or ENMC_THREADS when set)
 //!     --trace-out <file>             write a Chrome/Perfetto trace JSON
 //!     --report <text|json>           output format (default text)
 //! enmc asm <file>                    assemble an ENMC program, print frames
@@ -15,14 +18,17 @@
 
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
-use enmc::cli::{parse_batch, parse_candidate_fraction, parse_report_format, ReportFormat};
+use enmc::cli::{
+    parse_batch, parse_candidate_fraction, parse_report_format, parse_threads, ReportFormat,
+};
 use enmc::dram::DramConfig;
 use enmc::isa::Program;
 use enmc::model::workloads::{Workload, WorkloadId};
 use enmc::obs::report::Stopwatch;
 use enmc::obs::trace::export_chrome;
 use enmc::obs::TraceBuffer;
-use enmc::pipeline::{report_from_result, Pipeline, PipelineConfig};
+use enmc::par::SimConfig;
+use enmc::pipeline::{report_from_result, report_from_sharded, Pipeline, PipelineConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +51,7 @@ enmc — ENMC (MICRO'21) reproduction
 usage:
   enmc demo                       run the quickstart pipeline
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
-                [--trace-out FILE] [--report text|json]
+                [--threads N] [--trace-out FILE] [--report text|json]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
   enmc workloads                  list the Table 2 workloads
 
@@ -143,6 +149,22 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     let trace_out = flag_value(args, "--trace-out");
+    // --threads wins; ENMC_THREADS is the env hook for harnesses that
+    // cannot edit the command line (e.g. the CI matrix).
+    let threads = match flag_value(args, "--threads") {
+        Some(raw) => match parse_threads(raw) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => enmc::par::env_threads(),
+    };
+    if threads.is_some() && trace_out.is_some() {
+        eprintln!("--trace-out requires the representative-rank run; drop --threads (and unset ENMC_THREADS)");
+        return 2;
+    }
     let job = ClassificationJob {
         categories: workload.categories,
         hidden: workload.hidden,
@@ -157,8 +179,22 @@ fn cmd_simulate(args: &[String]) -> i32 {
     );
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
     let sw = Stopwatch::start();
-    let result = sys.run_traced(&job, scheme, trace.as_mut());
-    let sim_wall_ns = sw.elapsed_ns();
+    let (result, report) = match threads {
+        Some(n) => {
+            // Whole-system run: every rank unit simulated, sharded over n
+            // workers. Bit-identical to n = 1 by construction.
+            let run = sys.run_sharded(&job, scheme, &SimConfig::with_threads(n));
+            let report = report_from_sharded("simulate", workload.abbr, &job, &run);
+            (run.result, report)
+        }
+        None => {
+            let result = sys.run_traced(&job, scheme, trace.as_mut());
+            let sim_wall_ns = sw.elapsed_ns();
+            let report =
+                report_from_result("simulate", workload.abbr, &job, &result, sim_wall_ns);
+            (result, report)
+        }
+    };
     if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
         // Timestamps are DRAM-clock cycles; Chrome wants microseconds.
         let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
@@ -171,7 +207,6 @@ fn cmd_simulate(args: &[String]) -> i32 {
             }
         }
     }
-    let report = report_from_result("simulate", workload.abbr, &job, &result, sim_wall_ns);
     if format == ReportFormat::Json {
         println!("{}", report.to_json());
         return 0;
@@ -179,6 +214,12 @@ fn cmd_simulate(args: &[String]) -> i32 {
     let cpu = sys.run(&job, Scheme::CpuFull);
     println!("  latency : {:.2} us", result.ns / 1e3);
     println!("  speedup : {:.1}x vs CPU full classification", result.speedup_over(&cpu));
+    if report.threads > 0 {
+        println!(
+            "  threads : {} worker(s), host-side parallel speedup {:.2}x",
+            report.threads, report.speedup
+        );
+    }
     if let Some(e) = &result.energy {
         println!(
             "  energy  : {:.2} uJ (static {:.0}% / access {:.0}% / logic {:.0}%)",
@@ -189,12 +230,22 @@ fn cmd_simulate(args: &[String]) -> i32 {
         );
     }
     if let Some(r) = &result.rank_report {
-        println!(
-            "  per-rank: {} DRAM cycles, row-hit {:.1}%, bus util {:.1}%",
-            r.dram_cycles,
-            100.0 * r.dram.row_hit_rate(),
-            100.0 * r.dram.bus_utilization()
-        );
+        if report.threads > 0 {
+            // Sharded run: counters are summed over every rank, so bus
+            // utilization is not meaningful as a single-channel percentage.
+            println!(
+                "  system  : {} DRAM cycles (straggler rank), row-hit {:.1}%",
+                r.dram_cycles,
+                100.0 * r.dram.row_hit_rate(),
+            );
+        } else {
+            println!(
+                "  per-rank: {} DRAM cycles, row-hit {:.1}%, bus util {:.1}%",
+                r.dram_cycles,
+                100.0 * r.dram.row_hit_rate(),
+                100.0 * r.dram.bus_utilization()
+            );
+        }
         for p in &report.phases {
             println!(
                 "  phase   : {:<10} {:>12} cycles  {:>10.2} us simulated",

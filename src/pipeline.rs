@@ -7,8 +7,9 @@
 //! this module wires them together the way the paper's evaluation does.
 
 use enmc_arch::baseline::BaselineKind;
-use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, SystemModel};
+use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, ShardedRun, SystemModel};
 use enmc_model::quality::{QualityAccumulator, QualityReport};
+use enmc_par::SimConfig;
 use enmc_obs::report::{PhaseSpan, RunReport, Stopwatch};
 use enmc_obs::MetricsRegistry;
 use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};
@@ -16,6 +17,12 @@ use enmc_screen::infer::{ApproxClassifier, SelectionPolicy};
 use enmc_screen::screener::{Screener, ScreenerConfig};
 use enmc_screen::train::fit_least_squares;
 use enmc_tensor::quant::Precision;
+
+/// Fixed shard count for the quality-evaluation query stream. The
+/// decomposition depends only on this constant (never on the worker
+/// count), so sequential and parallel evaluations produce bit-identical
+/// reports.
+pub const QUALITY_SHARDS: usize = 8;
 
 /// Configuration for a complete pipeline run.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -105,13 +112,16 @@ impl Pipeline {
             .collect();
         fit_least_squares(&mut screener, synth.weights(), synth.bias(), &train, 1e-4);
         build_phases.push(host_phase("distill", sw.lap_ns()));
-        let classifier = ApproxClassifier::new(
+        let mut classifier = ApproxClassifier::new(
             synth.weights().clone(),
             synth.bias().clone(),
             screener,
             SelectionPolicy::TopM(config.candidates),
         )
         .map_err(|e| e.to_string())?;
+        // Freeze up front so classification can run through shared
+        // references (and therefore across threads) later.
+        classifier.freeze();
         build_phases.push(host_phase("assemble", sw.lap_ns()));
         Ok(Pipeline {
             synth,
@@ -140,14 +150,36 @@ impl Pipeline {
     /// Classifies `n` fresh queries approximately and scores them against
     /// the exact classifier (top-1 agreement, precision@10, perplexity).
     pub fn evaluate_quality(&mut self, n: usize) -> QualityReport {
+        self.evaluate_quality_with(n, &SimConfig::sequential())
+    }
+
+    /// [`Pipeline::evaluate_quality`] with an explicit execution policy.
+    ///
+    /// The query stream is decomposed into [`QUALITY_SHARDS`] fixed shards
+    /// regardless of worker count, each shard accumulated independently and
+    /// merged in shard order — so the report is bit-identical for any
+    /// number of workers (including sequential).
+    pub fn evaluate_quality_with(&mut self, n: usize, cfg: &SimConfig) -> QualityReport {
         let queries = self.synth.sample_queries_seeded(n, self.config.seed ^ 0x5ca1e);
-        let mut acc = QualityAccumulator::new(10);
-        for q in &queries {
-            let full = self.synth.full_logits(&q.hidden);
-            let out = self.classifier.classify(&q.hidden);
-            acc.add(full.as_slice(), out.logits.as_slice(), q.target);
+        self.classifier.freeze();
+        let synth = &self.synth;
+        let classifier = &self.classifier;
+        let queries = &queries[..];
+        let shards = enmc_par::shard_ranges(queries.len(), QUALITY_SHARDS);
+        let accs = enmc_par::par_map(cfg.worker_count(), shards, |_, range| {
+            let mut acc = QualityAccumulator::new(10);
+            for q in &queries[range] {
+                let full = synth.full_logits(&q.hidden);
+                let out = classifier.classify_ref(&q.hidden);
+                acc.add(full.as_slice(), out.logits.as_slice(), q.target);
+            }
+            acc
+        });
+        let mut merged = QualityAccumulator::new(10);
+        for acc in &accs {
+            merged.merge(acc);
         }
-        acc.finish()
+        merged.finish()
     }
 
     /// The hardware-level job this pipeline's shape corresponds to.
@@ -189,6 +221,24 @@ impl Pipeline {
             report_from_result("pipeline", "synthetic", &job, &result, sim_wall_ns);
         report.phases.splice(0..0, self.build_phases.iter().cloned());
         (result, report)
+    }
+
+    /// Like [`Pipeline::run_report`] but simulating every rank unit in the
+    /// system under the execution policy in `cfg` (instead of the
+    /// representative-rank shortcut). The simulated result is bit-identical
+    /// for any worker count; the report records the worker count and the
+    /// observed speedup.
+    pub fn run_report_with(
+        &self,
+        scheme: Scheme,
+        batch: usize,
+        cfg: &SimConfig,
+    ) -> (ShardedRun, RunReport) {
+        let job = self.job(batch);
+        let run = self.system.run_sharded(&job, scheme, cfg);
+        let mut report = report_from_sharded("pipeline", "synthetic", &job, &run);
+        report.phases.splice(0..0, self.build_phases.iter().cloned());
+        (run, report)
     }
 }
 
@@ -263,6 +313,34 @@ pub fn report_from_result(
     report
 }
 
+/// Builds a [`RunReport`] from a sharded whole-system run.
+///
+/// Same phase structure as [`report_from_result`], but the rank report is
+/// the straggler-merge over every simulated rank unit, and the report
+/// additionally records the worker count and the observed parallel
+/// speedup (summed shard wall time over region wall time).
+pub fn report_from_sharded(
+    command: &str,
+    workload: &str,
+    job: &ClassificationJob,
+    run: &ShardedRun,
+) -> RunReport {
+    let mut report = report_from_result(command, workload, job, &run.result, run.wall_ns);
+    report.threads = run.workers as u64;
+    report.speedup = run.speedup();
+    if run.result.rank_report.is_some() {
+        // The representative-rank note does not apply to a sharded run.
+        report.notes.retain(|n| !n.contains("representative rank-unit"));
+        report.notes.push(format!(
+            "sharded run: {} rank shards on {} worker(s), speedup {:.2}x",
+            run.shards,
+            run.workers,
+            run.speedup()
+        ));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +401,51 @@ mod tests {
         assert!(cpu.is_consistent());
         assert_eq!(cpu.sim_cycles, 0);
         assert_eq!(cpu.scheme, "cpu");
+    }
+
+    #[test]
+    fn quality_is_bit_identical_across_worker_counts() {
+        let cfg = PipelineConfig {
+            categories: 1000,
+            hidden: 48,
+            candidates: 30,
+            train_queries: 32,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut p = Pipeline::build(&cfg).unwrap();
+        let seq = p.evaluate_quality_with(48, &SimConfig::sequential());
+        for workers in [2, 4, 8] {
+            let par = p.evaluate_quality_with(48, &SimConfig::with_threads(workers));
+            assert_eq!(par, seq, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_report_records_threads_and_speedup() {
+        let p = Pipeline::build(&PipelineConfig {
+            categories: 4096,
+            hidden: 64,
+            candidates: 64,
+            train_queries: 16,
+            seed: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let (run, report) = p.run_report_with(Scheme::Enmc, 1, &SimConfig::with_threads(2));
+        assert!(report.is_consistent(), "phase cycles must sum to the headline");
+        assert_eq!(report.threads, 2);
+        assert!(report.speedup > 0.0);
+        assert!(report.notes.iter().any(|n| n.contains("sharded run")));
+        assert!(!report.notes.iter().any(|n| n.contains("representative")));
+        // Bit-identical to the sequential sharded run.
+        let (seq, seq_report) = p.run_report_with(Scheme::Enmc, 1, &SimConfig::sequential());
+        assert_eq!(run.result, seq.result);
+        assert_eq!(seq_report.threads, 1);
+        // Analytic schemes still produce a consistent report.
+        let (_, cpu) = p.run_report_with(Scheme::CpuFull, 1, &SimConfig::with_threads(2));
+        assert!(cpu.is_consistent());
+        assert_eq!(cpu.sim_cycles, 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning the tensor, ISA and DRAM crates.
 
-use enmc::dram::{AddressMapping, DramConfig};
+use enmc::dram::{AddressMapping, DramConfig, DramStats};
 use enmc::isa::{BufferId, Instruction, RegId};
 use enmc::tensor::activation::{softmax, taylor_exp};
 use enmc::tensor::quant::{Precision, QuantVector};
@@ -19,6 +19,23 @@ fn buffer_strategy() -> impl Strategy<Value = BufferId> {
 
 fn reg_strategy() -> impl Strategy<Value = RegId> {
     (0u8..15).prop_map(|c| RegId::from_code(c).expect("in range"))
+}
+
+fn dram_stats_strategy() -> impl Strategy<Value = DramStats> {
+    // u32-sized counters keep every sum far from u64 overflow.
+    prop::collection::vec(any::<u32>(), 11..12).prop_map(|v| DramStats {
+        reads: v[0] as u64,
+        writes: v[1] as u64,
+        activations: v[2] as u64,
+        precharges: v[3] as u64,
+        refreshes: v[4] as u64,
+        row_hits: v[5] as u64,
+        row_misses: v[6] as u64,
+        row_conflicts: v[7] as u64,
+        busy_cycles: v[8] as u64,
+        idle_cycles: v[9] as u64,
+        total_cycles: v[10] as u64,
+    })
 }
 
 fn instruction_strategy() -> impl Strategy<Value = Instruction> {
@@ -167,5 +184,71 @@ proptest! {
         prop_assert!(coord.rank < org.ranks);
         prop_assert!(coord.row < org.rows);
         prop_assert!(coord.column < org.bursts_per_row());
+    }
+
+    // ---- parallel execution ---------------------------------------------
+
+    #[test]
+    fn shard_ranges_partition_exactly(len in 0usize..10_000, shards in 1usize..64) {
+        // Sharding must never drop or duplicate a batch element: the
+        // ranges tile [0, len) contiguously, in order.
+        let ranges = enmc::par::shard_ranges(len, shards);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "gap or overlap at {}", r.start);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, len, "ranges must cover the whole batch");
+        prop_assert!(ranges.len() <= shards.max(1));
+        // Balanced: no shard is more than one element larger than another.
+        if let (Some(max), Some(min)) = (
+            ranges.iter().map(|r| r.len()).max(),
+            ranges.iter().map(|r| r.len()).min(),
+        ) {
+            prop_assert!(max - min <= 1, "unbalanced shards: {max} vs {min}");
+        }
+    }
+
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in prop::collection::vec(any::<i64>(), 0..200),
+        workers in 1usize..9,
+    ) {
+        // The pool must return exactly the sequential map in input order,
+        // for any worker count.
+        let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).collect();
+        let got = enmc::par::par_map(workers, items, |_, x| x.wrapping_mul(31).wrapping_add(7));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dram_stats_merge_parallel_is_commutative(
+        a in dram_stats_strategy(),
+        b in dram_stats_strategy(),
+    ) {
+        let mut ab = a;
+        ab.merge_parallel(&b);
+        let mut ba = b;
+        ba.merge_parallel(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn dram_stats_merge_parallel_is_associative(
+        a in dram_stats_strategy(),
+        b in dram_stats_strategy(),
+        c in dram_stats_strategy(),
+    ) {
+        // (a ∥ b) ∥ c == a ∥ (b ∥ c): counts add and clocks max, so the
+        // shard-merge order chosen by the runtime cannot matter.
+        let mut left = a;
+        left.merge_parallel(&b);
+        left.merge_parallel(&c);
+        let mut bc = b;
+        bc.merge_parallel(&c);
+        let mut right = a;
+        right.merge_parallel(&bc);
+        prop_assert_eq!(left, right);
     }
 }

@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace's benches
+//! use — `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short warmup followed by `sample_size` timed iterations and prints the
+//! mean wall time (plus derived throughput when declared). No statistics
+//! engine, HTML reports, or regression baselines.
+
+use std::time::Instant;
+
+/// Re-exported for drop-in compatibility with benches importing it from
+/// criterion rather than `std::hint`.
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives one benchmark's iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u64,
+    total_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `f` after one warmup call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_secs_f64() * 1e9;
+        self.iters += self.samples;
+    }
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations)");
+        return;
+    }
+    let mean_ns = b.total_ns / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:.2} GiB/s", n as f64 / mean_ns * 1e9 / (1u64 << 30) as f64),
+        Throughput::Elements(n) => format!("  {:.2} Melem/s", n as f64 / mean_ns * 1e3),
+    });
+    println!("{label:<40} {:>12.1} ns/iter{}", mean_ns, rate.unwrap_or_default());
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, ..Default::default() };
+        f(&mut b);
+        report(&id.label, &b, None);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the group's timed iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    fn samples(&self) -> u64 {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples(), ..Default::default() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples(), ..Default::default() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        c.bench_function("counter", |b| {
+            b.iter(|| calls += 1);
+        });
+        // one warmup + five timed iterations
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn groups_apply_throughput_and_sample_size() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &p| {
+            b.iter(|| calls += p as u64);
+        });
+        g.finish();
+        assert_eq!(calls, 3 * 7);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("matvec", 128).label, "matvec/128");
+        assert_eq!(BenchmarkId::from_parameter(9).label, "9");
+    }
+}

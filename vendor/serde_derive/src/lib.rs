@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `serde::Serialize` / `serde::Deserialize` on its
+//! config and report types but never serializes through serde at runtime
+//! (the in-tree `enmc-obs` JSON codec does that work). These derives
+//! therefore only need to implement the vendored marker traits. The
+//! expansion is done with the bare `proc_macro` API — no syn/quote — by
+//! scanning the token stream for the type name and generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generic_params)` from a `struct`/`enum` definition.
+///
+/// Returns the identifier following the `struct`/`enum` keyword and the
+/// names of its generic type parameters (lifetimes and const generics make
+/// the scan bail out — the impl is then skipped, which is fine for marker
+/// traits).
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(n) => n.to_string(),
+                    _ => return None,
+                };
+                // Optional `<...>` generics immediately after the name.
+                let mut generics = Vec::new();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        tokens.next();
+                        let mut depth = 1usize;
+                        let mut expect_param = true;
+                        for tt in tokens.by_ref() {
+                            match tt {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                    expect_param = true;
+                                }
+                                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                                    return None; // lifetimes: skip the impl
+                                }
+                                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                                    let s = id.to_string();
+                                    if s == "const" {
+                                        return None; // const generics: skip
+                                    }
+                                    generics.push(s);
+                                    expect_param = false;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                return Some((name, generics));
+            }
+        }
+        // Skip attribute contents and doc comments wholesale.
+        if let TokenTree::Group(g) = &tt {
+            if g.delimiter() == Delimiter::Bracket {
+                continue;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        let bounds = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> where {bounds} {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// Derives the vendored `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
