@@ -195,6 +195,19 @@ impl SystemModel {
         scheme: Scheme,
         trace: Option<&mut TraceBuffer>,
     ) -> SchemeResult {
+        self.run_checked(job, scheme, trace, false)
+    }
+
+    /// [`SystemModel::run_traced`] with the DDR4 protocol conformance
+    /// checker optionally attached to the simulated rank's DRAM
+    /// controller (analytic CPU schemes have no DRAM to check).
+    pub fn run_checked(
+        &self,
+        job: &ClassificationJob,
+        scheme: Scheme,
+        trace: Option<&mut TraceBuffer>,
+        check_protocol: bool,
+    ) -> SchemeResult {
         match scheme {
             Scheme::CpuFull => SchemeResult {
                 scheme,
@@ -217,7 +230,8 @@ impl SystemModel {
             },
             Scheme::Enmc => {
                 let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
-                let report = unit.simulate_traced(&job.rank_slice(self.total_ranks), trace);
+                let report =
+                    unit.simulate_checked(&job.rank_slice(self.total_ranks), trace, check_protocol);
                 let energy = SystemEnergy::from_rank(
                     &report,
                     self.total_ranks,
@@ -235,7 +249,8 @@ impl SystemModel {
                 let baseline = NmpBaseline::new(kind);
                 // "Large" variants deploy more rank-units per channel.
                 let units = kind.config().units_per_channel * 8;
-                let report = baseline.unit().simulate_traced(&job.rank_slice(units), trace);
+                let report =
+                    baseline.unit().simulate_checked(&job.rank_slice(units), trace, check_protocol);
                 let total_mw = match kind {
                     BaselineKind::Nda => 293.6,
                     BaselineKind::Chameleon => 249.0,
@@ -296,10 +311,11 @@ impl SystemModel {
 
         let jobs = job.rank_jobs(units);
         let shards = jobs.len();
+        let check = cfg.check_protocol;
         let wall = std::time::Instant::now();
         let per_rank: Vec<(UnitReport, f64)> = enmc_par::par_map(workers, jobs, |_, rank_job| {
             let shard_wall = std::time::Instant::now();
-            let report = RankUnit::new(params).simulate(&rank_job);
+            let report = RankUnit::new(params).simulate_checked(&rank_job, None, check);
             (report, shard_wall.elapsed().as_secs_f64() * 1e9)
         });
         let wall_ns = wall.elapsed().as_secs_f64() * 1e9;

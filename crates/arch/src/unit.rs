@@ -129,6 +129,10 @@ pub struct UnitReport {
     /// DRAM-clock cycle at which the Executor finished the last candidate
     /// (and, for spill baselines, the last compute-filter).
     pub exec_done_cycle: u64,
+    /// DDR4 protocol violations the conformance checker observed (always
+    /// 0 unless the run enabled protocol checking — and 0 then too,
+    /// unless the timing model is broken).
+    pub protocol_violations: u64,
 }
 
 impl UnitReport {
@@ -169,6 +173,7 @@ impl UnitReport {
             merged.screen_bytes += r.screen_bytes;
             merged.exact_bytes += r.exact_bytes;
             merged.spill_bytes += r.spill_bytes;
+            merged.protocol_violations += r.protocol_violations;
             merged.dram.merge_parallel(&r.dram);
         }
         merged
@@ -189,6 +194,7 @@ impl UnitReport {
         registry.counter_add("unit.screen_bytes", labels, self.screen_bytes);
         registry.counter_add("unit.exact_bytes", labels, self.exact_bytes);
         registry.counter_add("unit.spill_bytes", labels, self.spill_bytes);
+        registry.counter_add("unit.protocol_violations", labels, self.protocol_violations);
         registry.gauge_set("unit.ns", labels, self.ns);
         self.dram.record_into(registry, labels);
     }
@@ -288,7 +294,21 @@ impl RankUnit {
     pub fn simulate_traced(
         &self,
         job: &RankJob,
+        trace: Option<&mut TraceBuffer>,
+    ) -> UnitReport {
+        self.simulate_checked(job, trace, false)
+    }
+
+    /// [`RankUnit::simulate_traced`] with the DDR4 protocol conformance
+    /// checker optionally shadowing the rank's DRAM controller. Checking
+    /// does not perturb timing; the observed violation count lands in
+    /// [`UnitReport::protocol_violations`] (and, when also tracing, each
+    /// violation becomes a `protocol`-category trace event).
+    pub fn simulate_checked(
+        &self,
+        job: &RankJob,
         mut trace: Option<&mut TraceBuffer>,
+        check_protocol: bool,
     ) -> UnitReport {
         assert_eq!(job.candidates_per_item.len(), job.batch, "candidate counts per item");
         assert!(job.categories > 0 && job.hidden > 0 && job.reduced > 0 && job.batch > 0);
@@ -297,6 +317,9 @@ impl RankUnit {
             DramSystem::with_mapping(DramConfig::enmc_single_rank(), AddressMapping::RoRaBaCoBg);
         if trace.is_some() {
             dram.enable_trace(DRAM_TRACE_CAPACITY);
+        }
+        if check_protocol {
+            dram.enable_protocol_check();
         }
 
         // ---- derived shapes ------------------------------------------------
@@ -578,6 +601,7 @@ impl RankUnit {
         report.dram_cycles = dram.cycle();
         report.ns = dram.elapsed_ns();
         report.dram = dram.stats();
+        report.protocol_violations = dram.protocol_violation_count();
         if let Some(tb) = trace.as_deref_mut() {
             tb.record(
                 TraceEvent::begin("sfu", CAT_PIPELINE, loop_end, 0, TID_SFU)
@@ -755,6 +779,21 @@ mod tests {
         let mut tb = TraceBuffer::unbounded();
         baseline_unit().simulate_traced(&job(2048, 1, 8), Some(&mut tb));
         assert!(tb.iter().any(|e| e.name == "compute_filter"));
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_identical() {
+        let j = job(1024, 1, 16);
+        let unit = enmc_unit();
+        let plain = unit.simulate(&j);
+        let checked = unit.simulate_checked(&j, None, true);
+        assert_eq!(checked.protocol_violations, 0, "controller violated DDR4 timing");
+        // Checking must not perturb the simulation.
+        assert_eq!(plain.dram_cycles, checked.dram_cycles);
+        assert_eq!(plain.dram, checked.dram);
+        // The baseline engine's spill path must conform too.
+        let b = baseline_unit().simulate_checked(&job(2048, 1, 8), None, true);
+        assert_eq!(b.protocol_violations, 0);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! * random traffic collapses to row-miss service rate;
 //! * bank-group interleave beats single-bank streaming (tCCD_S vs tCCD_L);
 //! * refresh steals ~tRFC/tREFI of time.
+//!
+//! Every pattern runs with the DDR4 protocol conformance checker shadowing
+//! the controller; the analytic expectations are *asserted*, not just
+//! printed, so a regression fails the binary instead of needing a human
+//! to eyeball the table.
 
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
@@ -15,6 +20,7 @@ use enmc_dram::{AddressMapping, DramConfig, DramSystem, MemRequest};
 
 fn run_pattern(mapping: AddressMapping, addrs: &[u64]) -> (f64, f64, f64) {
     let mut sys = DramSystem::with_mapping(DramConfig::enmc_single_rank(), mapping);
+    sys.enable_protocol_check();
     let mut sent = 0usize;
     let mut done = 0usize;
     while done < addrs.len() {
@@ -25,6 +31,12 @@ fn run_pattern(mapping: AddressMapping, addrs: &[u64]) -> (f64, f64, f64) {
         done += sys.drain_completions().len();
         assert!(sys.cycle() < 100_000_000, "stalled");
     }
+    assert_eq!(
+        sys.protocol_violation_count(),
+        0,
+        "DDR4 conformance violations under {mapping:?}: {:?}",
+        sys.take_protocol_violations()
+    );
     let stats = sys.stats();
     (sys.achieved_bandwidth_gbs(), stats.row_hit_rate(), stats.bus_utilization())
 }
@@ -34,11 +46,14 @@ fn main() {
     let t = cfg.timing;
     println!("DRAM model validation (single rank, DDR4-2400)\n");
 
-    // 1. Cold-read latency.
+    // 1. Cold-read latency — must equal the analytic value exactly.
     let mut sys = DramSystem::new(cfg);
+    sys.enable_protocol_check();
     sys.enqueue(MemRequest::read(0)).expect("queue empty");
     let done = sys.run_until_idle(100_000);
     let lat = done[0].latency();
+    assert_eq!(lat, t.trcd + t.cl + t.tbl, "cold read latency diverged from tRCD+CL+tBL");
+    assert_eq!(sys.protocol_violation_count(), 0, "cold read violated DDR4 timing");
     println!(
         "cold read latency: {} cycles (analytic tRCD+CL+tBL = {})",
         lat,
@@ -72,8 +87,29 @@ fn main() {
         ("single-bank column walk", single),
         ("random rows", rand),
     ];
+    let peak_gbs = t.peak_channel_bandwidth() / 1e9;
+    let ccd_cap = t.tbl as f64 / t.tccd_l as f64;
     let rows = par_rows(&sim_config(), patterns, |(name, addrs)| {
         let (bw, hit, util) = run_pattern(AddressMapping::RoRaBaCoBg, addrs);
+        match *name {
+            "sequential (Bg-interleaved)" => {
+                assert!(hit > 0.95, "sequential row-hit rate {hit} below 95%");
+                assert!(bw > 0.8 * peak_gbs, "sequential {bw} GB/s far below {peak_gbs} peak");
+            }
+            "single-bank column walk" => {
+                assert!(
+                    bw <= ccd_cap * peak_gbs * 1.01,
+                    "single-bank {bw} GB/s exceeds the tBL/tCCD_L cap"
+                );
+            }
+            "random rows" => {
+                assert!(hit < 0.1, "random-row hit rate {hit} suspiciously high");
+                // Bank-level parallelism hides much of tRC, but misses must
+                // still cost something relative to the streaming peak.
+                assert!(bw < 0.8 * peak_gbs, "random rows {bw} GB/s should trail streaming");
+            }
+            _ => unreachable!("unknown pattern {name}"),
+        }
         vec![(*name).into(), fmt(bw, 1), fmt(hit, 3), fmt(util, 3)]
     });
     for row in rows {

@@ -76,6 +76,16 @@ impl Command {
     }
 }
 
+/// A command stamped with its issue cycle — one entry of the command log
+/// the golden reference model replays (see [`crate::golden`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedCommand {
+    /// Memory-clock cycle the command issued at.
+    pub cycle: u64,
+    /// The command.
+    pub command: Command,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

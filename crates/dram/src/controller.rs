@@ -16,13 +16,14 @@
 //! simplified host-style controller ("we do not deploy unnecessary
 //! features like queue prioritizing, request coalescing").
 
-use crate::command::CommandKind;
-use crate::config::{DramConfig, PagePolicy};
+use crate::checker::{ProtocolViolation, TimingChecker};
+use crate::command::{Command, CommandKind, TimedCommand};
+use crate::config::{DramConfig, PagePolicy, Timing};
 use crate::mapping::Coord;
 use crate::rank::RankState;
 use crate::stats::DramStats;
 use crate::system::{Completion, RequestId, RequestKind};
-use enmc_obs::trace::{TraceBuffer, TraceEvent, TraceSink, CAT_DRAM};
+use enmc_obs::trace::{TraceBuffer, TraceEvent, TraceSink, CAT_DRAM, CAT_PROTOCOL};
 
 /// A request queued inside the controller.
 #[derive(Debug, Clone)]
@@ -52,6 +53,13 @@ pub struct ChannelController {
     trace: Option<TraceBuffer>,
     /// `pid` stamped on emitted events (the channel index, by convention).
     trace_pid: u32,
+    /// DDR4 protocol conformance checker shadowing every issued command;
+    /// `None` (the default) keeps the release path at one branch per
+    /// command.
+    checker: Option<TimingChecker>,
+    /// Issue-stamped command log for golden-model replay; `None` by
+    /// default.
+    cmd_log: Option<Vec<TimedCommand>>,
 }
 
 impl ChannelController {
@@ -69,6 +77,8 @@ impl ChannelController {
             stats: DramStats::default(),
             trace: None,
             trace_pid: 0,
+            checker: None,
+            cmd_log: None,
             config,
         }
     }
@@ -104,6 +114,77 @@ impl ChannelController {
                 .with_arg("row", coord.row as u64)
                 .with_arg("column", coord.column as u64),
         );
+    }
+
+    /// Starts shadowing every issued command with a
+    /// [`TimingChecker`] validating against `reference` timing (usually
+    /// the configured timing; pass the true Table 3 values to audit a
+    /// deliberately mis-timed controller). `channel` stamps the recorded
+    /// violations.
+    pub fn enable_protocol_check(&mut self, reference: Timing, channel: u32) {
+        self.checker = Some(TimingChecker::new(reference, self.config.organization, channel));
+    }
+
+    /// `true` when a protocol checker is attached.
+    pub fn protocol_check_enabled(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// Total violations observed so far (0 when the checker is off).
+    pub fn protocol_violation_count(&self) -> u64 {
+        self.checker.as_ref().map(TimingChecker::violation_count).unwrap_or(0)
+    }
+
+    /// The recorded violations (capped; see [`crate::checker`]).
+    pub fn protocol_violations(&self) -> &[ProtocolViolation] {
+        self.checker.as_ref().map(TimingChecker::violations).unwrap_or(&[])
+    }
+
+    /// Removes and returns the recorded violations (checking stays on).
+    pub fn take_protocol_violations(&mut self) -> Vec<ProtocolViolation> {
+        self.checker.as_mut().map(TimingChecker::take_violations).unwrap_or_default()
+    }
+
+    /// Starts logging every issued command with its issue cycle, for
+    /// golden-model replay ([`crate::golden::replay_commands`]).
+    pub fn enable_command_log(&mut self) {
+        self.cmd_log = Some(Vec::new());
+    }
+
+    /// Removes and returns the command log so far (logging stays on).
+    pub fn take_command_log(&mut self) -> Vec<TimedCommand> {
+        self.cmd_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Single funnel for every issued command: trace event, command log,
+    /// and protocol check. Fresh violations are mirrored into the trace
+    /// (category [`CAT_PROTOCOL`]) so they land next to the offending
+    /// command in timeline views.
+    fn observe_cmd(&mut self, now: u64, kind: CommandKind, coord: &Coord) {
+        self.trace_cmd(now, kind, coord);
+        if let Some(log) = self.cmd_log.as_mut() {
+            log.push(TimedCommand { cycle: now, command: Command::new(kind, *coord) });
+        }
+        let fresh = match self.checker.as_mut() {
+            Some(ck) => ck.observe(now, kind, coord),
+            None => Vec::new(),
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            let org = &self.config.organization;
+            let tid = (coord.rank * org.banks_per_rank() + coord.flat_bank(org)) as u32;
+            for v in &fresh {
+                trace.record(
+                    TraceEvent::instant(v.rule.name(), CAT_PROTOCOL, now, self.trace_pid, tid)
+                        .with_arg("earliest_legal", v.earliest_legal)
+                        .with_arg("rank", v.rank as u64)
+                        .with_arg("bank_group", v.bank_group as u64)
+                        .with_arg("bank", v.bank as u64),
+                );
+            }
+        }
     }
 
     /// Number of free queue slots.
@@ -154,7 +235,7 @@ impl ChannelController {
             if self.ranks[r].all_closed() {
                 if self.ranks[r].earliest(CommandKind::Ref, &any) <= now {
                     self.ranks[r].issue(CommandKind::Ref, &any, now);
-                    self.trace_cmd(now, CommandKind::Ref, &any);
+                    self.observe_cmd(now, CommandKind::Ref, &any);
                     self.stats.refreshes += 1;
                     self.refresh_due[r] = false;
                     self.next_refresh[r] += self.config.timing.trefi;
@@ -162,7 +243,7 @@ impl ChannelController {
                 }
             } else if self.ranks[r].earliest(CommandKind::PreA, &any) <= now {
                 self.ranks[r].issue(CommandKind::PreA, &any, now);
-                self.trace_cmd(now, CommandKind::PreA, &any);
+                self.observe_cmd(now, CommandKind::PreA, &any);
                 self.stats.precharges += 1;
                 return None;
             }
@@ -216,7 +297,7 @@ impl ChannelController {
                 (PagePolicy::Closed, RequestKind::Write) => CommandKind::Wra,
             };
             self.ranks[e.coord.rank].issue(cmd, &e.coord, now);
-            self.trace_cmd(now, cmd, &e.coord);
+            self.observe_cmd(now, cmd, &e.coord);
             if self.config.page_policy == PagePolicy::Closed {
                 self.stats.precharges += 1; // implicit auto-precharge
             }
@@ -247,7 +328,7 @@ impl ChannelController {
                 (c, was)
             };
             self.ranks[coord.rank].issue(CommandKind::Act, &coord, now);
-            self.trace_cmd(now, CommandKind::Act, &coord);
+            self.observe_cmd(now, CommandKind::Act, &coord);
             self.stats.activations += 1;
             if !classified {
                 self.stats.row_misses += 1;
@@ -263,7 +344,7 @@ impl ChannelController {
                 (c, was)
             };
             self.ranks[coord.rank].issue(CommandKind::Pre, &coord, now);
-            self.trace_cmd(now, CommandKind::Pre, &coord);
+            self.observe_cmd(now, CommandKind::Pre, &coord);
             self.stats.precharges += 1;
             if !classified {
                 self.stats.row_conflicts += 1;

@@ -1,0 +1,507 @@
+//! Golden reference model: a deliberately simple, obviously-correct DDR4
+//! timing oracle for cross-validating the optimized open-page controller.
+//!
+//! Two independent cross-checks live here:
+//!
+//! 1. **Command-stream replay** ([`replay_commands`] / [`audit_channel`]):
+//!    re-derives every command's earliest legal issue cycle from the raw
+//!    command history with a pure *pairwise* constraint function — no
+//!    next-cycle registers, no merged state, just "command `j` before
+//!    command `i` implies a gap of at least X". It also tracks bank-state
+//!    transitions structurally and recomputes the [`DramStats`] counters
+//!    the command stream implies, so a controller whose bookkeeping and
+//!    behaviour disagree is caught even when every cycle is legal.
+//! 2. **Closed-page serial schedule** ([`golden_closed_page`]): an
+//!    alternative execution of the same *request* stream that issues
+//!    strictly one request at a time (ACT → RDA/WRA → full recovery) and
+//!    refreshes eagerly. It is trivially correct by construction and gives
+//!    a completion set that must match the controller's and a cycle count
+//!    the pipelined controller must beat (see `DESIGN.md` for the
+//!    abstraction gap between the two models).
+
+use crate::command::{Command, CommandKind, TimedCommand};
+use crate::config::DramConfig;
+use crate::mapping::Coord;
+use crate::stats::DramStats;
+use crate::system::RequestKind;
+
+/// Counter view a command stream implies, for comparison with the
+/// controller's own [`DramStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCounts {
+    /// Column reads (RD + RDA).
+    pub reads: u64,
+    /// Column writes (WR + WRA).
+    pub writes: u64,
+    /// ACT commands.
+    pub activations: u64,
+    /// Precharge commands as the controller counts them: PRE + PREA +
+    /// auto-precharging columns (a PREA counts once however many banks it
+    /// closes).
+    pub precharges: u64,
+    /// REF commands.
+    pub refreshes: u64,
+    /// DQ-bus busy cycles: tBL per column command.
+    pub busy_cycles: u64,
+}
+
+/// Result of replaying one channel's command log.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Human-readable divergence descriptions (empty = conforming).
+    pub divergences: Vec<String>,
+    /// The counters the stream implies.
+    pub counts: ReplayCounts,
+}
+
+/// A flattened, per-bank command event (PREA expands to one per open bank).
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    cycle: u64,
+    kind: CommandKind,
+    rank: usize,
+    bg: usize,
+    flat: usize,
+}
+
+/// The minimum gap the DDR4 protocol requires between `prev` and `next`
+/// on the same rank, as an absolute earliest cycle for `next` (0 = no
+/// constraint between this pair). REF events carry `flat = usize::MAX`
+/// and constrain (and are constrained by) every bank of the rank.
+fn pairwise_earliest(prev: &Ev, next: &Ev, cfg: &DramConfig) -> u64 {
+    let t = &cfg.timing;
+    if prev.rank != next.rank {
+        return 0; // ranks are independent timing domains in this model
+    }
+    let same_bank = prev.flat == next.flat && prev.flat != usize::MAX;
+    let p = prev.cycle;
+    use CommandKind::*;
+    match (prev.kind, next.kind) {
+        // --- after a REF: the whole rank is busy for tRFC ---------------
+        (Ref, _) => p + t.trfc,
+        // --- ACT → ... ---------------------------------------------------
+        (Act, Act) if same_bank => p + t.trc,
+        (Act, Act) if prev.bg == next.bg => p + t.trrd_l,
+        (Act, Act) => p + t.trrd_s,
+        (Act, Rd | Wr | Rda | Wra) if same_bank => p + t.trcd,
+        (Act, Pre) if same_bank => p + t.tras,
+        (Act, Ref) => p + t.trc, // bank must cycle closed: tRAS + tRP
+        // --- PRE → ... ---------------------------------------------------
+        (Pre, Act) if same_bank => p + t.trp,
+        (Pre, Ref) => p + t.trp,
+        // --- column → column: bus + bank-group spacing -------------------
+        (Rd | Wr | Rda | Wra, Rd | Wr | Rda | Wra) => {
+            let mut e = if prev.bg == next.bg { p + t.tccd_l } else { p + t.tccd_s };
+            if prev.kind.is_write() && next.kind.is_read() {
+                e = e.max(p + t.cwl + t.tbl + t.twtr);
+            } else if prev.kind.is_read() && next.kind.is_write() {
+                e = e.max(p + t.cl + t.tbl + 2 - t.cwl);
+            }
+            e
+        }
+        // --- column → PRE / ACT / REF on the same bank -------------------
+        (Rd, Pre) if same_bank => p + t.trtp,
+        (Wr, Pre) if same_bank => p + t.cwl + t.tbl + t.twr,
+        (Rda, Act | Ref) if same_bank || next.kind == Ref => p + t.trtp + t.trp,
+        (Wra, Act | Ref) if same_bank || next.kind == Ref => p + t.cwl + t.tbl + t.twr + t.trp,
+        _ => 0,
+    }
+}
+
+/// Replays one channel's command log against the pairwise constraint
+/// oracle: structural bank-state tracking, per-command earliest-issue
+/// validation, tFAW window scan, and counter recomputation.
+pub fn replay_commands(log: &[TimedCommand], cfg: &DramConfig) -> ReplayReport {
+    let org = &cfg.organization;
+    let t = &cfg.timing;
+    let mut report = ReplayReport::default();
+    let mut open: Vec<Vec<Option<usize>>> =
+        vec![vec![None; org.banks_per_rank()]; org.ranks];
+
+    // Pass 1: structural expansion. PREA becomes one Pre event per bank it
+    // actually closes; bank-state transitions are validated on the way.
+    let mut events: Vec<Ev> = Vec::with_capacity(log.len());
+    for tc in log {
+        let Command { kind, coord } = tc.command;
+        let cycle = tc.cycle;
+        let flat = coord.flat_bank(org);
+        let rank_open = &mut open[coord.rank];
+        let ev = Ev {
+            cycle,
+            kind,
+            rank: coord.rank,
+            bg: coord.bank_group,
+            flat,
+        };
+        match kind {
+            CommandKind::Act => {
+                if rank_open[flat].is_some() {
+                    report
+                        .divergences
+                        .push(format!("cycle {cycle}: ACT to open bank {flat} (rank {})", coord.rank));
+                }
+                rank_open[flat] = Some(coord.row);
+                report.counts.activations += 1;
+                events.push(ev);
+            }
+            CommandKind::Pre => {
+                rank_open[flat] = None;
+                report.counts.precharges += 1;
+                events.push(ev);
+            }
+            CommandKind::PreA => {
+                report.counts.precharges += 1;
+                for f in 0..rank_open.len() {
+                    if rank_open[f].take().is_some() {
+                        events.push(Ev {
+                            cycle,
+                            kind: CommandKind::Pre,
+                            rank: coord.rank,
+                            bg: f / org.banks_per_group,
+                            flat: f,
+                        });
+                    }
+                }
+            }
+            CommandKind::Rd | CommandKind::Wr | CommandKind::Rda | CommandKind::Wra => {
+                match rank_open[flat] {
+                    Some(row) if row == coord.row => {}
+                    Some(row) => report.divergences.push(format!(
+                        "cycle {cycle}: {} to bank {flat} row {} while row {row} is open",
+                        kind.name(),
+                        coord.row
+                    )),
+                    None => report.divergences.push(format!(
+                        "cycle {cycle}: {} to precharged bank {flat}",
+                        kind.name()
+                    )),
+                }
+                if kind.is_read() {
+                    report.counts.reads += 1;
+                } else {
+                    report.counts.writes += 1;
+                }
+                report.counts.busy_cycles += t.tbl;
+                if kind.auto_precharge() {
+                    rank_open[flat] = None;
+                    report.counts.precharges += 1;
+                }
+                events.push(ev);
+            }
+            CommandKind::Ref => {
+                for (f, row) in rank_open.iter().enumerate() {
+                    if row.is_some() {
+                        report
+                            .divergences
+                            .push(format!("cycle {cycle}: REF with bank {f} open"));
+                    }
+                }
+                report.counts.refreshes += 1;
+                events.push(Ev {
+                    cycle,
+                    kind,
+                    rank: coord.rank,
+                    bg: usize::MAX,
+                    flat: usize::MAX,
+                });
+            }
+        }
+    }
+
+    // Pass 2: timing validation. Only events within `horizon` cycles can
+    // still constrain the current one (the largest chain is tRFC), which
+    // keeps the backward scan O(n · horizon-population) instead of O(n²).
+    let horizon = t.trfc + t.trc + t.tfaw + t.tbl + t.cl + t.cwl + t.twr;
+    for i in 0..events.len() {
+        let cur = events[i];
+        let mut earliest = 0u64;
+        let mut binding: Option<&Ev> = None;
+        let mut recent_acts = 0usize;
+        for prev in events[..i].iter().rev() {
+            if cur.cycle.saturating_sub(prev.cycle) > horizon {
+                break;
+            }
+            let mut e = pairwise_earliest(prev, &cur, cfg);
+            // tFAW: the fifth activation on a rank must clear the window
+            // opened by the fourth-most-recent one.
+            if cur.kind == CommandKind::Act && prev.kind == CommandKind::Act && prev.rank == cur.rank
+            {
+                recent_acts += 1;
+                if recent_acts == 4 {
+                    e = e.max(prev.cycle + t.tfaw);
+                }
+            }
+            if e > earliest {
+                earliest = e;
+                binding = Some(prev);
+            }
+        }
+        if cur.cycle < earliest {
+            let b = binding.expect("a binding constraint exists when violated");
+            report.divergences.push(format!(
+                "cycle {}: {} (rank {}, bank {}) {} cycles early ({} at cycle {} requires >= {})",
+                cur.cycle,
+                cur.kind.name(),
+                cur.rank,
+                if cur.flat == usize::MAX { 0 } else { cur.flat },
+                earliest - cur.cycle,
+                b.kind.name(),
+                b.cycle,
+                earliest,
+            ));
+        }
+    }
+    report
+}
+
+/// Replays `log` and cross-checks the implied counters against the
+/// controller's `stats` for the same channel. Returns every divergence
+/// found (empty = the controller conforms and its books balance).
+pub fn audit_channel(log: &[TimedCommand], stats: &DramStats, cfg: &DramConfig) -> Vec<String> {
+    let mut rep = replay_commands(log, cfg);
+    let c = rep.counts;
+    let mut check = |name: &str, golden: u64, controller: u64| {
+        if golden != controller {
+            rep.divergences
+                .push(format!("stats.{name}: command stream implies {golden}, controller counted {controller}"));
+        }
+    };
+    check("reads", c.reads, stats.reads);
+    check("writes", c.writes, stats.writes);
+    check("activations", c.activations, stats.activations);
+    check("precharges", c.precharges, stats.precharges);
+    check("refreshes", c.refreshes, stats.refreshes);
+    check("busy_cycles", c.busy_cycles, stats.busy_cycles);
+    // Classification conservation: every request is classified exactly once.
+    let classified = stats.row_hits + stats.row_misses + stats.row_conflicts;
+    check("classified_requests", c.reads + c.writes, classified);
+    rep.divergences
+}
+
+/// One request as the golden scheduler sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenRequest {
+    /// The request id (for completion-set comparison).
+    pub id: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Decoded coordinates.
+    pub coord: Coord,
+    /// Cycle the request becomes visible.
+    pub arrival: u64,
+}
+
+/// What the closed-page serial schedule produced.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenOutcome {
+    /// `(id, data-finish cycle)` per request, in service order.
+    pub completions: Vec<(u64, u64)>,
+    /// Every command issued, in order — feed it back through
+    /// [`crate::checker::TimingChecker`] to self-check the golden model.
+    pub commands: Vec<TimedCommand>,
+    /// Cycle the last data burst left the bus.
+    pub finish_cycle: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+}
+
+/// Schedules `requests` (one channel, arrival order) with the simplest
+/// correct policy: one request at a time, ACT → RDA/WRA with every
+/// recovery window fully elapsed before the next request starts, and an
+/// eager REF per rank whenever a tREFI boundary has passed. Nothing
+/// overlaps, so each step's legality is immediate from the constraint
+/// definitions.
+pub fn golden_closed_page(requests: &[GoldenRequest], cfg: &DramConfig) -> GoldenOutcome {
+    let t = cfg.timing;
+    let org = cfg.organization;
+    let mut out = GoldenOutcome::default();
+    // Earliest next ACT per (rank, bank) from tRC and auto-precharge.
+    let mut bank_ready = vec![vec![0u64; org.banks_per_rank()]; org.ranks];
+    let mut next_refresh = vec![t.trefi; org.ranks];
+    // The serial cursor: no command issues before it, and it only moves
+    // forward past each request's full recovery.
+    let mut cursor = 0u64;
+    for req in requests {
+        let rank = req.coord.rank;
+        let flat = req.coord.flat_bank(&org);
+        let mut now = cursor.max(req.arrival);
+        // Eager refresh: between requests every bank is precharged and
+        // recovered, so a due REF can issue immediately.
+        while now >= next_refresh[rank] {
+            out.commands.push(TimedCommand {
+                cycle: now,
+                command: Command::new(
+                    CommandKind::Ref,
+                    Coord { channel: req.coord.channel, rank, bank_group: 0, bank: 0, row: 0, column: 0 },
+                ),
+            });
+            out.refreshes += 1;
+            next_refresh[rank] += t.trefi;
+            now += t.trfc;
+            for b in &mut bank_ready[rank] {
+                *b = (*b).max(now);
+            }
+        }
+        let act = now.max(bank_ready[rank][flat]);
+        let col = act + t.trcd;
+        let (col_kind, finish, recovered) = match req.kind {
+            RequestKind::Read => {
+                (CommandKind::Rda, col + t.cl + t.tbl, col + t.trtp + t.trp)
+            }
+            RequestKind::Write => (
+                CommandKind::Wra,
+                col + t.cwl + t.tbl,
+                col + t.cwl + t.tbl + t.twr + t.trp,
+            ),
+        };
+        out.commands.push(TimedCommand {
+            cycle: act,
+            command: Command::new(CommandKind::Act, req.coord),
+        });
+        out.commands.push(TimedCommand { cycle: col, command: Command::new(col_kind, req.coord) });
+        out.completions.push((req.id, finish));
+        out.finish_cycle = out.finish_cycle.max(finish);
+        bank_ready[rank][flat] = act + t.trc.max(recovered - act);
+        // Serial: the next request waits for this one's data *and* its
+        // bank recovery, so no two requests' commands ever interleave.
+        cursor = recovered.max(finish).max(act + t.tras + t.trp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::TimingChecker;
+    use crate::mapping::AddressMapping;
+    use crate::system::{DramSystem, MemRequest};
+
+    fn cfg() -> DramConfig {
+        DramConfig::enmc_single_rank()
+    }
+
+    fn coord(bg: usize, bank: usize, row: usize, col: usize) -> Coord {
+        Coord { channel: 0, rank: 0, bank_group: bg, bank, row, column: col }
+    }
+
+    fn tc(cycle: u64, kind: CommandKind, c: Coord) -> TimedCommand {
+        TimedCommand { cycle, command: Command::new(kind, c) }
+    }
+
+    #[test]
+    fn replay_accepts_a_legal_stream() {
+        let cfg = cfg();
+        let t = cfg.timing;
+        let c = coord(0, 0, 3, 0);
+        let log = vec![
+            tc(0, CommandKind::Act, c),
+            tc(t.trcd, CommandKind::Rd, c),
+            tc(t.tras.max(t.trcd + t.trtp), CommandKind::Pre, c),
+            tc(t.trc, CommandKind::Act, coord(0, 0, 4, 0)),
+        ];
+        let rep = replay_commands(&log, &cfg);
+        assert!(rep.divergences.is_empty(), "{:?}", rep.divergences);
+        assert_eq!(rep.counts.reads, 1);
+        assert_eq!(rep.counts.activations, 2);
+        assert_eq!(rep.counts.precharges, 1);
+    }
+
+    #[test]
+    fn replay_flags_an_early_command() {
+        let cfg = cfg();
+        let t = cfg.timing;
+        let c = coord(0, 0, 3, 0);
+        let log = vec![tc(0, CommandKind::Act, c), tc(t.trcd - 1, CommandKind::Rd, c)];
+        let rep = replay_commands(&log, &cfg);
+        assert_eq!(rep.divergences.len(), 1, "{:?}", rep.divergences);
+        assert!(rep.divergences[0].contains("RD"), "{}", rep.divergences[0]);
+    }
+
+    #[test]
+    fn replay_flags_structural_breakage() {
+        let cfg = cfg();
+        let c = coord(1, 1, 3, 0);
+        let log = vec![
+            tc(0, CommandKind::Act, c),
+            tc(100, CommandKind::Act, coord(1, 1, 4, 0)), // double ACT
+            tc(200, CommandKind::Wr, coord(1, 1, 9, 0)),  // wrong row
+        ];
+        let rep = replay_commands(&log, &cfg);
+        assert!(rep.divergences.iter().any(|d| d.contains("ACT to open bank")));
+        assert!(rep.divergences.iter().any(|d| d.contains("while row")));
+    }
+
+    #[test]
+    fn golden_schedule_is_protocol_clean_and_matches_completions() {
+        let cfg = cfg();
+        // Mixed pattern through the real controller.
+        let mut sys = DramSystem::with_mapping(cfg, AddressMapping::RoRaBaCoBg);
+        let mut reqs = Vec::new();
+        for i in 0..96u64 {
+            let addr = i * 64 + (i % 5) * 16384;
+            let write = i % 3 == 0;
+            let req = if write { MemRequest::write(addr) } else { MemRequest::read(addr) };
+            let id = loop {
+                match sys.enqueue(req) {
+                    Some(id) => break id,
+                    None => sys.tick(), // queue full: make progress
+                }
+            };
+            reqs.push(GoldenRequest {
+                id: id.0,
+                kind: req.kind,
+                coord: AddressMapping::RoRaBaCoBg.decode(addr, &cfg.organization),
+                arrival: 0,
+            });
+        }
+        let done = sys.run_until_idle(10_000_000);
+        let golden = golden_closed_page(&reqs, &cfg);
+
+        // Same completion set.
+        let mut a: Vec<u64> = done.iter().map(|c| c.id.0).collect();
+        let mut b: Vec<u64> = golden.completions.iter().map(|&(id, _)| id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        // The pipelined open-page controller must beat the serial
+        // closed-page schedule.
+        assert!(
+            sys.cycle() <= golden.finish_cycle,
+            "controller {} vs golden {}",
+            sys.cycle(),
+            golden.finish_cycle
+        );
+
+        // The golden command stream itself conforms: checker + replay.
+        let mut ck = TimingChecker::new(cfg.timing, cfg.organization, 0);
+        for c in &golden.commands {
+            let vs = ck.observe(c.cycle, c.command.kind, &c.command.coord);
+            assert!(vs.is_empty(), "golden model violated {:?}", vs);
+        }
+        let rep = replay_commands(&golden.commands, &cfg);
+        assert!(rep.divergences.is_empty(), "{:?}", rep.divergences);
+    }
+
+    #[test]
+    fn golden_schedule_refreshes_on_long_runs() {
+        let cfg = cfg();
+        let t = cfg.timing;
+        // Two requests far apart in time straddle a tREFI boundary.
+        let reqs = [
+            GoldenRequest { id: 0, kind: RequestKind::Read, coord: coord(0, 0, 1, 0), arrival: 0 },
+            GoldenRequest {
+                id: 1,
+                kind: RequestKind::Read,
+                coord: coord(0, 0, 1, 1),
+                arrival: t.trefi + 10,
+            },
+        ];
+        let golden = golden_closed_page(&reqs, &cfg);
+        assert_eq!(golden.refreshes, 1);
+        let mut ck = TimingChecker::new(cfg.timing, cfg.organization, 0);
+        for c in &golden.commands {
+            assert!(ck.observe(c.cycle, c.command.kind, &c.command.coord).is_empty());
+        }
+    }
+}

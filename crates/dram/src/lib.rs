@@ -23,7 +23,14 @@
 //!   [`system::DramSystem::enable_trace`], every issued ACT / PRE / RD / WR /
 //!   REF becomes an `enmc_obs` trace event (one `pid` per channel, one `tid`
 //!   per bank) that the CLI exports as a Chrome/Perfetto trace. Disabled by
-//!   default at the cost of a single branch per issued command.
+//!   default at the cost of a single branch per issued command;
+//! * a **conformance subsystem** — a runtime protocol checker that shadows
+//!   every issued command and flags DDR4 timing violations ([`checker`]), an
+//!   obviously-correct closed-page golden reference model that replays and
+//!   cross-checks the controller's command log ([`golden`]), and a
+//!   deterministic adversarial traffic fuzzer with reproducer shrinking
+//!   ([`fuzz`]). All opt-in: the release path pays one `Option` branch per
+//!   issued command.
 //!
 //! # Example
 //!
@@ -41,19 +48,25 @@
 //! ```
 
 pub mod bank;
+pub mod checker;
 pub mod command;
 pub mod config;
 pub mod controller;
 pub mod energy;
+pub mod fuzz;
+pub mod golden;
 pub mod mapping;
 pub mod rank;
 pub mod stats;
 pub mod system;
 
-pub use command::{Command, CommandKind};
+pub use checker::{ProtocolViolation, Rule, TimingChecker};
+pub use command::{Command, CommandKind, TimedCommand};
 pub use config::{DramConfig, Organization, PagePolicy, Timing};
 pub use controller::ChannelController;
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fuzz::{FuzzOutcome, FuzzRequest, InjectedBug, PatternKind, Reproducer};
+pub use golden::{golden_closed_page, GoldenOutcome, GoldenRequest, ReplayReport};
 pub use mapping::{AddressMapping, Coord};
 pub use stats::DramStats;
 pub use system::{Completion, DramSystem, MemRequest, RequestId, RequestKind};

@@ -1,6 +1,8 @@
 //! The top-level DRAM system: channels + address mapping + completions.
 
-use crate::config::DramConfig;
+use crate::checker::ProtocolViolation;
+use crate::command::TimedCommand;
+use crate::config::{DramConfig, Timing};
 use crate::controller::ChannelController;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::mapping::AddressMapping;
@@ -292,6 +294,60 @@ impl DramSystem {
         }
         events.sort_by_key(|e| e.ts);
         events
+    }
+
+    /// Attaches a protocol checker to every channel, validating against
+    /// the configured timing.
+    pub fn enable_protocol_check(&mut self) {
+        self.enable_protocol_check_against(self.config.timing);
+    }
+
+    /// Attaches a protocol checker validating against `reference` timing
+    /// (which may deliberately differ from the configured timing, to
+    /// audit a mis-timed controller).
+    pub fn enable_protocol_check_against(&mut self, reference: Timing) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.enable_protocol_check(reference, i as u32);
+        }
+    }
+
+    /// `true` when protocol checking is on.
+    pub fn protocol_check_enabled(&self) -> bool {
+        self.channels.iter().any(ChannelController::protocol_check_enabled)
+    }
+
+    /// Total protocol violations observed across all channels.
+    pub fn protocol_violation_count(&self) -> u64 {
+        self.channels.iter().map(ChannelController::protocol_violation_count).sum()
+    }
+
+    /// Removes and returns the recorded violations across all channels,
+    /// ordered by `(cycle, channel)` (checking stays on).
+    pub fn take_protocol_violations(&mut self) -> Vec<ProtocolViolation> {
+        let mut all: Vec<ProtocolViolation> = Vec::new();
+        for ch in &mut self.channels {
+            all.extend(ch.take_protocol_violations());
+        }
+        all.sort_by_key(|v| (v.cycle, v.channel));
+        all
+    }
+
+    /// Starts logging issued commands on every channel, for golden-model
+    /// replay.
+    pub fn enable_command_log(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_command_log();
+        }
+    }
+
+    /// Removes and returns each channel's command log (logging stays on).
+    pub fn take_command_log(&mut self) -> Vec<Vec<TimedCommand>> {
+        self.channels.iter_mut().map(ChannelController::take_command_log).collect()
+    }
+
+    /// Per-channel statistics, in channel order.
+    pub fn channel_stats(&self) -> Vec<DramStats> {
+        self.channels.iter().map(|ch| ch.stats().clone()).collect()
     }
 
     /// DRAM energy so far under `model`.

@@ -29,8 +29,10 @@ use crate::metrics::MetricsReport;
 /// v2 added `threads` (worker count the simulation ran on; 0 = the
 /// representative-rank shortcut with nothing to parallelize) and
 /// `speedup` (observed parallel speedup of the simulation region; 1.0
-/// when sequential). v1 reports parse with both defaulted.
-pub const SCHEMA_VERSION: u32 = 2;
+/// when sequential). v3 added `protocol_violations` (DDR4 conformance
+/// violations observed when the run had `--check-protocol` on; 0
+/// otherwise). Older reports parse with the newer fields defaulted.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,9 @@ pub struct RunReport {
     /// Observed host-side parallel speedup of the simulation region
     /// (summed shard wall time over region wall time; 1.0 sequential).
     pub speedup: f64,
+    /// DDR4 protocol violations the conformance checker observed (always
+    /// 0 unless the run enabled `--check-protocol`).
+    pub protocol_violations: u64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -141,6 +146,7 @@ impl RunReport {
             ("sim_cycles".to_string(), Value::Int(self.sim_cycles as i64)),
             ("threads".to_string(), Value::Int(self.threads as i64)),
             ("speedup".to_string(), Value::Num(self.speedup)),
+            ("protocol_violations".to_string(), Value::Int(self.protocol_violations as i64)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -219,9 +225,13 @@ impl RunReport {
             candidates: u64_field("candidates")?,
             headline_ns: f64_field("headline_ns")?,
             sim_cycles: u64_field("sim_cycles")?,
-            // v2 fields; default when reading a v1 report.
+            // v2/v3 fields; default when reading an older report.
             threads: v.get("threads").and_then(Value::as_u64).unwrap_or(0),
             speedup: v.get("speedup").and_then(Value::as_f64).unwrap_or(1.0),
+            protocol_violations: v
+                .get("protocol_violations")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             phases,
             metrics,
             notes,
@@ -309,6 +319,18 @@ mod tests {
         assert_eq!(back.threads, 0);
         assert_eq!(back.speedup, 1.0);
         assert_eq!(back.phases, r.phases);
+    }
+
+    #[test]
+    fn v2_reports_parse_with_defaulted_protocol_field() {
+        // A v2 report has no protocol_violations key.
+        let mut r = sample();
+        r.schema_version = 2;
+        let v2_json = r.to_json().replace("\"protocol_violations\":0,", "");
+        assert!(!v2_json.contains("protocol_violations"));
+        let back = RunReport::from_json(&v2_json).unwrap();
+        assert_eq!(back.protocol_violations, 0);
+        assert_eq!(back.threads, r.threads);
     }
 
     #[test]

@@ -20,6 +20,8 @@ use std::collections::VecDeque;
 pub const CAT_DRAM: &str = "dram";
 /// Event category for NMP pipeline-stage activity.
 pub const CAT_PIPELINE: &str = "pipeline";
+/// Event category for DDR4 protocol-conformance violations.
+pub const CAT_PROTOCOL: &str = "protocol";
 
 /// Track id used for per-phase summary spans.
 pub const TID_PHASES: u32 = 999;

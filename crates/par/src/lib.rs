@@ -78,17 +78,26 @@ pub fn env_threads() -> Option<usize> {
 pub struct SimConfig {
     /// Execution policy for every parallelizable phase.
     pub policy: ParallelPolicy,
+    /// Attach the DDR4 protocol conformance checker to every DRAM channel
+    /// (off by default: the release path pays nothing).
+    pub check_protocol: bool,
 }
 
 impl SimConfig {
     /// Sequential execution (the default).
     pub fn sequential() -> Self {
-        SimConfig { policy: ParallelPolicy::Sequential }
+        SimConfig { policy: ParallelPolicy::Sequential, check_protocol: false }
     }
 
     /// Execution on `n` worker threads (`0`/`1` collapse to sequential).
     pub fn with_threads(n: usize) -> Self {
-        SimConfig { policy: ParallelPolicy::threads(n) }
+        SimConfig { policy: ParallelPolicy::threads(n), check_protocol: false }
+    }
+
+    /// The same configuration with protocol checking turned on.
+    pub fn with_protocol_check(mut self) -> Self {
+        self.check_protocol = true;
+        self
     }
 
     /// Resolved worker count for this configuration.

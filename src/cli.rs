@@ -52,6 +52,20 @@ pub fn parse_threads(raw: &str) -> Result<usize, String> {
     }
 }
 
+/// Validates a generic positive-count flag (`--seeds`, `--len`, ...):
+/// must parse as an integer ≥ 1. `flag` names the flag in the message.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_count(flag: &str, raw: &str) -> Result<u64, String> {
+    match raw.parse::<u64>() {
+        Ok(0) => Err(format!("{flag} must be >= 1, got '{raw}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} expects a positive integer, got '{raw}'")),
+    }
+}
+
 /// Validates a `--report` value.
 ///
 /// # Errors
@@ -122,6 +136,15 @@ mod tests {
         assert!(parse_threads("-2").unwrap_err().contains("positive integer"));
         assert!(parse_threads("many").unwrap_err().contains("'many'"));
         assert!(parse_threads("").is_err());
+    }
+
+    #[test]
+    fn count_accepts_positive_and_names_the_flag() {
+        assert_eq!(parse_count("--seeds", "32"), Ok(32));
+        assert_eq!(parse_count("--len", "1"), Ok(1));
+        assert!(parse_count("--seeds", "0").unwrap_err().contains("--seeds"));
+        assert!(parse_count("--len", "-4").unwrap_err().contains("--len"));
+        assert!(parse_count("--seeds", "many").unwrap_err().contains("'many'"));
     }
 
     #[test]

@@ -12,6 +12,18 @@
 //!                                    or ENMC_THREADS when set)
 //!     --trace-out <file>             write a Chrome/Perfetto trace JSON
 //!     --report <text|json>           output format (default text)
+//!     --check-protocol               shadow every DRAM command with the DDR4
+//!                                    conformance checker; nonzero exit on
+//!                                    any timing violation
+//! enmc fuzz-dram [options]           fuzz the DDR4 controller vs the checker
+//!                                    and golden reference model
+//!     --seeds <n>                    seeds per pattern (default 32)
+//!     --len <n>                      requests per fuzz case (default 96)
+//!     --pattern <name>               one traffic shape (default: all, plus
+//!                                    the compiler-lowered program)
+//!     --inject-bug <name>            plant a controller timing bug; exit 0
+//!                                    iff the harness catches it
+//!     --repro-out <file>             write the shrunk reproducer JSON
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
 //! ```
@@ -19,10 +31,13 @@
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
-    parse_batch, parse_candidate_fraction, parse_report_format, parse_threads, ReportFormat,
+    parse_batch, parse_candidate_fraction, parse_count, parse_report_format, parse_threads,
+    ReportFormat,
 };
-use enmc::dram::DramConfig;
-use enmc::isa::Program;
+use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
+use enmc::dram::fuzz;
+use enmc::dram::{AddressMapping, DramConfig, FuzzRequest, InjectedBug, PatternKind, Reproducer};
+use enmc::isa::{Instruction, Program};
 use enmc::model::workloads::{Workload, WorkloadId};
 use enmc::obs::report::Stopwatch;
 use enmc::obs::trace::export_chrome;
@@ -35,6 +50,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("demo") => cmd_demo(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         _ => {
@@ -52,11 +68,17 @@ usage:
   enmc demo                       run the quickstart pipeline
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
                 [--threads N] [--trace-out FILE] [--report text|json]
+                [--check-protocol]
+  enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
+                 [--repro-out FILE] [--check-protocol]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
   enmc workloads                  list the Table 2 workloads
 
 schemes: cpu, cpu-as, nda, chameleon, tensordimm, tensordimm-large, enmc
 workloads: lstm, transformer, gnmt, xmlcnn, s1m, s10m, s100m
+patterns: stream-sweep, same-bank-hammer, bank-group-conflict,
+          refresh-straddle, row-thrash, turnaround-mix, lowered
+bugs: tfaw-1, trcd-1, trp-1, twtr-1
 ";
 
 fn cmd_demo() -> i32 {
@@ -149,6 +171,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     let trace_out = flag_value(args, "--trace-out");
+    let check_protocol = args.iter().any(|a| a == "--check-protocol");
     // --threads wins; ENMC_THREADS is the env hook for harnesses that
     // cannot edit the command line (e.g. the CI matrix).
     let threads = match flag_value(args, "--threads") {
@@ -183,12 +206,16 @@ fn cmd_simulate(args: &[String]) -> i32 {
         Some(n) => {
             // Whole-system run: every rank unit simulated, sharded over n
             // workers. Bit-identical to n = 1 by construction.
-            let run = sys.run_sharded(&job, scheme, &SimConfig::with_threads(n));
+            let mut sim_cfg = SimConfig::with_threads(n);
+            if check_protocol {
+                sim_cfg = sim_cfg.with_protocol_check();
+            }
+            let run = sys.run_sharded(&job, scheme, &sim_cfg);
             let report = report_from_sharded("simulate", workload.abbr, &job, &run);
             (run.result, report)
         }
         None => {
-            let result = sys.run_traced(&job, scheme, trace.as_mut());
+            let result = sys.run_checked(&job, scheme, trace.as_mut(), check_protocol);
             let sim_wall_ns = sw.elapsed_ns();
             let report =
                 report_from_result("simulate", workload.abbr, &job, &result, sim_wall_ns);
@@ -207,9 +234,10 @@ fn cmd_simulate(args: &[String]) -> i32 {
             }
         }
     }
+    let violations = report.protocol_violations;
     if format == ReportFormat::Json {
         println!("{}", report.to_json());
-        return 0;
+        return i32::from(check_protocol && violations > 0);
     }
     let cpu = sys.run(&job, Scheme::CpuFull);
     println!("  latency : {:.2} us", result.ns / 1e3);
@@ -255,7 +283,175 @@ fn cmd_simulate(args: &[String]) -> i32 {
             );
         }
     }
+    if check_protocol {
+        println!("  protocol: {violations} DDR4 timing violation(s)");
+        if violations > 0 {
+            eprintln!("protocol check FAILED: rerun with --trace-out to see per-rule events");
+            return 1;
+        }
+    }
     0
+}
+
+/// The DRAM request stream a compiled screening program would issue: the
+/// `Ldr`/`Str` addresses of `lower_screening` on a paper-default task,
+/// offered at a steady pace. This is the traffic shape the fuzzer cannot
+/// invent on its own — whatever the compiler actually emits.
+fn lowered_requests(cfg: &DramConfig, cap: usize) -> Vec<FuzzRequest> {
+    let task = TaskDescriptor::paper_default(4096, 512, 2);
+    let layout = MemoryLayout::for_task(&task);
+    let program = lower_screening(&task, &layout, 256).expect("paper-default task compiles");
+    let space = cfg.organization.channel_bytes();
+    let mut reqs = Vec::with_capacity(cap);
+    let mut at = 0u64;
+    for inst in program.iter() {
+        let (addr, write) = match inst {
+            Instruction::Ldr { addr, .. } => (*addr, false),
+            Instruction::Str { addr, .. } => (*addr, true),
+            _ => continue,
+        };
+        // Fold into the single-rank channel and burst-align, mirroring the
+        // fuzzer's own generators.
+        reqs.push(FuzzRequest { at, addr: (addr % space) & !63, write });
+        at += 2;
+        if reqs.len() >= cap {
+            break;
+        }
+    }
+    reqs
+}
+
+fn cmd_fuzz_dram(args: &[String]) -> i32 {
+    let seeds = match flag_value(args, "--seeds").map(|r| parse_count("--seeds", r)).unwrap_or(Ok(32)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let len = match flag_value(args, "--len").map(|r| parse_count("--len", r)).unwrap_or(Ok(96)) {
+        Ok(n) => n as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let bug = match flag_value(args, "--inject-bug") {
+        Some(raw) => match InjectedBug::parse(raw) {
+            Some(b) => Some(b),
+            None => {
+                let names: Vec<&str> = InjectedBug::ALL.iter().map(|b| b.name()).collect();
+                eprintln!("unknown --inject-bug '{raw}'; try: {}", names.join(" "));
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let (patterns, run_lowered) = match flag_value(args, "--pattern") {
+        None => (PatternKind::ALL.to_vec(), true),
+        Some("lowered") => (Vec::new(), true),
+        Some(raw) => match PatternKind::parse(raw) {
+            Some(p) => (vec![p], false),
+            None => {
+                let names: Vec<&str> = PatternKind::ALL.iter().map(|p| p.name()).collect();
+                eprintln!("unknown --pattern '{raw}'; try: {} lowered", names.join(" "));
+                return 2;
+            }
+        },
+    };
+    let repro_out = flag_value(args, "--repro-out");
+    // --check-protocol is accepted for symmetry with `simulate` (and so CI
+    // can pass one flag set to both); the fuzz harness always runs with
+    // the checker and golden cross-validation attached.
+
+    let reference = DramConfig::enmc_single_rank();
+    let mut cfg = reference;
+    if let Some(b) = bug {
+        cfg.timing = b.apply(cfg.timing);
+    }
+
+    let mut cases = 0u64;
+    let mut failures = 0u64;
+    let mut first: Option<(String, u64, Vec<FuzzRequest>)> = None;
+    for p in &patterns {
+        let mut clean = 0u64;
+        for seed in 0..seeds {
+            let (reqs, out) = fuzz::run_seed(*p, seed, len, bug);
+            cases += 1;
+            if out.is_clean() {
+                clean += 1;
+            } else {
+                failures += 1;
+                if first.is_none() {
+                    first = Some((p.name().to_string(), seed, reqs));
+                }
+            }
+        }
+        eprintln!("  {:<22} {clean}/{seeds} clean", p.name());
+    }
+    if run_lowered {
+        let reqs = lowered_requests(&reference, 256);
+        let n = reqs.len();
+        let out = fuzz::run_case(&reqs, &cfg, AddressMapping::RoRaBaCoBg, &reference.timing);
+        cases += 1;
+        let clean = u64::from(out.is_clean());
+        if clean == 0 {
+            failures += 1;
+            if first.is_none() {
+                first = Some(("lowered".to_string(), 0, reqs));
+            }
+        }
+        eprintln!("  {:<22} {clean}/1 clean  ({n} Ldr/Str requests)", "lowered");
+    }
+
+    if let Some((pattern, seed, reqs)) = first {
+        let minimal = fuzz::shrink(&reqs, |r| {
+            !fuzz::run_case(r, &cfg, AddressMapping::RoRaBaCoBg, &reference.timing).is_clean()
+        });
+        let repro = Reproducer {
+            pattern,
+            seed,
+            bug: bug.map(|b| b.name().to_string()),
+            requests: minimal,
+        };
+        eprintln!("first failure shrunk to {} request(s):", repro.requests.len());
+        println!("{}", repro.to_json());
+        if let Some(path) = repro_out {
+            match std::fs::write(path, repro.to_json()) {
+                Ok(()) => eprintln!("reproducer written to {path}"),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+
+    match bug {
+        None => {
+            if failures == 0 {
+                eprintln!("fuzz-dram: {cases} case(s), all clean");
+                0
+            } else {
+                eprintln!("fuzz-dram: {failures}/{cases} case(s) FAILED");
+                1
+            }
+        }
+        // Sensitivity mode: the harness passes only by catching the
+        // deliberately planted bug.
+        Some(b) => {
+            if failures > 0 {
+                eprintln!(
+                    "fuzz-dram: injected bug '{}' caught in {failures}/{cases} case(s)",
+                    b.name()
+                );
+                0
+            } else {
+                eprintln!("fuzz-dram: injected bug '{}' NOT caught", b.name());
+                1
+            }
+        }
+    }
 }
 
 fn cmd_asm(args: &[String]) -> i32 {

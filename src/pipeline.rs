@@ -278,6 +278,7 @@ pub fn report_from_result(
     match &result.rank_report {
         Some(r) => {
             report.sim_cycles = r.dram_cycles;
+            report.protocol_violations = r.protocol_violations;
             let ns_per_cycle =
                 if r.dram_cycles == 0 { 0.0 } else { r.ns / r.dram_cycles as f64 };
             let phases = [

@@ -1,0 +1,296 @@
+//! DDR4 conformance suite: one test per Table 3 timing parameter.
+//!
+//! Every timing rule is probed with a boundary pair — the command exactly
+//! at the constraint boundary must be accepted, one cycle earlier must be
+//! rejected with the right [`Rule`] and `earliest_legal`. Command
+//! sequences are arranged so that exactly one rule sits at its boundary
+//! (e.g. tRTP is probed with a late read so tRAS is already satisfied).
+//!
+//! The suite ends with the "would we notice?" checks: a tFAW off-by-one
+//! planted in the controller's timing must be caught both by the checker
+//! shadowing the real controller and by the traffic fuzzer.
+
+use enmc::dram::fuzz::{self, InjectedBug, PatternKind};
+use enmc::dram::{
+    AddressMapping, CommandKind, Coord, DramConfig, DramSystem, Rule, Timing, TimingChecker,
+};
+
+fn table3() -> Timing {
+    DramConfig::enmc_table3().timing
+}
+
+fn fresh() -> TimingChecker {
+    let cfg = DramConfig::enmc_table3();
+    TimingChecker::new(cfg.timing, cfg.organization, 0)
+}
+
+fn at(bg: usize, bank: usize, row: usize) -> Coord {
+    Coord { channel: 0, rank: 0, bank_group: bg, bank, row, column: 0 }
+}
+
+/// Runs `prologue` on a fresh checker (asserting it is violation-free),
+/// then observes `cmd` at `now` and returns the violations it raised.
+fn probe(
+    prologue: &[(u64, CommandKind, Coord)],
+    now: u64,
+    cmd: CommandKind,
+    coord: Coord,
+) -> Vec<enmc::dram::ProtocolViolation> {
+    let mut ck = fresh();
+    for (cycle, kind, c) in prologue {
+        let vs = ck.observe(*cycle, *kind, c);
+        assert!(vs.is_empty(), "prologue not conforming: {vs:?}");
+    }
+    ck.observe(now, cmd, &coord)
+}
+
+/// Asserts the boundary pair: clean exactly at `legal`, a single `rule`
+/// violation (with `earliest_legal == legal`) one cycle earlier.
+fn assert_boundary(
+    prologue: &[(u64, CommandKind, Coord)],
+    legal: u64,
+    cmd: CommandKind,
+    coord: Coord,
+    rule: Rule,
+) {
+    let ok = probe(prologue, legal, cmd, coord);
+    assert!(ok.is_empty(), "{rule:?}: cycle {legal} must be accepted, got {ok:?}");
+    let bad = probe(prologue, legal - 1, cmd, coord);
+    assert_eq!(bad.len(), 1, "{rule:?}: cycle {} must raise exactly one violation", legal - 1);
+    assert_eq!(bad[0].rule, rule);
+    assert_eq!(bad[0].earliest_legal, legal, "{rule:?} reports the wrong earliest cycle");
+}
+
+#[test]
+fn trcd_act_to_column() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    assert_boundary(&[(0, CommandKind::Act, c)], t.trcd, CommandKind::Rd, c, Rule::Trcd);
+    assert_boundary(&[(0, CommandKind::Act, c)], t.trcd, CommandKind::Wr, c, Rule::Trcd);
+}
+
+#[test]
+fn trp_precharge_to_act() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    // Precharge only after tRC has elapsed since the ACT, so the probe
+    // one cycle before pre + tRP trips tRP alone (tRAS + tRP == tRC for
+    // Table 3, so a minimum-tRAS precharge would alias the two rules).
+    let pre = t.tras.max(t.trcd + t.trtp).max(t.trc);
+    let prologue =
+        [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c), (pre, CommandKind::Pre, c)];
+    assert_boundary(&prologue, pre + t.trp, CommandKind::Act, at(0, 0, 6), Rule::Trp);
+}
+
+#[test]
+fn trc_act_to_act_same_bank() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    // RDA's auto-precharge starts at tRCD + tRTP, well before tRAS would
+    // let an explicit PRE go — so at tRC - 1 only tRC is at its boundary
+    // (with PRE at tRAS, tRAS + tRP == tRC and the pair would alias).
+    let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rda, c)];
+    assert!(t.trcd + t.trtp + t.trp < t.trc, "test premise: tRP recovered before tRC");
+    assert_boundary(&prologue, t.trc, CommandKind::Act, at(0, 0, 6), Rule::Trc);
+}
+
+#[test]
+fn tras_act_to_precharge() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    assert_boundary(&[(0, CommandKind::Act, c)], t.tras, CommandKind::Pre, c, Rule::Tras);
+}
+
+#[test]
+fn tccd_l_same_bank_group() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c)];
+    assert_boundary(&prologue, t.trcd + t.tccd_l, CommandKind::Rd, c, Rule::TccdL);
+}
+
+#[test]
+fn tccd_s_across_bank_groups() {
+    let t = table3();
+    let (a, b) = (at(0, 0, 5), at(1, 0, 5));
+    // Both banks activated early so tRCD is long since satisfied when the
+    // second column command probes the tCCD_S boundary.
+    let first_col = t.trrd_s + t.trcd + 10;
+    let prologue = [
+        (0, CommandKind::Act, a),
+        (t.trrd_s, CommandKind::Act, b),
+        (first_col, CommandKind::Rd, a),
+    ];
+    assert_boundary(&prologue, first_col + t.tccd_s, CommandKind::Rd, b, Rule::TccdS);
+}
+
+#[test]
+fn trrd_l_same_bank_group() {
+    let t = table3();
+    let prologue = [(0, CommandKind::Act, at(0, 0, 5))];
+    assert_boundary(&prologue, t.trrd_l, CommandKind::Act, at(0, 1, 5), Rule::TrrdL);
+}
+
+#[test]
+fn trrd_s_across_bank_groups() {
+    let t = table3();
+    let prologue = [(0, CommandKind::Act, at(0, 0, 5))];
+    assert_boundary(&prologue, t.trrd_s, CommandKind::Act, at(1, 0, 5), Rule::TrrdS);
+}
+
+#[test]
+fn tfaw_four_activation_window() {
+    let t = table3();
+    // Four ACTs across bank groups at minimum tRRD_S spacing; the fifth
+    // may not issue until tFAW after the first.
+    let prologue = [
+        (0, CommandKind::Act, at(0, 0, 5)),
+        (t.trrd_s, CommandKind::Act, at(1, 0, 5)),
+        (2 * t.trrd_s, CommandKind::Act, at(2, 0, 5)),
+        (3 * t.trrd_s, CommandKind::Act, at(3, 0, 5)),
+    ];
+    assert!(4 * t.trrd_s < t.tfaw, "test premise: tFAW binds before tRRD");
+    assert_boundary(&prologue, t.tfaw, CommandKind::Act, at(0, 1, 5), Rule::Tfaw);
+}
+
+#[test]
+fn twtr_write_to_read_turnaround() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Wr, c)];
+    let turn = t.trcd + t.cwl + t.tbl + t.twtr;
+    assert!(turn > t.trcd + t.tccd_l, "test premise: tWTR binds after tCCD_L");
+    assert_boundary(&prologue, turn, CommandKind::Rd, c, Rule::Twtr);
+}
+
+#[test]
+fn read_to_write_bus_turnaround() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c)];
+    let turn = t.trcd + t.cl + t.tbl + 2 - t.cwl;
+    assert!(turn > t.trcd + t.tccd_l, "test premise: RD->WR binds after tCCD_L");
+    assert_boundary(&prologue, turn, CommandKind::Wr, c, Rule::RdToWr);
+}
+
+#[test]
+fn twr_write_recovery_before_precharge() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Wr, c)];
+    let recovery = t.trcd + t.cwl + t.tbl + t.twr;
+    assert!(recovery > t.tras, "test premise: write recovery binds after tRAS");
+    assert_boundary(&prologue, recovery, CommandKind::Pre, c, Rule::Twr);
+}
+
+#[test]
+fn trtp_read_to_precharge() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    // A late read so tRAS is satisfied and only tRTP is at its boundary.
+    let rd = t.tras;
+    let prologue = [(0, CommandKind::Act, c), (rd, CommandKind::Rd, c)];
+    assert_boundary(&prologue, rd + t.trtp, CommandKind::Pre, c, Rule::Trtp);
+}
+
+#[test]
+fn trfc_refresh_blocks_the_rank() {
+    let t = table3();
+    let prologue = [(0, CommandKind::Ref, at(0, 0, 0))];
+    assert_boundary(&prologue, t.trfc, CommandKind::Act, at(0, 0, 5), Rule::Trfc);
+}
+
+#[test]
+fn trefi_postponement_deadline() {
+    let t = table3();
+    // tREFI is a deadline, not a minimum gap, so this boundary pair is
+    // inverted relative to every other test: REF exactly at the 9 x tREFI
+    // postponement limit is legal, one cycle *later* is the violation,
+    // and `earliest_legal` carries the latest legal cycle.
+    let deadline = 9 * t.trefi;
+    let prologue = [(0, CommandKind::Ref, at(0, 0, 0))];
+    let ok = probe(&prologue, deadline, CommandKind::Ref, at(0, 0, 0));
+    assert!(ok.is_empty(), "REF at the postponement deadline must be accepted");
+    let bad = probe(&prologue, deadline + 1, CommandKind::Ref, at(0, 0, 0));
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].rule, Rule::TrefiWindow);
+    assert_eq!(bad[0].earliest_legal, deadline);
+}
+
+#[test]
+fn structural_rules_fire_without_thresholds() {
+    let t = table3();
+    let c = at(0, 0, 5);
+    // ACT on an already-open bank.
+    let vs = probe(&[(0, CommandKind::Act, c)], t.trc, CommandKind::Act, c);
+    assert_eq!(vs[0].rule, Rule::DoubleAct);
+    // Column command to a precharged bank.
+    let vs = probe(&[], 0, CommandKind::Rd, c);
+    assert_eq!(vs[0].rule, Rule::ClosedBank);
+    // Column command to the wrong open row.
+    let vs = probe(&[(0, CommandKind::Act, c)], t.trcd, CommandKind::Rd, at(0, 0, 6));
+    assert_eq!(vs[0].rule, Rule::WrongRow);
+    // REF with a row still open.
+    let vs = probe(&[(0, CommandKind::Act, c)], t.trc, CommandKind::Ref, at(0, 0, 0));
+    assert!(vs.iter().any(|v| v.rule == Rule::RefOpenBank));
+    for v in vs {
+        assert!(v.rule.is_structural() || v.rule == Rule::Trp || v.rule == Rule::Tras);
+        if v.rule.is_structural() {
+            assert_eq!(v.earliest_legal, u64::MAX);
+        }
+    }
+}
+
+/// A tFAW off-by-one planted in the controller's own timing must surface
+/// when the checker (holding the true reference) shadows the real
+/// controller under activation-heavy traffic.
+#[test]
+fn injected_tfaw_bug_is_caught_on_the_real_controller() {
+    let reference = DramConfig::enmc_single_rank();
+    let mut cfg = reference;
+    cfg.timing = InjectedBug::TfawMinusOne.apply(cfg.timing);
+    let reqs =
+        PatternKind::BankGroupConflict.generate(1, 96, &reference, AddressMapping::RoRaBaCoBg);
+
+    let mut sys = DramSystem::with_mapping(cfg, AddressMapping::RoRaBaCoBg);
+    sys.enable_protocol_check_against(reference.timing);
+    let mut next = 0usize;
+    while next < reqs.len() || !sys.is_idle() {
+        while next < reqs.len() && reqs[next].at <= sys.cycle() {
+            let req = if reqs[next].write {
+                enmc::dram::MemRequest::write(reqs[next].addr)
+            } else {
+                enmc::dram::MemRequest::read(reqs[next].addr)
+            };
+            if sys.enqueue(req).is_some() {
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        sys.tick();
+        sys.drain_completions();
+        assert!(sys.cycle() < 10_000_000, "controller stalled");
+    }
+    let violations = sys.take_protocol_violations();
+    assert!(
+        violations.iter().any(|v| v.rule == Rule::Tfaw),
+        "tFAW-1 escaped the checker: {violations:?}"
+    );
+    // Every report is precise: a one-cycle bug issues exactly one cycle
+    // before the reference window closes.
+    for v in violations.iter().filter(|v| v.rule == Rule::Tfaw) {
+        assert_eq!(v.cycle + 1, v.earliest_legal);
+    }
+}
+
+/// The same planted bug must also fall out of the black-box fuzzer.
+#[test]
+fn injected_tfaw_bug_is_caught_by_the_fuzzer() {
+    let caught = (0..8).any(|seed| {
+        let (_, out) =
+            fuzz::run_seed(PatternKind::BankGroupConflict, seed, 64, Some(InjectedBug::TfawMinusOne));
+        out.violations.iter().any(|v| v.rule == Rule::Tfaw)
+    });
+    assert!(caught, "tFAW-1 escaped 8 fuzz seeds of bank-group-conflict traffic");
+}

@@ -252,3 +252,25 @@ proptest! {
         prop_assert_eq!(left, right);
     }
 }
+
+/// Pinned replay of the shrunken case persisted in
+/// `tests/proptests.proptest-regressions` (`addr = 68719476736, host =
+/// false`): the exact boundary address upstream proptest once minimized
+/// an `address_mapping_roundtrips` failure to. The vendored proptest
+/// stub replays every `cc` entry as a hashed extra case (its PRNG stream
+/// differs from upstream's, so the literal inputs cannot be re-derived
+/// from the seed); this test pins the literal inputs too.
+#[test]
+fn address_mapping_regression_64gib_boundary() {
+    let org = DramConfig::enmc_table3().organization;
+    let mapping = AddressMapping::RoRaBaCoBg; // host = false
+    let raw: u64 = 68719476736; // exactly 64 GiB == org.channel_bytes()
+    assert_eq!(org.channel_bytes(), raw, "regression predates an organization change");
+    let addr = (raw % org.channel_bytes()) & !63; // wraps to 0, the old failure point
+    let coord = mapping.decode(addr, &org);
+    assert_eq!(mapping.encode(&coord, &org), addr);
+    assert!(coord.channel < org.channels);
+    assert!(coord.rank < org.ranks);
+    assert!(coord.row < org.rows);
+    assert!(coord.column < org.bursts_per_row());
+}

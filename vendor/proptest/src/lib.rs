@@ -10,6 +10,16 @@
 //! The number of cases per property defaults to [`DEFAULT_CASES`] and can
 //! be overridden per block with `ProptestConfig::with_cases` or globally
 //! with the `PROPTEST_CASES` environment variable (the variable wins).
+//!
+//! `<file>.proptest-regressions` files written by upstream proptest are
+//! honoured: every persisted `cc <hex>` entry is replayed as an extra
+//! case *before* the novel ones, exactly as upstream does. This stub's
+//! PRNG stream differs from upstream's, so the hex seed cannot reproduce
+//! the original inputs bit-for-bit; instead each entry is hashed into a
+//! deterministic extra-case seed, which keeps the file load-bearing (a
+//! stale or malformed file fails loudly) without pretending to replay the
+//! exact upstream case. Tests that need the literal shrunken inputs back
+//! should pin them in a plain `#[test]` next to the property.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +61,57 @@ impl TestRng {
         }
         TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x70e5_7e57))
     }
+
+    /// A generator replaying one persisted regression seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// Loads the regression seeds for property `name` declared in
+/// `source_file` (the `file!()` of the `proptest!` invocation).
+///
+/// Looks for `<source_file stem>.proptest-regressions` — the path upstream
+/// proptest persists failures to — relative to the test binary's working
+/// directory (the package root under cargo, which matches `file!()` for
+/// the workspace-root package). A missing file is fine; a present file
+/// with an entry that is not `cc <hex>` panics, so a typo cannot silently
+/// disable a checked-in regression.
+pub fn regression_seeds(source_file: &str, name: &str) -> Vec<u64> {
+    let Some(stem) = source_file.strip_suffix(".rs") else {
+        return Vec::new();
+    };
+    let path = format!("{stem}.proptest-regressions");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("cc"), Some(hex), None)
+                if !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit()) =>
+            {
+                // Hash (property name, persisted seed) into the replay
+                // seed; distinct entries become distinct extra cases.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes().chain(hex.bytes()) {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                seeds.push(h);
+            }
+            _ => panic!(
+                "{path}:{}: malformed proptest regression entry {raw:?} \
+                 (expected `cc <hex seed>`); fix or regenerate the file",
+                lineno + 1
+            ),
+        }
+    }
+    seeds
 }
 
 impl rand::Rng for TestRng {
@@ -322,6 +383,12 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])*
             fn $name() {
+                // Persisted regressions replay before any novel cases.
+                for seed in $crate::regression_seeds(file!(), stringify!($name)) {
+                    let mut rng = $crate::TestRng::from_seed(seed);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )*
+                    $body
+                }
                 let cases = $crate::resolve_cases(&$cfg);
                 for case in 0..cases {
                     let mut rng = $crate::TestRng::for_case(stringify!($name), case);
@@ -411,6 +478,37 @@ mod tests {
         let mut c = crate::TestRng::for_case("y", 0);
         let sc: u64 = rand::Rng::random(&mut c);
         assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn regression_files_parse_and_hash_deterministically() {
+        let stem = std::env::temp_dir().join(format!("proptest_stub_ok_{}", std::process::id()));
+        let src = format!("{}.rs", stem.display());
+        let path = format!("{}.proptest-regressions", stem.display());
+        std::fs::write(&path, "# header comment\n\ncc deadbeef # shrinks to x = 1\ncc 0123abc\n")
+            .unwrap();
+        let a = crate::regression_seeds(&src, "prop_a");
+        let b = crate::regression_seeds(&src, "prop_a");
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(a, b, "replay seeds must be deterministic");
+        assert_eq!(a.len(), 2, "one seed per cc entry");
+        assert_ne!(a[0], a[1], "entries hash to distinct seeds");
+        assert!(crate::regression_seeds("no/such/file.rs", "p").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed proptest regression entry")]
+    fn malformed_regression_entries_panic() {
+        let stem = std::env::temp_dir().join(format!("proptest_stub_bad_{}", std::process::id()));
+        let src = format!("{}.rs", stem.display());
+        let path = format!("{}.proptest-regressions", stem.display());
+        std::fs::write(&path, "cc not-hex-at-all\n").unwrap();
+        let result = std::panic::catch_unwind(|| crate::regression_seeds(&src, "p"));
+        std::fs::remove_file(&path).unwrap();
+        if let Err(payload) = result {
+            // Re-raise the expected panic (with its message) after cleanup.
+            std::panic::resume_unwind(payload);
+        }
     }
 
     #[test]
