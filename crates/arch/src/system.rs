@@ -32,6 +32,15 @@ pub struct ClassificationJob {
 }
 
 impl ClassificationJob {
+    /// The same workload shape at a different serving load point:
+    /// `batch` concurrent requests, each screened down to `candidates`
+    /// survivors. Categories and dimensions are untouched, so a serving
+    /// simulator can sweep batch size × degrade tier without re-deriving
+    /// the model shape.
+    pub fn with_load(&self, batch: usize, candidates: usize) -> Self {
+        ClassificationJob { batch: batch.max(1), candidates: candidates.max(1), ..*self }
+    }
+
     /// The slice of this job one of `ranks` symmetric units executes.
     pub fn rank_slice(&self, ranks: usize) -> RankJob {
         RankJob {
@@ -381,6 +390,20 @@ mod tests {
             batch: 1,
             candidates: 262_144 / 20, // ~5% of rows need exact compute
         }
+    }
+
+    #[test]
+    fn with_load_rescales_only_the_load_axes() {
+        let j = job();
+        let scaled = j.with_load(8, 1000);
+        assert_eq!(scaled.batch, 8);
+        assert_eq!(scaled.candidates, 1000);
+        assert_eq!(scaled.categories, j.categories);
+        assert_eq!(scaled.hidden, j.hidden);
+        assert_eq!(scaled.reduced, j.reduced);
+        // Degenerate loads clamp to one rather than producing empty jobs.
+        let empty = j.with_load(0, 0);
+        assert_eq!((empty.batch, empty.candidates), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Online serving study (extension): offered load × degrade policy over
+//! the four paper workloads, on the whole-system serving simulator.
+//!
+//! The rank-level `serving` study compares engines on a fixed slice;
+//! this one asks the deployment question the paper leaves open: when a
+//! query stream overruns an ENMC appliance, is it better to shed
+//! requests at full quality or to degrade the screening budget and keep
+//! serving? Each row runs `enmc_serve::simulate` at a utilization
+//! relative to the workload's own measured capacity, under either a
+//! single full-quality tier ("fixed") or a three-step degrade ladder
+//! ("adaptive").
+//!
+//! The candidate budget is capped at 1% of the category space so the
+//! calibration pass stays tractable for XMLCNN-670K; the relative
+//! ordering of policies is insensitive to the cap (see `DESIGN.md`,
+//! "Serving simulation").
+
+use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_bench::report::Reporter;
+use enmc_bench::table::{fmt, Table};
+use enmc_bench::{par_rows, sim_config};
+use enmc_model::workloads::WorkloadId;
+use enmc_obs::MetricsRegistry;
+use enmc_serve::tier::default_tiers;
+use enmc_serve::{simulate, ArrivalProcess, ServeConfig};
+
+const WORKLOADS: [WorkloadId; 4] = [
+    WorkloadId::LstmW33K,
+    WorkloadId::TransformerW268K,
+    WorkloadId::GnmtE32K,
+    WorkloadId::Xmlcnn670K,
+];
+const UTILIZATIONS: [f64; 2] = [0.7, 1.5];
+const POLICIES: [&str; 2] = ["fixed", "adaptive"];
+const LANES: usize = 2;
+const BATCH_MAX: usize = 2;
+
+fn serving_job(id: WorkloadId) -> ClassificationJob {
+    let w = id.workload();
+    ClassificationJob {
+        categories: w.categories,
+        hidden: w.hidden,
+        reduced: (w.hidden / 4).max(1),
+        batch: 1,
+        candidates: ((w.categories as f64) * 0.01).round() as usize,
+    }
+}
+
+fn main() {
+    let sim = sim_config();
+    let sys = SystemModel::table3();
+
+    println!("Serving load sweep: utilization x degrade policy, 4 paper shapes\n");
+    let mut t = Table::new(&[
+        "workload", "util", "policy", "completed", "shed", "p99 (us)", "slo %", "transitions",
+    ]);
+
+    // Probe each workload's saturation rate once: a full batch on the
+    // full-quality tier, converted to requests per kilocycle across all
+    // lanes. The sweep's utilizations are multiples of this capacity.
+    let capacities = par_rows(&sim, WORKLOADS.to_vec(), |&id| {
+        let job = serving_job(id);
+        let run = sys.run_sharded(&job.with_load(BATCH_MAX, job.candidates), Scheme::Enmc, &sim);
+        let cycles = run.result.rank_report.expect("ENMC runs are cycle-simulated").dram_cycles;
+        1000.0 * (LANES * BATCH_MAX) as f64 / cycles.max(1) as f64
+    });
+
+    let grid: Vec<(WorkloadId, f64, f64, &str)> = WORKLOADS
+        .iter()
+        .zip(&capacities)
+        .flat_map(|(&id, &cap)| {
+            UTILIZATIONS
+                .iter()
+                .flat_map(move |&u| POLICIES.map(|p| (id, cap, u, p)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let rows = par_rows(&sim, grid, |&(id, cap, util, policy)| {
+        let job = serving_job(id);
+        let ladder = default_tiers(&job);
+        let cfg = ServeConfig {
+            arrival: ArrivalProcess::Poisson { rate: cap * util },
+            requests: 96,
+            slo_cycles: 60_000,
+            batch_max: BATCH_MAX,
+            linger_cycles: 1_500,
+            lanes: LANES,
+            tiers: if policy == "fixed" { ladder[..1].to_vec() } else { ladder },
+            degrade_queue_depth: 6,
+            upgrade_queue_depth: 2,
+            shed_queue_depth: 24,
+            seed: 0x5e12,
+        };
+        let mut registry = MetricsRegistry::new();
+        let out = simulate(&sys, &job, &cfg, &sim_config(), &mut registry, None);
+        let us = |cycles: f64| cycles * out.ns_per_cycle / 1e3;
+        vec![
+            id.workload().abbr.to_string(),
+            fmt(util, 1),
+            policy.to_string(),
+            out.completed.to_string(),
+            out.shed.to_string(),
+            fmt(us(out.latency.p99()), 1),
+            fmt(100.0 * out.slo_attainment(), 1),
+            out.degrade_transitions.to_string(),
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
+    }
+    t.print();
+
+    let mut rep = Reporter::from_env("serve_load");
+    rep.table("load_sweep", &t);
+    rep.note(
+        "utilization is relative to each workload's probed full-quality capacity; \
+         candidates capped at 1% of categories to bound calibration time",
+    );
+    rep.finish();
+}

@@ -37,10 +37,7 @@ pub fn sim_config() -> SimConfig {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0);
-    match flag.or_else(enmc_par::env_threads) {
-        Some(n) => SimConfig::with_threads(n),
-        None => SimConfig::sequential(),
-    }
+    SimConfig::resolve(flag, false)
 }
 
 /// Maps `f` over `items` under the bench execution policy. Results keep

@@ -98,6 +98,31 @@ impl Histogram {
         }
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`).
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// quantile rank — a conservative (never-understating) estimate whose
+    /// error is bounded by the bucket width. Observations that landed in
+    /// the overflow bucket report the last explicit bound; an empty
+    /// histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, in bucket order.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let idx = i.min(self.bounds.len() - 1);
+                return self.bounds[idx];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
     /// Merges another histogram with identical bounds.
     ///
     /// # Panics
@@ -464,6 +489,23 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.quantile(0.99), 0.0); // empty
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 1.0); // first occupied bucket
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.75), 2.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        // Overflow observations clamp to the last explicit bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+    }
 
     #[test]
     fn label_order_is_canonicalized() {

@@ -26,13 +26,23 @@ use crate::metrics::MetricsReport;
 
 /// Schema version stamped into every report.
 ///
-/// v2 added `threads` (worker count the simulation ran on; 0 = the
-/// representative-rank shortcut with nothing to parallelize) and
-/// `speedup` (observed parallel speedup of the simulation region; 1.0
-/// when sequential). v3 added `protocol_violations` (DDR4 conformance
-/// violations observed when the run had `--check-protocol` on; 0
-/// otherwise). Older reports parse with the newer fields defaulted.
-pub const SCHEMA_VERSION: u32 = 3;
+/// # Field history (the single source of truth)
+///
+/// Every schema bump is **additive**: a report written at version `n`
+/// parses under any reader that understands version `m >= n`, with the
+/// newer fields defaulted as listed below. Readers must never require a
+/// field introduced after the report's own `schema_version`.
+///
+/// | Version | Fields added | Default when absent |
+/// |---|---|---|
+/// | v1 | `command`, `workload`, `scheme`, `batch`, `candidates`, `headline_ns`, `sim_cycles`, `phases`, `metrics`, `notes` | — (required) |
+/// | v2 | `threads` (worker count; 0 = representative-rank shortcut), `speedup` (observed parallel speedup; 1.0 sequential) | `0`, `1.0` |
+/// | v3 | `protocol_violations` (DDR4 conformance violations under `--check-protocol`) | `0` |
+/// | v4 | `slo_attainment` (fraction of completed requests meeting their deadline — serving runs only), `p99_ns` (99th-percentile request latency, ns), `shed` (requests rejected by admission control), `degrade_transitions` (screener degrade-tier steps, both directions) | `0.0`, `0.0`, `0`, `0` |
+///
+/// The v4 serving fields are only meaningful for `serve-sim` reports;
+/// batch-simulation commands write them as zero.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +89,17 @@ pub struct RunReport {
     /// DDR4 protocol violations the conformance checker observed (always
     /// 0 unless the run enabled `--check-protocol`).
     pub protocol_violations: u64,
+    /// Fraction of completed requests that met their deadline (serving
+    /// runs only; 0.0 for batch-simulation commands).
+    pub slo_attainment: f64,
+    /// 99th-percentile request latency in simulated nanoseconds (serving
+    /// runs only; 0.0 otherwise).
+    pub p99_ns: f64,
+    /// Requests rejected by admission control (serving runs only).
+    pub shed: u64,
+    /// Screener degrade-tier transitions, counting steps in both
+    /// directions (serving runs only).
+    pub degrade_transitions: u64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -147,6 +168,10 @@ impl RunReport {
             ("threads".to_string(), Value::Int(self.threads as i64)),
             ("speedup".to_string(), Value::Num(self.speedup)),
             ("protocol_violations".to_string(), Value::Int(self.protocol_violations as i64)),
+            ("slo_attainment".to_string(), Value::Num(self.slo_attainment)),
+            ("p99_ns".to_string(), Value::Num(self.p99_ns)),
+            ("shed".to_string(), Value::Int(self.shed as i64)),
+            ("degrade_transitions".to_string(), Value::Int(self.degrade_transitions as i64)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -230,6 +255,14 @@ impl RunReport {
             speedup: v.get("speedup").and_then(Value::as_f64).unwrap_or(1.0),
             protocol_violations: v
                 .get("protocol_violations")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            // v4 serving fields; default when reading an older report.
+            slo_attainment: v.get("slo_attainment").and_then(Value::as_f64).unwrap_or(0.0),
+            p99_ns: v.get("p99_ns").and_then(Value::as_f64).unwrap_or(0.0),
+            shed: v.get("shed").and_then(Value::as_u64).unwrap_or(0),
+            degrade_transitions: v
+                .get("degrade_transitions")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
             phases,
@@ -331,6 +364,72 @@ mod tests {
         let back = RunReport::from_json(&v2_json).unwrap();
         assert_eq!(back.protocol_violations, 0);
         assert_eq!(back.threads, r.threads);
+    }
+
+    #[test]
+    fn v3_reports_parse_with_defaulted_serving_fields() {
+        // A v3 report has none of the v4 serving keys.
+        let mut r = sample();
+        r.schema_version = 3;
+        let v3_json = r
+            .to_json()
+            .replace("\"slo_attainment\":0,", "")
+            .replace("\"p99_ns\":0,", "")
+            .replace("\"shed\":0,", "")
+            .replace("\"degrade_transitions\":0,", "");
+        assert!(!v3_json.contains("slo_attainment"));
+        let back = RunReport::from_json(&v3_json).unwrap();
+        assert_eq!(back.slo_attainment, 0.0);
+        assert_eq!(back.p99_ns, 0.0);
+        assert_eq!(back.shed, 0);
+        assert_eq!(back.degrade_transitions, 0);
+        assert_eq!(back.protocol_violations, r.protocol_violations);
+    }
+
+    #[test]
+    fn every_documented_schema_version_parses() {
+        // Emit the sample report at each historical schema version by
+        // stripping exactly the fields that version lacked, per the field
+        // history on SCHEMA_VERSION, and assert each still parses.
+        let strip: [&[&str]; 4] = [
+            // v1: no v2/v3/v4 fields.
+            &[
+                "\"threads\":0,",
+                "\"speedup\":1,",
+                "\"protocol_violations\":0,",
+                "\"slo_attainment\":0,",
+                "\"p99_ns\":0,",
+                "\"shed\":0,",
+                "\"degrade_transitions\":0,",
+            ],
+            // v2: no v3/v4 fields.
+            &[
+                "\"protocol_violations\":0,",
+                "\"slo_attainment\":0,",
+                "\"p99_ns\":0,",
+                "\"shed\":0,",
+                "\"degrade_transitions\":0,",
+            ],
+            // v3: no v4 fields.
+            &["\"slo_attainment\":0,", "\"p99_ns\":0,", "\"shed\":0,", "\"degrade_transitions\":0,"],
+            // v4: current — nothing stripped.
+            &[],
+        ];
+        for (i, removals) in strip.iter().enumerate() {
+            let version = (i + 1) as u32;
+            let mut r = sample();
+            r.schema_version = version;
+            let mut json = r.to_json();
+            for needle in removals.iter() {
+                assert!(json.contains(needle), "v{version} sample must carry {needle}");
+                json = json.replace(needle, "");
+            }
+            let back = RunReport::from_json(&json)
+                .unwrap_or_else(|e| panic!("v{version} report failed to parse: {e}"));
+            assert_eq!(back.schema_version, version);
+            assert_eq!(back.phases, r.phases, "v{version} phases survived");
+        }
+        assert_eq!(strip.len() as u32, SCHEMA_VERSION, "history covers every version");
     }
 
     #[test]

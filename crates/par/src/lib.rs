@@ -104,6 +104,25 @@ impl SimConfig {
     pub fn worker_count(&self) -> usize {
         self.policy.worker_count()
     }
+
+    /// Resolves the shared "`--threads` flag beats `ENMC_THREADS` beats
+    /// sequential" convention every CLI entry point follows.
+    ///
+    /// `flag` is the parsed `--threads` value when the user passed one.
+    /// With neither the flag nor the environment variable set, execution
+    /// is sequential — never `Auto` — so defaults stay deterministic and
+    /// machine-independent.
+    pub fn resolve(flag: Option<usize>, check_protocol: bool) -> Self {
+        let cfg = match flag.or_else(env_threads) {
+            Some(n) => SimConfig::with_threads(n),
+            None => SimConfig::sequential(),
+        };
+        if check_protocol {
+            cfg.with_protocol_check()
+        } else {
+            cfg
+        }
+    }
 }
 
 /// Splits `len` items into `shards` contiguous ranges whose sizes differ
@@ -257,6 +276,25 @@ mod tests {
         assert!(!SimConfig::sequential().policy.is_parallel());
         assert_eq!(SimConfig::with_threads(6).worker_count(), 6);
         assert!(ParallelPolicy::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn resolve_prefers_flag_over_environment() {
+        // Explicit flag always wins, protocol toggle carries through.
+        let cfg = SimConfig::resolve(Some(6), true);
+        assert_eq!(cfg.worker_count(), 6);
+        assert!(cfg.check_protocol);
+        let cfg = SimConfig::resolve(Some(1), false);
+        assert_eq!(cfg.policy, ParallelPolicy::Sequential);
+        assert!(!cfg.check_protocol);
+        // Without a flag the result is either sequential or the
+        // ENMC_THREADS count, depending on the ambient environment — but
+        // never Auto (env mutation in tests would race other threads).
+        let cfg = SimConfig::resolve(None, false);
+        match env_threads() {
+            Some(n) if n > 1 => assert_eq!(cfg.worker_count(), n),
+            _ => assert_eq!(cfg.policy, ParallelPolicy::Sequential),
+        }
     }
 
     #[test]

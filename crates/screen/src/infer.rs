@@ -185,6 +185,20 @@ impl ApproxClassifier {
     /// Panics if `h.len()` differs from the hidden dimension or the
     /// classifier is not frozen.
     pub fn classify_ref(&self, h: &Vector) -> ApproxOutput {
+        self.classify_ref_with(h, self.policy)
+    }
+
+    /// [`ApproxClassifier::classify_ref`] under an explicit selection
+    /// policy, ignoring the configured one. This is the serving degrade
+    /// path: one frozen classifier shared across threads can answer
+    /// queries at different `(K, screening-level)` tiers concurrently,
+    /// with no `&mut self` policy swap racing between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len()` differs from the hidden dimension or the
+    /// classifier is not frozen.
+    pub fn classify_ref_with(&self, h: &Vector, policy: SelectionPolicy) -> ApproxOutput {
         let l = self.weights.rows();
         let d = self.weights.cols();
         let k = self.screener.reduced_dim();
@@ -193,7 +207,7 @@ impl ApproxClassifier {
         let approx = self.screener.screen_ref(h);
 
         // (2) candidate selection.
-        let candidates = self.policy.select(approx.as_slice());
+        let candidates = policy.select(approx.as_slice());
 
         // (3) candidates-only exact computation.
         let exact = self.weights.matvec_rows(&candidates, h, &self.bias);
@@ -307,6 +321,25 @@ mod tests {
         }
         let rate = agree as f64 / samples.len() as f64;
         assert!(rate > 0.85, "top-1 agreement {rate}");
+    }
+
+    #[test]
+    fn classify_ref_with_overrides_policy_without_mutation() {
+        let (mut clf, samples) = build(64, 16, SelectionPolicy::TopM(8));
+        clf.freeze();
+        let h = &samples[0];
+        // An explicit policy matching the configured one is bit-identical
+        // to the default path.
+        let via_default = clf.classify_ref(h);
+        let via_explicit = clf.classify_ref_with(h, SelectionPolicy::TopM(8));
+        assert_eq!(via_default.candidates, via_explicit.candidates);
+        assert_eq!(via_default.logits.as_slice(), via_explicit.logits.as_slice());
+        // A degraded tier narrows the candidate set; the configured
+        // policy is untouched.
+        let degraded = clf.classify_ref_with(h, SelectionPolicy::TopM(2));
+        assert_eq!(degraded.candidates.len(), 2);
+        assert_eq!(clf.policy(), SelectionPolicy::TopM(8));
+        assert!(degraded.cost.bytes_read < via_default.cost.bytes_read);
     }
 
     #[test]

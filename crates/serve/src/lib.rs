@@ -1,0 +1,39 @@
+//! Online serving simulator for the ENMC accelerator.
+//!
+//! The rest of the workspace answers "how fast is one batch?"; this crate
+//! answers the question the ROADMAP north star actually poses — what
+//! happens when *traffic* hits the accelerator: requests arrive over
+//! time, queue, get batched, and miss or meet deadlines. It is a
+//! deterministic discrete-event simulator in DRAM-clock cycle time,
+//! layered on the cycle-level [`enmc_arch::system::SystemModel`]:
+//!
+//! 1. [`arrival`] — seeded arrival-process generators (Poisson, bursty
+//!    MMPP-2, diurnal ramp, replayed trace) producing timestamped
+//!    requests with per-request deadlines.
+//! 2. [`sim`] — a dynamic batcher (max-batch-size + max-linger) feeding
+//!    batches into service lanes whose service times come from a
+//!    calibration pass over the rank-sharded simulator, plus an
+//!    admission/backpressure controller that sheds load and steps the
+//!    screener down through configured [`tier::DegradeTier`]s.
+//! 3. [`hist`] — log-bucketed latency histograms for p50/p90/p99/p999
+//!    tail reporting.
+//!
+//! # Determinism contract
+//!
+//! Everything is a function of the configuration and its seeds: arrivals
+//! come from a [`arrival::SplitMix64`] stream, service times from the
+//! thread-invariant sharded simulator, and the event loop itself is
+//! single-threaded cycle arithmetic. Host wall-clock time never enters
+//! any output, so a serving report is byte-identical for any
+//! `ENMC_THREADS` — worker counts only change how fast the calibration
+//! pass runs.
+
+pub mod arrival;
+pub mod hist;
+pub mod sim;
+pub mod tier;
+
+pub use arrival::ArrivalProcess;
+pub use hist::LatencyHistogram;
+pub use sim::{simulate, BatchRecord, RequestRecord, ServeConfig, ServeOutcome};
+pub use tier::{parse_tiers, DegradeTier};

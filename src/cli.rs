@@ -66,6 +66,62 @@ pub fn parse_count(flag: &str, raw: &str) -> Result<u64, String> {
     }
 }
 
+/// Validates a `--rate` value: a finite arrival rate > 0, in requests
+/// per kilocycle (1000 DRAM cycles).
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_rate(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(r) if r.is_finite() && r > 0.0 => Ok(r),
+        Ok(_) => Err(format!("--rate must be a positive requests-per-kilocycle value, got '{raw}'")),
+        Err(_) => Err(format!("--rate expects a positive number, got '{raw}'")),
+    }
+}
+
+/// Validates an `--arrival` value.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted processes.
+pub fn parse_arrival_kind(raw: &str) -> Result<ArrivalKind, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "poisson" => Ok(ArrivalKind::Poisson),
+        "burst" => Ok(ArrivalKind::Burst),
+        "diurnal" => Ok(ArrivalKind::Diurnal),
+        "trace" => Ok(ArrivalKind::Trace),
+        _ => Err(format!(
+            "--arrival must be 'poisson', 'burst', 'diurnal' or 'trace', got '{raw}'"
+        )),
+    }
+}
+
+/// Arrival-process families of `enmc serve-sim` (rates and trace paths
+/// bind in `main.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless constant-rate arrivals.
+    Poisson,
+    /// Two-state bursty (MMPP-2) arrivals.
+    Burst,
+    /// Triangle-wave diurnal ramp.
+    Diurnal,
+    /// Replay of a timestamp file.
+    Trace,
+}
+
+/// Validates a `--degrade-tiers` list (comma-separated `K:S` pairs,
+/// ordered from full quality downwards); see
+/// [`enmc_serve::tier::parse_tiers`] for the grammar.
+///
+/// # Errors
+///
+/// Returns the serving crate's flag-naming message unchanged.
+pub fn parse_degrade_tiers(raw: &str) -> Result<Vec<enmc_serve::DegradeTier>, String> {
+    enmc_serve::parse_tiers(raw)
+}
+
 /// Validates a `--report` value.
 ///
 /// # Errors
@@ -152,5 +208,32 @@ mod tests {
         assert_eq!(parse_report_format("json"), Ok(ReportFormat::Json));
         assert_eq!(parse_report_format("TEXT"), Ok(ReportFormat::Text));
         assert!(parse_report_format("xml").unwrap_err().contains("'xml'"));
+    }
+
+    #[test]
+    fn rate_accepts_positive_finite_numbers() {
+        assert_eq!(parse_rate("0.5"), Ok(0.5));
+        assert_eq!(parse_rate("12"), Ok(12.0));
+        assert!(parse_rate("0").unwrap_err().contains("--rate"));
+        assert!(parse_rate("-1").is_err());
+        assert!(parse_rate("inf").is_err());
+        assert!(parse_rate("fast").unwrap_err().contains("'fast'"));
+    }
+
+    #[test]
+    fn arrival_kind_parses() {
+        assert_eq!(parse_arrival_kind("poisson"), Ok(ArrivalKind::Poisson));
+        assert_eq!(parse_arrival_kind("BURST"), Ok(ArrivalKind::Burst));
+        assert_eq!(parse_arrival_kind("diurnal"), Ok(ArrivalKind::Diurnal));
+        assert_eq!(parse_arrival_kind("trace"), Ok(ArrivalKind::Trace));
+        assert!(parse_arrival_kind("uniform").unwrap_err().contains("'uniform'"));
+    }
+
+    #[test]
+    fn degrade_tiers_delegate_to_the_serving_grammar() {
+        let tiers = parse_degrade_tiers("100:0,50:1").unwrap();
+        assert_eq!(tiers.len(), 2);
+        assert_eq!(tiers[1].candidates, 50);
+        assert!(parse_degrade_tiers("50:1,100:0").unwrap_err().contains("--degrade-tiers"));
     }
 }

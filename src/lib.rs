@@ -19,6 +19,7 @@
 //! | [`arch`] | `enmc-arch` | ENMC / NDA / Chameleon / TensorDIMM / CPU models |
 //! | [`obs`] | `enmc-obs` | event tracing, metrics registry, structured run reports |
 //! | [`par`] | `enmc-par` | deterministic worker pool + execution policies |
+//! | [`serve`] | `enmc-serve` | online serving simulator: arrivals, batching, SLO degradation |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use enmc_isa as isa;
 pub use enmc_model as model;
 pub use enmc_par as par;
 pub use enmc_screen as screen;
+pub use enmc_serve as serve;
 pub use enmc_tensor as tensor;
 
 pub mod cli;

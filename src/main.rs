@@ -24,6 +24,25 @@
 //!     --inject-bug <name>            plant a controller timing bug; exit 0
 //!                                    iff the harness catches it
 //!     --repro-out <file>             write the shrunk reproducer JSON
+//! enmc serve-sim [options]           simulate online serving of a workload
+//!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --arrival <kind>               poisson|burst|diurnal|trace (default poisson)
+//!     --rate <r>                     offered load, requests per kilocycle
+//!     --requests <n>                 requests to generate (default 256)
+//!     --slo-cycles <n>               per-request deadline in cycles
+//!     --batch-max <n>                dynamic batcher size cap (default 4)
+//!     --linger <n>                   max cycles a request may wait unbatched
+//!     --lanes <n>                    parallel service lanes (default 2)
+//!     --degrade-tiers <K:S,...>      screener degrade ladder, full quality
+//!                                    first (default: K, K/2:1, K/4:2)
+//!     --shed-queue <n>               shed arrivals beyond this queue depth
+//!     --degrade-queue <n>            step a tier down beyond this depth
+//!     --upgrade-queue <n>            step a tier up at or below this depth
+//!     --seed <n>                     arrival-stream seed (default 7)
+//!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
+//!     --trace-file <file>            arrival timestamps for --arrival trace
+//!     --quality <n>                  score each tier over n queries
+//!     --threads / --check-protocol / --trace-out / --report as simulate
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
 //! ```
@@ -31,8 +50,8 @@
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
-    parse_batch, parse_candidate_fraction, parse_count, parse_report_format, parse_threads,
-    ReportFormat,
+    parse_arrival_kind, parse_batch, parse_candidate_fraction, parse_count, parse_degrade_tiers,
+    parse_rate, parse_report_format, parse_threads, ArrivalKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -50,6 +69,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("demo") => cmd_demo(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
@@ -69,6 +89,13 @@ usage:
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
                 [--threads N] [--trace-out FILE] [--report text|json]
                 [--check-protocol]
+  enmc serve-sim [--workload W] [--arrival poisson|burst|diurnal|trace]
+                 [--rate R] [--requests N] [--slo-cycles S] [--batch-max B]
+                 [--linger L] [--lanes N] [--degrade-tiers K:S,...]
+                 [--shed-queue N] [--degrade-queue N] [--upgrade-queue N]
+                 [--seed N] [--candidates F] [--trace-file FILE]
+                 [--quality N] [--threads N] [--trace-out FILE]
+                 [--report text|json] [--check-protocol]
   enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
                  [--repro-out FILE] [--check-protocol]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
@@ -287,6 +314,278 @@ fn cmd_simulate(args: &[String]) -> i32 {
         println!("  protocol: {violations} DDR4 timing violation(s)");
         if violations > 0 {
             eprintln!("protocol check FAILED: rerun with --trace-out to see per-rule events");
+            return 1;
+        }
+    }
+    0
+}
+
+/// Builds the arrival process for `serve-sim`: the CLI exposes one
+/// nominal `--rate`, and the non-Poisson families derive their envelope
+/// from it (bursts peak at 10x the calm rate, the diurnal ramp sweeps
+/// 0.25x–2x).
+fn build_arrival(
+    kind: ArrivalKind,
+    rate: f64,
+    trace_file: Option<&str>,
+) -> Result<enmc::serve::ArrivalProcess, String> {
+    use enmc::serve::ArrivalProcess;
+    Ok(match kind {
+        ArrivalKind::Poisson => ArrivalProcess::Poisson { rate },
+        ArrivalKind::Burst => ArrivalProcess::Burst {
+            calm_rate: rate,
+            burst_rate: rate * 10.0,
+            calm_cycles: 40_000.0,
+            burst_cycles: 10_000.0,
+        },
+        ArrivalKind::Diurnal => ArrivalProcess::Diurnal {
+            trough_rate: rate * 0.25,
+            peak_rate: rate * 2.0,
+            period_cycles: 200_000,
+        },
+        ArrivalKind::Trace => {
+            let path = trace_file
+                .ok_or_else(|| "--arrival trace requires --trace-file <file>".to_string())?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --trace-file {path}: {e}"))?;
+            let mut at = Vec::new();
+            for tok in text.split_whitespace() {
+                at.push(
+                    tok.parse::<u64>()
+                        .map_err(|_| format!("--trace-file entry '{tok}' is not a cycle count"))?,
+                );
+            }
+            ArrivalProcess::Trace { at }
+        }
+    })
+}
+
+fn cmd_serve_sim(args: &[String]) -> i32 {
+    use enmc::obs::MetricsRegistry;
+    use enmc::screen::infer::SelectionPolicy;
+    use enmc::serve::{simulate, ServeConfig};
+    use enmc::serve::tier::default_tiers;
+
+    let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("lstm")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    // Small integer flags share parse_count; each names its own flag.
+    macro_rules! count_flag {
+        ($flag:literal, $default:expr) => {
+            match flag_value(args, $flag).map(|r| parse_count($flag, r)).unwrap_or(Ok($default)) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        };
+    }
+    let rate = match flag_value(args, "--rate").map(parse_rate).unwrap_or(Ok(0.5)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let arrival_kind = match flag_value(args, "--arrival")
+        .map(parse_arrival_kind)
+        .unwrap_or(Ok(ArrivalKind::Poisson))
+    {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let frac = match flag_value(args, "--candidates")
+        .map(parse_candidate_fraction)
+        .unwrap_or(Ok(0.05))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let format = match flag_value(args, "--report")
+        .map(parse_report_format)
+        .unwrap_or(Ok(ReportFormat::Text))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let requests = count_flag!("--requests", 256) as usize;
+    let slo_cycles = count_flag!("--slo-cycles", 100_000);
+    let batch_max = count_flag!("--batch-max", 4) as usize;
+    let linger_cycles = count_flag!("--linger", 2_000);
+    let lanes = count_flag!("--lanes", 2) as usize;
+    let shed_queue_depth = count_flag!("--shed-queue", 48) as usize;
+    let degrade_queue_depth = count_flag!("--degrade-queue", 12) as usize;
+    let upgrade_queue_depth = count_flag!("--upgrade-queue", 3) as usize;
+    let seed = count_flag!("--seed", 7);
+    let quality_queries = flag_value(args, "--quality").map(|r| parse_count("--quality", r));
+    let quality_queries = match quality_queries {
+        Some(Ok(n)) => Some(n as usize),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+        None => None,
+    };
+    let check_protocol = args.iter().any(|a| a == "--check-protocol");
+    let threads = match flag_value(args, "--threads") {
+        Some(raw) => match parse_threads(raw) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    // Threads only speed up the calibration pass; the outcome and report
+    // are byte-identical for any worker count.
+    let sim_cfg = SimConfig::resolve(threads, check_protocol);
+
+    let arrival = match build_arrival(arrival_kind, rate, flag_value(args, "--trace-file")) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch: 1,
+        candidates: ((workload.categories as f64) * frac).round() as usize,
+    };
+    let tiers = match flag_value(args, "--degrade-tiers") {
+        Some(raw) => match parse_degrade_tiers(raw) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => default_tiers(&job),
+    };
+
+    let cfg = ServeConfig {
+        arrival,
+        requests,
+        slo_cycles,
+        batch_max,
+        linger_cycles,
+        lanes,
+        tiers,
+        degrade_queue_depth,
+        upgrade_queue_depth,
+        shed_queue_depth,
+        seed,
+    };
+    eprintln!(
+        "serving {} (l={}, d={}): {} {} request(s) at rate {rate}/kcycle, {} tier(s)",
+        workload.abbr,
+        workload.categories,
+        workload.hidden,
+        cfg.requests,
+        cfg.arrival.kind(),
+        cfg.tiers.len()
+    );
+
+    let sys = SystemModel::table3();
+    let mut registry = MetricsRegistry::new();
+    let trace_out = flag_value(args, "--trace-out");
+    let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
+    let outcome = simulate(&sys, &job, &cfg, &sim_cfg, &mut registry, trace.as_mut());
+
+    // Price the degrade ladder: each tier's quality over the same seeded
+    // query stream, on a pipeline-scale model (the workload's full
+    // classifier is too large to rebuild here, so candidate counts are
+    // rescaled to the pipeline's category count).
+    if let Some(n) = quality_queries {
+        let mut pipeline = match Pipeline::build(&PipelineConfig::default()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let pipe_l = pipeline.config().categories;
+        const TIER_NAMES: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+        for (t, tier) in cfg.tiers.iter().enumerate() {
+            let scaled = ((tier.candidates as f64 / job.candidates.max(1) as f64
+                * pipeline.config().candidates as f64)
+                .round() as usize)
+                .clamp(1, pipe_l);
+            let q = pipeline.evaluate_quality_policy_with(
+                n,
+                SelectionPolicy::TopM(scaled),
+                &sim_cfg,
+            );
+            let label = TIER_NAMES.get(t).copied().unwrap_or("8+");
+            registry.gauge_set("serve.quality_top1", &[("tier", label)], q.top1_agreement);
+            registry.gauge_set("serve.quality_p_at_10", &[("tier", label)], q.precision_at_k);
+        }
+    }
+
+    let report = outcome.report(workload.abbr, &cfg, &registry);
+    if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
+        let chrome = export_chrome(&tb.drain(), outcome.ns_per_cycle);
+        match std::fs::write(path, chrome) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let violations = report.protocol_violations;
+    if format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return i32::from(check_protocol && violations > 0);
+    }
+    println!(
+        "  requests: {} generated, {} admitted, {} completed, {} shed",
+        outcome.generated, outcome.admitted, outcome.completed, outcome.shed
+    );
+    let us = |cycles: f64| cycles * outcome.ns_per_cycle / 1e3;
+    println!(
+        "  latency : p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, p999 {:.1} us",
+        us(outcome.latency.p50()),
+        us(outcome.latency.p90()),
+        us(outcome.latency.p99()),
+        us(outcome.latency.p999())
+    );
+    println!(
+        "  slo     : {:.1}% within {} cycles ({:.1} us)",
+        100.0 * outcome.slo_attainment(),
+        cfg.slo_cycles,
+        us(cfg.slo_cycles as f64)
+    );
+    println!(
+        "  degrade : {} transition(s); per-tier completions {:?}",
+        outcome.degrade_transitions, outcome.per_tier_completed
+    );
+    println!(
+        "  queue   : max depth {}, {} batch(es), makespan {:.1} us",
+        outcome.max_queue_depth,
+        outcome.batches.len(),
+        us(outcome.makespan_cycles as f64)
+    );
+    if check_protocol {
+        println!("  protocol: {violations} DDR4 timing violation(s)");
+        if violations > 0 {
             return 1;
         }
     }

@@ -160,6 +160,24 @@ impl Pipeline {
     /// merged in shard order — so the report is bit-identical for any
     /// number of workers (including sequential).
     pub fn evaluate_quality_with(&mut self, n: usize, cfg: &SimConfig) -> QualityReport {
+        let policy = self.classifier.policy();
+        self.evaluate_quality_policy_with(n, policy, cfg)
+    }
+
+    /// [`Pipeline::evaluate_quality_with`] under an explicit selection
+    /// policy, leaving the configured one untouched.
+    ///
+    /// This is how a serving deployment prices its degrade ladder: one
+    /// built pipeline scores every `(K, screening-level)` tier over the
+    /// *same* seeded query stream, so tier-to-tier quality deltas are not
+    /// confounded by sampling noise. Same determinism guarantee as
+    /// [`Pipeline::evaluate_quality_with`].
+    pub fn evaluate_quality_policy_with(
+        &mut self,
+        n: usize,
+        policy: SelectionPolicy,
+        cfg: &SimConfig,
+    ) -> QualityReport {
         let queries = self.synth.sample_queries_seeded(n, self.config.seed ^ 0x5ca1e);
         self.classifier.freeze();
         let synth = &self.synth;
@@ -170,7 +188,7 @@ impl Pipeline {
             let mut acc = QualityAccumulator::new(10);
             for q in &queries[range] {
                 let full = synth.full_logits(&q.hidden);
-                let out = classifier.classify_ref(&q.hidden);
+                let out = classifier.classify_ref_with(&q.hidden, policy);
                 acc.add(full.as_slice(), out.logits.as_slice(), q.target);
             }
             acc
@@ -420,6 +438,28 @@ mod tests {
             let par = p.evaluate_quality_with(48, &SimConfig::with_threads(workers));
             assert_eq!(par, seq, "{workers} workers diverged");
         }
+    }
+
+    #[test]
+    fn tiered_quality_degrades_monotonically_in_candidates() {
+        let mut p = Pipeline::build(&PipelineConfig {
+            categories: 1000,
+            hidden: 48,
+            candidates: 40,
+            train_queries: 64,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = SimConfig::sequential();
+        let full = p.evaluate_quality_policy_with(48, SelectionPolicy::TopM(40), &cfg);
+        let degraded = p.evaluate_quality_policy_with(48, SelectionPolicy::TopM(2), &cfg);
+        // The explicit-policy path at the configured K matches the default.
+        assert_eq!(full, p.evaluate_quality_with(48, &cfg));
+        assert!(degraded.top1_agreement <= full.top1_agreement);
+        assert!(degraded.precision_at_k < full.precision_at_k);
+        // The configured policy survives the tier sweep.
+        assert_eq!(p.classifier().policy(), SelectionPolicy::TopM(40));
     }
 
     #[test]

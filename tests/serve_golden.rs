@@ -1,0 +1,99 @@
+//! Golden serving-report regression: the schema-v4 `RunReport` of one
+//! fixed burst scenario is checked in at `tests/golden/serve_report.json`.
+//! The report's byte output — headline numbers, v4 serving fields,
+//! metrics snapshot, notes — must stay stable; an intentional change is
+//! re-blessed with `ENMC_BLESS=1 cargo test --test serve_golden`.
+
+use enmc::arch::system::{ClassificationJob, SystemModel};
+use enmc::obs::report::RunReport;
+use enmc::obs::MetricsRegistry;
+use enmc::par::SimConfig;
+use enmc::serve::{simulate, ArrivalProcess, DegradeTier, ServeConfig, ServeOutcome};
+
+const GOLDEN: &str = include_str!("golden/serve_report.json");
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/serve_report.json");
+
+/// The fixed scenario the fixture was produced from: a burst overload on
+/// a small job, tuned so the controller both sheds and walks the degrade
+/// ladder (the interesting code paths) while p99 stays under the SLO.
+fn golden_scenario() -> (ClassificationJob, ServeConfig) {
+    let job =
+        ClassificationJob { categories: 2048, hidden: 64, reduced: 16, batch: 1, candidates: 128 };
+    let cfg = ServeConfig {
+        arrival: ArrivalProcess::Burst {
+            calm_rate: 0.05,
+            burst_rate: 50.0,
+            calm_cycles: 20_000.0,
+            burst_cycles: 10_000.0,
+        },
+        requests: 200,
+        slo_cycles: 1_500,
+        batch_max: 4,
+        linger_cycles: 300,
+        lanes: 1,
+        tiers: vec![
+            DegradeTier { candidates: 128, screen_shift: 0 },
+            DegradeTier { candidates: 64, screen_shift: 1 },
+            DegradeTier { candidates: 32, screen_shift: 2 },
+        ],
+        degrade_queue_depth: 4,
+        upgrade_queue_depth: 1,
+        shed_queue_depth: 12,
+        seed: 3,
+    };
+    (job, cfg)
+}
+
+/// Re-runs the golden scenario exactly as the CLI would and renders its
+/// schema-v4 report (trailing newline so the fixture is a POSIX file).
+fn current_report() -> (ServeOutcome, String) {
+    let (job, cfg) = golden_scenario();
+    let mut registry = MetricsRegistry::new();
+    let out =
+        simulate(&SystemModel::table3(), &job, &cfg, &SimConfig::sequential(), &mut registry, None);
+    let json = format!("{}\n", out.report("golden", &cfg, &registry).to_json());
+    (out, json)
+}
+
+#[test]
+fn golden_serve_report_is_reproduced_exactly() {
+    let (_, json) = current_report();
+    if std::env::var_os("ENMC_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden fixture");
+        return;
+    }
+    assert!(
+        json == GOLDEN,
+        "serving report drifted from tests/golden/serve_report.json \
+         ({} vs {} bytes); if the change is intentional, re-bless with \
+         ENMC_BLESS=1 cargo test --test serve_golden\n--- current ---\n{}",
+        json.len(),
+        GOLDEN.len(),
+        json
+    );
+}
+
+#[test]
+fn golden_fixture_parses_and_exercises_the_interesting_paths() {
+    let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
+    assert_eq!(report.schema_version, 4);
+    assert_eq!(report.command, "serve-sim");
+    assert!(report.shed > 0, "fixture must shed");
+    assert!(report.degrade_transitions > 0, "fixture must walk the degrade ladder");
+    assert!(report.slo_attainment > 0.9, "fixture must mostly meet its SLO");
+    assert!(report.p99_ns > 0.0);
+    assert_eq!(report.protocol_violations, 0);
+
+    // The fixture's claims match a fresh run of its scenario.
+    let (out, _) = current_report();
+    assert_eq!(report.shed, out.shed);
+    assert_eq!(report.degrade_transitions, out.degrade_transitions);
+    let slo_cycles = golden_scenario().1.slo_cycles as f64;
+    assert!(
+        out.latency.p99() <= slo_cycles,
+        "p99 {} cycles must stay under the {} cycle SLO",
+        out.latency.p99(),
+        slo_cycles
+    );
+}

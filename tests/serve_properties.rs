@@ -1,0 +1,159 @@
+//! Queueing-theory invariants of the serving simulator: conservation,
+//! FIFO dispatch, batching bounds, linger deadlines, histogram
+//! consistency, and worker-count invariance — over randomized
+//! arrival processes and controller configurations.
+
+use enmc::arch::system::{ClassificationJob, SystemModel};
+use enmc::obs::MetricsRegistry;
+use enmc::par::SimConfig;
+use enmc::serve::tier::default_tiers;
+use enmc::serve::{simulate, ArrivalProcess, ServeConfig, ServeOutcome};
+use proptest::prelude::*;
+
+/// Small enough that each case's calibration pass (tiers × batch sizes
+/// sharded runs) stays in the milliseconds.
+fn small_job() -> ClassificationJob {
+    ClassificationJob { categories: 2048, hidden: 64, reduced: 16, batch: 1, candidates: 128 }
+}
+
+/// A randomized but always-valid serving scenario. Rates span from idle
+/// to heavily overloaded so shedding and degradation both get exercised.
+fn scenario() -> impl Strategy<Value = ServeConfig> {
+    let arrival = prop_oneof![
+        (0.01f64..2.0).prop_map(|rate| ArrivalProcess::Poisson { rate }),
+        (0.01f64..0.5, 1.0f64..20.0).prop_map(|(calm, burst)| ArrivalProcess::Burst {
+            calm_rate: calm,
+            burst_rate: burst,
+            calm_cycles: 5_000.0,
+            burst_cycles: 2_000.0,
+        }),
+        (0.01f64..0.5, 1.0f64..4.0).prop_map(|(trough, peak)| ArrivalProcess::Diurnal {
+            trough_rate: trough,
+            peak_rate: peak,
+            period_cycles: 20_000,
+        }),
+    ];
+    (
+        (arrival, 8usize..40, 1usize..5, 50u64..3_000, 1usize..4),
+        (200u64..20_000, 2usize..16, 4usize..32, any::<u64>()),
+    )
+        .prop_map(
+            |((arrival, requests, batch_max, linger_cycles, lanes), (slo_cycles, dq, sq, seed))| {
+                ServeConfig {
+                    arrival,
+                    requests,
+                    slo_cycles,
+                    batch_max,
+                    linger_cycles,
+                    lanes,
+                    tiers: default_tiers(&small_job()),
+                    degrade_queue_depth: dq,
+                    upgrade_queue_depth: (dq / 4).max(1),
+                    shed_queue_depth: sq.max(dq + 1),
+                    seed,
+                }
+            },
+        )
+}
+
+fn run(cfg: &ServeConfig, sim: &SimConfig) -> ServeOutcome {
+    let mut registry = MetricsRegistry::new();
+    simulate(&SystemModel::table3(), &small_job(), cfg, sim, &mut registry, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated request is accounted for exactly once: shed at
+    /// admission or completed; nothing is lost in the queue.
+    #[test]
+    fn requests_are_conserved(cfg in scenario()) {
+        let out = run(&cfg, &SimConfig::sequential());
+        prop_assert_eq!(out.generated, out.admitted + out.shed);
+        prop_assert_eq!(out.admitted, out.completed);
+        prop_assert_eq!(out.requests.len() as u64, out.generated);
+        let shed = out.requests.iter().filter(|r| r.shed).count() as u64;
+        let done = out.requests.iter().filter(|r| r.completion.is_some()).count() as u64;
+        prop_assert_eq!(shed, out.shed);
+        prop_assert_eq!(done, out.completed);
+    }
+
+    /// Batches leave the queue in arrival order and respect the size cap:
+    /// dispatch times and oldest-member arrivals are both non-decreasing,
+    /// and no batch exceeds `batch_max` or is empty.
+    #[test]
+    fn dispatch_is_fifo_and_bounded(cfg in scenario()) {
+        let out = run(&cfg, &SimConfig::sequential());
+        prop_assert_eq!(
+            out.batches.iter().map(|b| b.size as u64).sum::<u64>(),
+            out.completed
+        );
+        for pair in out.batches.windows(2) {
+            prop_assert!(pair[1].start >= pair[0].start);
+            prop_assert!(pair[1].oldest_arrival >= pair[0].oldest_arrival);
+        }
+        for b in &out.batches {
+            prop_assert!(b.size >= 1 && b.size <= cfg.batch_max, "size {}", b.size);
+            prop_assert!(b.lane < cfg.lanes);
+            prop_assert!(b.end > b.start);
+            prop_assert!(b.start >= b.oldest_arrival);
+        }
+    }
+
+    /// No batch is held past its linger deadline while a lane sits idle:
+    /// each dispatch happens by the later of the oldest member's linger
+    /// expiry and the first moment any lane was free.
+    #[test]
+    fn linger_deadline_is_honored(cfg in scenario()) {
+        let out = run(&cfg, &SimConfig::sequential());
+        let mut lane_free = vec![0u64; cfg.lanes];
+        for b in &out.batches {
+            let earliest_free = lane_free.iter().copied().min().unwrap();
+            let deadline = b.oldest_arrival.saturating_add(cfg.linger_cycles).max(earliest_free);
+            prop_assert!(
+                b.start <= deadline,
+                "batch at {} held past linger deadline {} (oldest {}, lanes free {:?})",
+                b.start, deadline, b.oldest_arrival, lane_free
+            );
+            prop_assert!(lane_free[b.lane] <= b.start, "lane {} double-booked", b.lane);
+            lane_free[b.lane] = b.end;
+        }
+    }
+
+    /// The latency histogram observed exactly the completed requests, and
+    /// every recorded latency is consistent with its quantiles.
+    #[test]
+    fn histogram_matches_completions(cfg in scenario()) {
+        let out = run(&cfg, &SimConfig::sequential());
+        prop_assert_eq!(out.latency.count(), out.completed);
+        if out.completed > 0 {
+            prop_assert!(out.latency.p50() <= out.latency.p99());
+            prop_assert!(out.latency.p99() <= out.latency.p999());
+            let max_lat = out
+                .requests
+                .iter()
+                .filter_map(|r| r.completion.map(|c| c - r.arrival))
+                .max()
+                .unwrap();
+            // Quantiles report bucket upper bounds, so p999 dominates the
+            // true maximum latency.
+            prop_assert!(out.latency.p999() >= max_lat as f64);
+        }
+    }
+
+    /// The outcome and the emitted schema-v4 report are bit-identical
+    /// whether calibration runs sequentially or on four workers.
+    #[test]
+    fn outcome_is_worker_count_invariant(cfg in scenario()) {
+        let seq = run(&cfg, &SimConfig::sequential());
+        let par = run(&cfg, &SimConfig::with_threads(4));
+        prop_assert_eq!(&seq, &par);
+        let mut reg_seq = MetricsRegistry::new();
+        let mut reg_par = MetricsRegistry::new();
+        simulate(&SystemModel::table3(), &small_job(), &cfg, &SimConfig::sequential(), &mut reg_seq, None);
+        simulate(&SystemModel::table3(), &small_job(), &cfg, &SimConfig::with_threads(4), &mut reg_par, None);
+        let a = seq.report("prop", &cfg, &reg_seq).to_json();
+        let b = par.report("prop", &cfg, &reg_par).to_json();
+        prop_assert_eq!(a, b);
+    }
+}
