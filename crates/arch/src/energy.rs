@@ -25,6 +25,10 @@ pub struct LogicEnergyModel {
     pub controller_mw: f64,
     /// On-DIMM DRAM controller.
     pub dram_ctrl_mw: f64,
+    /// SEC-DED encode/decode logic on the weight stream (0 unless the rank
+    /// runs with ECC; always-on while the unit is active, like the other
+    /// datapath-adjacent logic).
+    pub ecc_mw: f64,
     /// DRAM-bus clock period in picoseconds (converts cycles → time).
     pub tck_ps: f64,
 }
@@ -39,8 +43,21 @@ impl LogicEnergyModel {
             control_buffer_mw: 49.3,
             controller_mw: 32.9,
             dram_ctrl_mw: 78.0,
+            ecc_mw: 0.0,
             tck_ps: 833.0,
         }
+    }
+
+    /// Returns the model with SEC-DED encode/decode logic drawing `mw`
+    /// milliwatts while the unit is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is not finite or negative.
+    pub fn with_ecc(mut self, mw: f64) -> Self {
+        assert!(mw.is_finite() && mw >= 0.0, "ECC power must be >= 0, got {mw}");
+        self.ecc_mw = mw;
+        self
     }
 
     /// A homogeneous-FP32 baseline drawing `total_mw` across its unit
@@ -55,6 +72,7 @@ impl LogicEnergyModel {
             control_buffer_mw: 0.0,
             controller_mw: total_mw * 0.15,
             dram_ctrl_mw: total_mw * 0.30,
+            ecc_mw: 0.0,
             tck_ps: 833.0,
         }
     }
@@ -66,7 +84,8 @@ impl LogicEnergyModel {
         let always_on_mw = self.compute_buffer_mw
             + self.control_buffer_mw
             + self.controller_mw
-            + self.dram_ctrl_mw;
+            + self.dram_ctrl_mw
+            + self.ecc_mw;
         let mj_per_s = 1e-3; // mW × s = mJ
         (self.int_array_mw * s(r.screener_busy)
             + self.fp32_array_mw * s(r.executor_busy + r.sfu_cycles)
@@ -152,6 +171,17 @@ mod tests {
         let one = SystemEnergy::from_rank(&r, 1, &dm, &m);
         let many = SystemEnergy::from_rank(&r, 64, &dm, &m);
         assert!((many.total_nj() - 64.0 * one.total_nj()).abs() < 1e-6 * many.total_nj());
+    }
+
+    #[test]
+    fn ecc_logic_power_adds_to_always_on_draw() {
+        let plain = LogicEnergyModel::enmc_table5();
+        let ecc = plain.with_ecc(12.0);
+        let r = report(1000, 100);
+        let delta = ecc.logic_nj(&r) - plain.logic_nj(&r);
+        // 12 mW over 1000 cycles × 0.833 ns ≈ 10 nJ.
+        let expect = 12.0 * 1000.0 * 833.0e-12 * 1e-3 * 1e9;
+        assert!((delta - expect).abs() < 1e-6, "{delta} vs {expect}");
     }
 
     #[test]

@@ -171,6 +171,10 @@ pub struct SystemModel {
     enmc: EnmcConfig,
     /// Rank-units in the system (Table 3: 8 channels × 8 ranks).
     pub total_ranks: usize,
+    /// Per-rank DRAM energy model applied to every simulated scheme
+    /// (nominal DDR4-2400; the fault subsystem swaps in relaxed-refresh /
+    /// ECC-surcharged variants via [`SystemModel::with_energy_model`]).
+    energy_model: EnergyModel,
 }
 
 impl Default for SystemModel {
@@ -182,7 +186,25 @@ impl Default for SystemModel {
 impl SystemModel {
     /// The paper's evaluation platform.
     pub fn table3() -> Self {
-        SystemModel { cpu: CpuModel::xeon_8280(), enmc: EnmcConfig::table3(), total_ranks: 64 }
+        SystemModel {
+            cpu: CpuModel::xeon_8280(),
+            enmc: EnmcConfig::table3(),
+            total_ranks: 64,
+            energy_model: EnergyModel::ddr4_2400_rank(1),
+        }
+    }
+
+    /// Returns the model with a different per-rank DRAM energy model
+    /// (`ranks` is ignored; the system always scales a one-rank model by
+    /// `total_ranks`).
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = EnergyModel { ranks: 1, ..model };
+        self
+    }
+
+    /// The per-rank DRAM energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
     }
 
     /// The CPU model in use.
@@ -244,7 +266,7 @@ impl SystemModel {
                 let energy = SystemEnergy::from_rank(
                     &report,
                     self.total_ranks,
-                    &EnergyModel::ddr4_2400_rank(1),
+                    &self.energy_model,
                     &LogicEnergyModel::enmc_table5(),
                 );
                 SchemeResult {
@@ -271,7 +293,7 @@ impl SystemModel {
                 let energy = SystemEnergy::from_rank(
                     &report,
                     units,
-                    &EnergyModel::ddr4_2400_rank(1),
+                    &self.energy_model,
                     &LogicEnergyModel::baseline(total_mw),
                 );
                 SchemeResult {
@@ -332,7 +354,7 @@ impl SystemModel {
         let reports: Vec<UnitReport> = per_rank.into_iter().map(|(r, _)| r).collect();
         let merged = UnitReport::merge_parallel(&reports);
         // Every rank's own activity and always-on window, summed exactly.
-        let dram_model = EnergyModel::ddr4_2400_rank(1);
+        let dram_model = self.energy_model;
         let mut energy = SystemEnergy::default();
         for r in &reports {
             let e = SystemEnergy::from_rank(r, 1, &dram_model, &logic_model);
@@ -357,7 +379,7 @@ impl SystemModel {
         let energy = SystemEnergy::from_rank(
             &report,
             self.total_ranks,
-            &EnergyModel::ddr4_2400_rank(1),
+            &self.energy_model,
             &LogicEnergyModel::enmc_table5(),
         );
         SchemeResult { scheme: Scheme::Enmc, ns: report.ns, energy: Some(energy), rank_report: Some(report) }
@@ -559,6 +581,45 @@ mod tests {
         // But the screening stream dominates, so even a 2x-hot rank costs
         // far less than 2x end-to-end.
         assert!(skewed.ns < 1.8 * uniform.ns, "{} vs {}", skewed.ns, uniform.ns);
+    }
+
+    #[test]
+    fn relaxed_refresh_energy_model_reaches_the_per_rank_merge() {
+        // Few ranks + a large slice each, so every rank's run spans several
+        // tREFI windows and actually issues REF commands.
+        let j = ClassificationJob {
+            categories: 65_536,
+            hidden: 256,
+            reduced: 64,
+            batch: 1,
+            candidates: 512,
+        };
+        let mut nominal = SystemModel::table3();
+        nominal.total_ranks = 2;
+        let mut relaxed = nominal
+            .clone()
+            .with_energy_model(EnergyModel::ddr4_2400_rank(1).with_refresh_multiplier(8.0));
+        relaxed.total_ranks = 2;
+        let cfg = enmc_par::SimConfig::sequential();
+        let e_nom = nominal.run_sharded(&j, Scheme::Enmc, &cfg).result.energy.unwrap();
+        let e_rel = relaxed.run_sharded(&j, Scheme::Enmc, &cfg).result.energy.unwrap();
+        // Refresh is static energy: relaxing it must cut the summed static
+        // term of the per-rank merge while leaving access and logic alone.
+        assert!(e_rel.dram_static_nj < e_nom.dram_static_nj, "{e_rel:?} vs {e_nom:?}");
+        assert_eq!(e_rel.dram_access_nj, e_nom.dram_access_nj);
+        assert_eq!(e_rel.logic_nj, e_nom.logic_nj);
+        // The representative-rank path sees the same model.
+        let r_nom = nominal.run(&j, Scheme::Enmc).energy.unwrap();
+        let r_rel = relaxed.run(&j, Scheme::Enmc).energy.unwrap();
+        assert!(r_rel.dram_static_nj < r_nom.dram_static_nj);
+        // ECC surcharge lands in the merged access term instead.
+        let mut ecc = nominal
+            .clone()
+            .with_energy_model(EnergyModel::ddr4_2400_rank(1).with_ecc_surcharge(0.4));
+        ecc.total_ranks = 2;
+        let e_ecc = ecc.run_sharded(&j, Scheme::Enmc, &cfg).result.energy.unwrap();
+        assert!(e_ecc.dram_access_nj > e_nom.dram_access_nj);
+        assert_eq!(e_ecc.dram_static_nj, e_nom.dram_static_nj);
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub struct EnergyModel {
     pub tck_ps: f64,
     /// Number of ranks drawing background power.
     pub ranks: usize,
+    /// Refresh-interval stretch factor (`tREFI × m`, EDEN-style approximate
+    /// DRAM). `1.0` is nominal 64 ms retention; `m > 1` issues `1/m` as many
+    /// REF commands for `1/m` the refresh energy, at the cost of retention
+    /// bit errors modeled by `enmc-fault`.
+    pub refresh_interval_multiplier: f64,
+    /// ECC decode surcharge per read/write burst, nJ (0 when the rank runs
+    /// without SEC-DED).
+    pub ecc_nj_per_access: f64,
 }
 
 impl EnergyModel {
@@ -43,15 +51,50 @@ impl EnergyModel {
             powerdown_w: 0.11,
             tck_ps: 833.0,
             ranks,
+            refresh_interval_multiplier: 1.0,
+            ecc_nj_per_access: 0.0,
         }
+    }
+
+    /// Returns the model with the refresh interval stretched by `m ≥ 1`
+    /// (REF energy scales as `1/m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not finite or `m < 1`.
+    pub fn with_refresh_multiplier(mut self, m: f64) -> Self {
+        assert!(m.is_finite() && m >= 1.0, "refresh multiplier must be >= 1, got {m}");
+        self.refresh_interval_multiplier = m;
+        self
+    }
+
+    /// Returns the model with an ECC energy surcharge of `nj` per
+    /// read/write burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nj` is not finite or negative.
+    pub fn with_ecc_surcharge(mut self, nj: f64) -> Self {
+        assert!(nj.is_finite() && nj >= 0.0, "ECC surcharge must be >= 0, got {nj}");
+        self.ecc_nj_per_access = nj;
+        self
+    }
+
+    /// Refresh energy for `refreshes` nominal-schedule REF commands under
+    /// the configured interval multiplier. The controller counters always
+    /// record the *nominal* schedule; stretching tREFI by `m` issues `1/m`
+    /// as many commands.
+    pub fn refresh_energy_nj(&self, refreshes: u64) -> f64 {
+        refreshes as f64 * self.refresh_nj / self.refresh_interval_multiplier
     }
 
     /// Computes the breakdown for observed activity.
     pub fn breakdown(&self, stats: &DramStats) -> EnergyBreakdown {
         let access_nj = stats.activations as f64 * self.act_nj
             + stats.reads as f64 * self.read_nj
-            + stats.writes as f64 * self.write_nj;
-        let refresh_nj = stats.refreshes as f64 * self.refresh_nj;
+            + stats.writes as f64 * self.write_nj
+            + (stats.reads + stats.writes) as f64 * self.ecc_nj_per_access;
+        let refresh_nj = self.refresh_energy_nj(stats.refreshes);
         let seconds = stats.total_cycles as f64 * self.tck_ps * 1e-12;
         // Idle cycles draw power-down power; the rest standby power.
         let idle_s = stats.idle_cycles.min(stats.total_cycles) as f64 * self.tck_ps * 1e-12;
@@ -132,6 +175,54 @@ mod tests {
             m.breakdown(&DramStats { total_cycles: 100, refreshes: 5, ..Default::default() });
         assert!(with.static_nj > without.static_nj);
         assert_eq!(with.access_nj, without.access_nj);
+    }
+
+    #[test]
+    fn refresh_energy_scales_inversely_with_interval_multiplier() {
+        let stats = DramStats { total_cycles: 100, refreshes: 40, ..Default::default() };
+        let nominal = EnergyModel::ddr4_2400_rank(1);
+        let background = nominal.breakdown(&DramStats { total_cycles: 100, ..Default::default() }).static_nj;
+        let refresh_at = |m: f64| {
+            nominal.with_refresh_multiplier(m).breakdown(&stats).static_nj - background
+        };
+        // m = 1 is the nominal 64 ms schedule; m = 4 issues a quarter of
+        // the REF commands for a quarter of the energy.
+        assert!((refresh_at(1.0) - 40.0 * nominal.refresh_nj).abs() < 1e-9);
+        assert!((refresh_at(4.0) - 10.0 * nominal.refresh_nj).abs() < 1e-9);
+        // Monotone nonincreasing along a sweep.
+        let sweep: Vec<f64> = [1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&m| refresh_at(m)).collect();
+        assert!(sweep.windows(2).all(|w| w[1] <= w[0]), "{sweep:?}");
+    }
+
+    #[test]
+    fn refresh_multiplier_leaves_access_energy_alone() {
+        let stats = DramStats { reads: 64, writes: 8, refreshes: 10, ..Default::default() };
+        let a = EnergyModel::ddr4_2400_rank(1).breakdown(&stats);
+        let b = EnergyModel::ddr4_2400_rank(1).with_refresh_multiplier(8.0).breakdown(&stats);
+        assert_eq!(a.access_nj, b.access_nj);
+        assert!(b.static_nj < a.static_nj);
+    }
+
+    #[test]
+    fn ecc_surcharge_taxes_each_burst() {
+        let stats = DramStats { reads: 100, writes: 20, activations: 10, ..Default::default() };
+        let plain = EnergyModel::ddr4_2400_rank(1);
+        let ecc = plain.with_ecc_surcharge(0.5);
+        let delta = ecc.breakdown(&stats).access_nj - plain.breakdown(&stats).access_nj;
+        assert!((delta - 120.0 * 0.5).abs() < 1e-9);
+        assert_eq!(ecc.breakdown(&stats).static_nj, plain.breakdown(&stats).static_nj);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh multiplier")]
+    fn refresh_multiplier_below_one_rejected() {
+        EnergyModel::ddr4_2400_rank(1).with_refresh_multiplier(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ECC surcharge")]
+    fn negative_ecc_surcharge_rejected() {
+        EnergyModel::ddr4_2400_rank(1).with_ecc_surcharge(-1.0);
     }
 
     #[test]

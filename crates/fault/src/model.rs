@@ -1,0 +1,324 @@
+//! Seeded, deterministic bit-error models for approximate DRAM.
+//!
+//! Three EDEN-style error mechanisms compose into one [`FaultModel`]:
+//!
+//! * **Uniform BER** — every stored bit flips independently with
+//!   probability `ber` on each read (transient channel noise).
+//! * **Retention failures** — stretching the refresh interval by a
+//!   multiplier `m` lets weak cells leak past the sense threshold before
+//!   their next refresh. Each cell fails with probability
+//!   `retention_base · (m − 1)²` (the super-linear tail of measured
+//!   retention-time distributions); a failed cell is *stuck at* a
+//!   per-cell polarity, so stored bits that already match the polarity
+//!   are unaffected. The failed-cell map is **nested in `m`**: a cell
+//!   that fails at `m₁` also fails at every `m₂ > m₁`.
+//! * **Weak columns (reduced tRCD)** — shaving the activate-to-read
+//!   timing margin makes a fraction of bit columns marginal; marginal
+//!   bits sample incorrectly on ~half their reads.
+//!
+//! Every decision is a stateless [SplitMix64-finalizer] hash of
+//! `(seed, mechanism tag, word address, bit index)` — no RNG streams, so
+//! injection does not depend on iteration order, sharding, or worker
+//! count, and a zero-rate model is exactly the identity.
+//!
+//! [SplitMix64-finalizer]: https://prng.di.unimi.it/splitmix64.c
+
+/// Mechanism tags keep the three hash families independent.
+const TAG_UNIFORM: u64 = 0x1;
+const TAG_RETENTION_CELL: u64 = 0x2;
+const TAG_RETENTION_POLARITY: u64 = 0x3;
+const TAG_WEAK_COLUMN: u64 = 0x4;
+const TAG_WEAK_SAMPLE: u64 = 0x5;
+
+/// Default coefficient of the retention-failure probability curve.
+pub const RETENTION_BASE: f64 = 2.0e-5;
+
+/// Words per DRAM row for the weak-column geometry (1 KiB row / 8 B word).
+const WORDS_PER_ROW: u64 = 128;
+
+/// Stateless per-bit hash: SplitMix64 finalizer over a mixed key.
+fn mix(seed: u64, tag: u64, addr: u64, bit: u32) -> u64 {
+    let mut x = seed
+        ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ addr.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (bit as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits of a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A composed approximate-DRAM error model (all mechanisms seeded and
+/// deterministic; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultModel {
+    /// Seed shared by all three hash families.
+    pub seed: u64,
+    /// Uniform per-bit flip probability per read.
+    pub ber: f64,
+    /// Refresh-interval stretch factor `m ≥ 1` (1 = nominal 64 ms, no
+    /// retention failures).
+    pub refresh_multiplier: f64,
+    /// Coefficient of the retention curve `p_fail = base · (m − 1)²`.
+    pub retention_base: f64,
+    /// Fraction of bit columns that are tRCD-marginal (0 disables the
+    /// weak-column mechanism).
+    pub weak_column_frac: f64,
+}
+
+impl FaultModel {
+    /// A model that injects nothing: zero BER, nominal refresh, no weak
+    /// columns. Running it is exactly the identity on every word.
+    pub fn nominal(seed: u64) -> Self {
+        FaultModel {
+            seed,
+            ber: 0.0,
+            refresh_multiplier: 1.0,
+            retention_base: RETENTION_BASE,
+            weak_column_frac: 0.0,
+        }
+    }
+
+    /// Sets the uniform BER.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not in `[0, 1]`.
+    pub fn with_ber(mut self, ber: f64) -> Self {
+        assert!(ber.is_finite() && (0.0..=1.0).contains(&ber), "BER must be in [0,1], got {ber}");
+        self.ber = ber;
+        self
+    }
+
+    /// Sets the refresh-interval multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not finite or `m < 1`.
+    pub fn with_refresh_multiplier(mut self, m: f64) -> Self {
+        assert!(m.is_finite() && m >= 1.0, "refresh multiplier must be >= 1, got {m}");
+        self.refresh_multiplier = m;
+        self
+    }
+
+    /// Sets the tRCD weak-column fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `[0, 1]`.
+    pub fn with_weak_columns(mut self, frac: f64) -> Self {
+        assert!(
+            frac.is_finite() && (0.0..=1.0).contains(&frac),
+            "weak-column fraction must be in [0,1], got {frac}"
+        );
+        self.weak_column_frac = frac;
+        self
+    }
+
+    /// Per-cell retention failure probability at the configured multiplier
+    /// (0 at nominal refresh, capped at 0.5).
+    pub fn retention_fail_prob(&self) -> f64 {
+        let slack = (self.refresh_multiplier - 1.0).max(0.0);
+        (self.retention_base * slack * slack).min(0.5)
+    }
+
+    /// `true` when no mechanism can flip a bit — the corruption pass is
+    /// the identity and callers may skip it entirely.
+    pub fn is_nominal(&self) -> bool {
+        self.ber == 0.0 && self.retention_fail_prob() == 0.0 && self.weak_column_frac == 0.0
+    }
+
+    /// Whether the retention cell at `(addr, bit)` has failed, and if so
+    /// its stuck-at polarity. The failed-cell set is nested in the
+    /// refresh multiplier by construction (`u < p(m)` with `p` monotone).
+    fn retention_cell(&self, addr: u64, bit: u32) -> Option<bool> {
+        let p = self.retention_fail_prob();
+        if p > 0.0 && unit(mix(self.seed, TAG_RETENTION_CELL, addr, bit)) < p {
+            Some(mix(self.seed, TAG_RETENTION_POLARITY, addr, bit) & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Corrupts one bit read from `(addr, bit)` holding `value`.
+    fn corrupt_bit(&self, addr: u64, bit: u32, value: bool) -> bool {
+        let mut v = value;
+        // Retention: the stored charge decayed to the stuck polarity.
+        if let Some(polarity) = self.retention_cell(addr, bit) {
+            v = polarity;
+        }
+        // Reduced tRCD: marginal columns sample wrong on ~half the reads.
+        // Column identity = (word position within the DRAM row, bit lane).
+        if self.weak_column_frac > 0.0 {
+            let col = addr % WORDS_PER_ROW;
+            if unit(mix(self.seed, TAG_WEAK_COLUMN, col, bit)) < self.weak_column_frac
+                && mix(self.seed, TAG_WEAK_SAMPLE, addr, bit) & 1 == 1
+            {
+                v = !v;
+            }
+        }
+        // Transient channel noise.
+        if self.ber > 0.0 && unit(mix(self.seed, TAG_UNIFORM, addr, bit)) < self.ber {
+            v = !v;
+        }
+        v
+    }
+
+    /// Corrupts a 64-bit word read from `addr`.
+    pub fn corrupt_word(&self, addr: u64, data: u64) -> u64 {
+        if self.is_nominal() {
+            return data;
+        }
+        let mut out = 0u64;
+        for bit in 0..64 {
+            if self.corrupt_bit(addr, bit, data >> bit & 1 == 1) {
+                out |= 1 << bit;
+            }
+        }
+        out
+    }
+
+    /// Corrupts a full (72,64) codeword read from `addr`: the 64 data bits
+    /// at bit indices `0..64` and the 8 parity-byte bits at `64..72` —
+    /// check bits live in the same DRAM row and decay like everything else.
+    pub fn corrupt_codeword(&self, addr: u64, data: u64, parity: u8) -> (u64, u8) {
+        if self.is_nominal() {
+            return (data, parity);
+        }
+        let data = self.corrupt_word(addr, data);
+        let mut p = 0u8;
+        for bit in 0..8u32 {
+            if self.corrupt_bit(addr, 64 + bit, parity >> bit & 1 == 1) {
+                p |= 1 << bit;
+            }
+        }
+        (data, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_model_is_the_identity() {
+        let m = FaultModel::nominal(42);
+        assert!(m.is_nominal());
+        for addr in [0u64, 8, 4096] {
+            assert_eq!(m.corrupt_word(addr, 0xDEAD_BEEF), 0xDEAD_BEEF);
+            assert_eq!(m.corrupt_codeword(addr, 7, 0x1f), (7, 0x1f));
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_addr_dependent() {
+        let m = FaultModel::nominal(1).with_ber(0.05);
+        let a = m.corrupt_word(64, u64::MAX);
+        assert_eq!(a, m.corrupt_word(64, u64::MAX), "same (seed, addr) ⇒ same flips");
+        let over_addrs: Vec<u64> = (0..64).map(|i| m.corrupt_word(i * 8, u64::MAX)).collect();
+        assert!(over_addrs.iter().any(|&w| w != u64::MAX), "5% BER must flip something");
+        assert!(over_addrs.windows(2).any(|w| w[0] != w[1]), "flips must vary with address");
+        // A different seed draws a different error map.
+        let m2 = FaultModel::nominal(2).with_ber(0.05);
+        assert!((0..64).any(|i| m.corrupt_word(i * 8, 0) != m2.corrupt_word(i * 8, 0)));
+    }
+
+    #[test]
+    fn ber_flip_rate_is_statistically_plausible() {
+        let m = FaultModel::nominal(9).with_ber(0.01);
+        let words = 4096u64;
+        let flips: u32 = (0..words).map(|i| (m.corrupt_word(i * 8, 0)).count_ones()).sum();
+        let expect = words as f64 * 64.0 * 0.01;
+        let got = flips as f64;
+        assert!((expect * 0.7..expect * 1.3).contains(&got), "{got} flips vs expected {expect}");
+    }
+
+    #[test]
+    fn retention_failures_appear_only_past_nominal_refresh() {
+        let base = FaultModel::nominal(3);
+        assert_eq!(base.retention_fail_prob(), 0.0);
+        let relaxed = base.with_refresh_multiplier(64.0);
+        let p = relaxed.retention_fail_prob();
+        assert!(p > 0.0 && p <= 0.5);
+        let flips: u32 =
+            (0..4096u64).map(|i| (relaxed.corrupt_word(i * 8, 0) ).count_ones()).sum();
+        assert!(flips > 0, "m=64 must produce retention failures");
+    }
+
+    #[test]
+    fn retention_cell_map_is_nested_in_the_multiplier() {
+        // Stuck-at polarity is independent of m, and the failed-cell set at
+        // a smaller multiplier is a subset of the set at a larger one, so
+        // on all-ones data: bits cleared at m=16 ⊆ bits cleared at m=64.
+        let m16 = FaultModel::nominal(5).with_refresh_multiplier(16.0);
+        let m64 = FaultModel::nominal(5).with_refresh_multiplier(64.0);
+        let mut nontrivial = false;
+        for i in 0..4096u64 {
+            let addr = i * 8;
+            let w16 = m16.corrupt_word(addr, u64::MAX);
+            let w64 = m64.corrupt_word(addr, u64::MAX);
+            let cleared16 = !w16;
+            let cleared64 = !w64;
+            assert_eq!(cleared16 & !cleared64, 0, "addr {addr}: m=16 flip absent at m=64");
+            nontrivial |= cleared64 != 0;
+        }
+        assert!(nontrivial, "m=64 must clear some bits of all-ones data");
+    }
+
+    #[test]
+    fn weak_columns_repeat_across_rows_and_flip_half_the_reads() {
+        let m = FaultModel::nominal(11).with_weak_columns(0.05);
+        // Find a weak (column, lane): scan row 0.
+        let mut weak = None;
+        'scan: for col in 0..WORDS_PER_ROW {
+            for bit in 0..64u32 {
+                if unit(mix(m.seed, TAG_WEAK_COLUMN, col, bit)) < m.weak_column_frac {
+                    weak = Some((col, bit));
+                    break 'scan;
+                }
+            }
+        }
+        let (col, bit) = weak.expect("5% of 8192 columns must include a weak one");
+        // The same column is weak in every DRAM row; sampling error hits
+        // about half the reads.
+        let rows = 512u64;
+        let flips = (0..rows)
+            .filter(|r| {
+                let addr = r * WORDS_PER_ROW + col; // word index; addr unit irrelevant
+                m.corrupt_word(addr, 0) >> bit & 1 == 1
+            })
+            .count();
+        assert!(
+            (rows as usize / 4..=3 * rows as usize / 4).contains(&flips),
+            "weak column flipped {flips}/{rows} reads"
+        );
+    }
+
+    #[test]
+    fn codeword_corruption_covers_check_bits() {
+        let m = FaultModel::nominal(13).with_ber(0.05);
+        let changed = (0..256u64)
+            .map(|i| m.corrupt_codeword(i * 8, 0, 0))
+            .any(|(_, p)| p != 0);
+        assert!(changed, "parity bits must be corruptible too");
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be in")]
+    fn invalid_ber_rejected() {
+        FaultModel::nominal(0).with_ber(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh multiplier")]
+    fn invalid_multiplier_rejected() {
+        FaultModel::nominal(0).with_refresh_multiplier(0.0);
+    }
+}

@@ -39,10 +39,12 @@ use crate::metrics::MetricsReport;
 /// | v2 | `threads` (worker count; 0 = representative-rank shortcut), `speedup` (observed parallel speedup; 1.0 sequential) | `0`, `1.0` |
 /// | v3 | `protocol_violations` (DDR4 conformance violations under `--check-protocol`) | `0` |
 /// | v4 | `slo_attainment` (fraction of completed requests meeting their deadline — serving runs only), `p99_ns` (99th-percentile request latency, ns), `shed` (requests rejected by admission control), `degrade_transitions` (screener degrade-tier steps, both directions) | `0.0`, `0.0`, `0`, `0` |
+/// | v5 | `ber` (injected uniform bit-error rate — fault runs only), `refresh_multiplier` (refresh-interval multiplier; 1.0 nominal), `ecc_corrected` (SEC-DED single-bit corrections), `ecc_uncorrected` (detected-uncorrectable words), `quality_degradation_pct` (top-1 agreement loss vs the fault-free model, percent) | `0.0`, `1.0`, `0`, `0`, `0.0` |
 ///
-/// The v4 serving fields are only meaningful for `serve-sim` reports;
-/// batch-simulation commands write them as zero.
-pub const SCHEMA_VERSION: u32 = 4;
+/// The v4 serving fields are only meaningful for `serve-sim` reports, and
+/// the v5 fault fields only for `fault-sweep` reports; other commands
+/// write them at their defaults.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +102,18 @@ pub struct RunReport {
     /// Screener degrade-tier transitions, counting steps in both
     /// directions (serving runs only).
     pub degrade_transitions: u64,
+    /// Injected uniform bit-error rate (fault runs only; 0.0 otherwise).
+    pub ber: f64,
+    /// Refresh-interval multiplier the run modeled (1.0 = nominal
+    /// schedule).
+    pub refresh_multiplier: f64,
+    /// SEC-DED words corrected (single-bit errors repaired).
+    pub ecc_corrected: u64,
+    /// SEC-DED words with a detected but uncorrectable multi-bit error.
+    pub ecc_uncorrected: u64,
+    /// Fraction of queries whose top-1 flipped due to injected faults,
+    /// in percent (0.0 when no faults were injected).
+    pub quality_degradation_pct: f64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -117,6 +131,7 @@ impl RunReport {
             workload: workload.to_string(),
             scheme: scheme.to_string(),
             speedup: 1.0,
+            refresh_multiplier: 1.0,
             ..Default::default()
         }
     }
@@ -172,6 +187,11 @@ impl RunReport {
             ("p99_ns".to_string(), Value::Num(self.p99_ns)),
             ("shed".to_string(), Value::Int(self.shed as i64)),
             ("degrade_transitions".to_string(), Value::Int(self.degrade_transitions as i64)),
+            ("ber".to_string(), Value::Num(self.ber)),
+            ("refresh_multiplier".to_string(), Value::Num(self.refresh_multiplier)),
+            ("ecc_corrected".to_string(), Value::Int(self.ecc_corrected as i64)),
+            ("ecc_uncorrected".to_string(), Value::Int(self.ecc_uncorrected as i64)),
+            ("quality_degradation_pct".to_string(), Value::Num(self.quality_degradation_pct)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -265,6 +285,18 @@ impl RunReport {
                 .get("degrade_transitions")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
+            // v5 fault fields; default when reading an older report.
+            ber: v.get("ber").and_then(Value::as_f64).unwrap_or(0.0),
+            refresh_multiplier: v
+                .get("refresh_multiplier")
+                .and_then(Value::as_f64)
+                .unwrap_or(1.0),
+            ecc_corrected: v.get("ecc_corrected").and_then(Value::as_u64).unwrap_or(0),
+            ecc_uncorrected: v.get("ecc_uncorrected").and_then(Value::as_u64).unwrap_or(0),
+            quality_degradation_pct: v
+                .get("quality_degradation_pct")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             phases,
             metrics,
             notes,
@@ -387,12 +419,41 @@ mod tests {
     }
 
     #[test]
+    fn v4_reports_parse_with_defaulted_fault_fields() {
+        // A v4 report has none of the v5 fault keys.
+        let mut r = sample();
+        r.schema_version = 4;
+        let v4_json = r
+            .to_json()
+            .replace("\"ber\":0,", "")
+            .replace("\"refresh_multiplier\":1,", "")
+            .replace("\"ecc_corrected\":0,", "")
+            .replace("\"ecc_uncorrected\":0,", "")
+            .replace("\"quality_degradation_pct\":0,", "");
+        assert!(!v4_json.contains("refresh_multiplier"));
+        let back = RunReport::from_json(&v4_json).unwrap();
+        assert_eq!(back.ber, 0.0);
+        assert_eq!(back.refresh_multiplier, 1.0);
+        assert_eq!(back.ecc_corrected, 0);
+        assert_eq!(back.ecc_uncorrected, 0);
+        assert_eq!(back.quality_degradation_pct, 0.0);
+        assert_eq!(back.slo_attainment, r.slo_attainment);
+    }
+
+    #[test]
     fn every_documented_schema_version_parses() {
         // Emit the sample report at each historical schema version by
         // stripping exactly the fields that version lacked, per the field
         // history on SCHEMA_VERSION, and assert each still parses.
-        let strip: [&[&str]; 4] = [
-            // v1: no v2/v3/v4 fields.
+        const V5_KEYS: [&str; 5] = [
+            "\"ber\":0,",
+            "\"refresh_multiplier\":1,",
+            "\"ecc_corrected\":0,",
+            "\"ecc_uncorrected\":0,",
+            "\"quality_degradation_pct\":0,",
+        ];
+        let strip: [&[&str]; 5] = [
+            // v1: no v2/v3/v4/v5 fields.
             &[
                 "\"threads\":0,",
                 "\"speedup\":1,",
@@ -401,18 +462,40 @@ mod tests {
                 "\"p99_ns\":0,",
                 "\"shed\":0,",
                 "\"degrade_transitions\":0,",
+                V5_KEYS[0],
+                V5_KEYS[1],
+                V5_KEYS[2],
+                V5_KEYS[3],
+                V5_KEYS[4],
             ],
-            // v2: no v3/v4 fields.
+            // v2: no v3/v4/v5 fields.
             &[
                 "\"protocol_violations\":0,",
                 "\"slo_attainment\":0,",
                 "\"p99_ns\":0,",
                 "\"shed\":0,",
                 "\"degrade_transitions\":0,",
+                V5_KEYS[0],
+                V5_KEYS[1],
+                V5_KEYS[2],
+                V5_KEYS[3],
+                V5_KEYS[4],
             ],
-            // v3: no v4 fields.
-            &["\"slo_attainment\":0,", "\"p99_ns\":0,", "\"shed\":0,", "\"degrade_transitions\":0,"],
-            // v4: current — nothing stripped.
+            // v3: no v4/v5 fields.
+            &[
+                "\"slo_attainment\":0,",
+                "\"p99_ns\":0,",
+                "\"shed\":0,",
+                "\"degrade_transitions\":0,",
+                V5_KEYS[0],
+                V5_KEYS[1],
+                V5_KEYS[2],
+                V5_KEYS[3],
+                V5_KEYS[4],
+            ],
+            // v4: no v5 fields.
+            &[V5_KEYS[0], V5_KEYS[1], V5_KEYS[2], V5_KEYS[3], V5_KEYS[4]],
+            // v5: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

@@ -99,6 +99,11 @@ impl ApproxClassifier {
         &self.weights
     }
 
+    /// The full classifier bias.
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+
     /// The screening module.
     pub fn screener(&self) -> &Screener {
         &self.screener

@@ -202,6 +202,51 @@ impl Screener {
         z
     }
 
+    /// The frozen per-tensor quantized weight image, if one has been built
+    /// (`None` before [`Screener::freeze`], at FP32, or with per-row scales).
+    /// This is the exact DRAM-resident operand the fault subsystem corrupts.
+    pub fn quant_weights(&self) -> Option<&QuantMatrix> {
+        self.quant_weights.as_ref()
+    }
+
+    /// Replaces the frozen quantized weight image — the hook by which the
+    /// fault subsystem substitutes a bit-corrupted copy of `W̃` without
+    /// touching the FP32 master weights (which model the *host* copy, not
+    /// the DIMM-resident stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the screener runs at
+    /// FP32 or uses per-row scales (those streams are not per-tensor
+    /// images), or [`TensorError::ShapeMismatch`] if shape or precision
+    /// differ from the trained weights.
+    pub fn set_quant_weights(&mut self, q: QuantMatrix) -> Result<(), TensorError> {
+        if self.precision == Precision::Fp32 {
+            return Err(TensorError::InvalidArgument(
+                "set_quant_weights: FP32 screeners have no quantized image",
+            ));
+        }
+        if self.per_row_scales {
+            return Err(TensorError::InvalidArgument(
+                "set_quant_weights: per-row-scale screeners are not supported",
+            ));
+        }
+        if q.precision() != self.precision {
+            return Err(TensorError::InvalidArgument(
+                "set_quant_weights: precision mismatch",
+            ));
+        }
+        if q.rows() != self.categories() || q.cols() != self.reduced_dim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "set_quant_weights",
+                expected: (self.categories(), self.reduced_dim()),
+                found: (q.rows(), q.cols()),
+            });
+        }
+        self.quant_weights = Some(q);
+        Ok(())
+    }
+
     /// Bytes of screening weights streamed per query (quantized `W̃` plus
     /// FP32 bias, plus per-row scales when enabled) — the Screener's DRAM
     /// traffic.
@@ -312,6 +357,56 @@ mod tests {
             .filter(|&r| err(&zr, r) < err(&zt, r))
             .count();
         assert!(small_rows_better >= 5, "only {small_rows_better} rows improved");
+    }
+
+    #[test]
+    fn set_quant_weights_substitutes_the_streamed_image() {
+        use enmc_tensor::quant::QuantMatrix;
+        let cfg = ScreenerConfig { precision: Precision::Int4, ..Default::default() };
+        let mut s = Screener::new(4, 8, &cfg).unwrap();
+        for r in 0..4 {
+            for (c, w) in s.weights_mut().row_mut(r).iter_mut().enumerate() {
+                *w = ((r * 8 + c) as f32 * 0.4).sin();
+            }
+        }
+        s.freeze().unwrap();
+        let h: Vector = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+        let before = s.screen_ref(&h);
+
+        let q = s.quant_weights().expect("frozen image").clone();
+        let mut codes = q.codes().to_vec();
+        codes[0] = -8; // a bit-flipped sign would produce exactly this
+        let corrupted =
+            QuantMatrix::from_parts(q.rows(), q.cols(), codes, q.scale(), q.precision()).unwrap();
+        s.set_quant_weights(corrupted).unwrap();
+        let after = s.screen_ref(&h);
+        assert_ne!(before, after, "row 0 logit must move");
+        // Only row 0 was corrupted.
+        assert_eq!(&before.as_slice()[1..], &after.as_slice()[1..]);
+    }
+
+    #[test]
+    fn set_quant_weights_validates_shape_precision_and_mode() {
+        use enmc_tensor::quant::QuantMatrix;
+        let cfg = ScreenerConfig { precision: Precision::Int4, ..Default::default() };
+        let mut s = Screener::new(4, 8, &cfg).unwrap();
+        s.freeze().unwrap();
+        let k = s.reduced_dim();
+        let wrong_shape =
+            QuantMatrix::from_parts(3, k, vec![0; 3 * k], 1.0, Precision::Int4).unwrap();
+        assert!(s.set_quant_weights(wrong_shape).is_err());
+        let wrong_precision =
+            QuantMatrix::from_parts(4, k, vec![0; 4 * k], 1.0, Precision::Int8).unwrap();
+        assert!(s.set_quant_weights(wrong_precision).is_err());
+
+        let fp = ScreenerConfig { precision: Precision::Fp32, ..Default::default() };
+        let mut s = Screener::new(4, 8, &fp).unwrap();
+        let img = QuantMatrix::from_parts(4, 2, vec![0; 8], 1.0, Precision::Int4).unwrap();
+        assert!(s.set_quant_weights(img.clone()).is_err());
+
+        let pr = ScreenerConfig { per_row_scales: true, ..Default::default() };
+        let mut s = Screener::new(4, 8, &pr).unwrap();
+        assert!(s.set_quant_weights(img).is_err());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod stats;
 
 pub use activation::{sigmoid, softmax, softmax_in_place, taylor_exp, TAYLOR_EXP_ORDER};
 pub use matrix::{Matrix, Vector};
-pub use packed::PackedInt4;
+pub use packed::{pack_codes, unpack_codes, PackedInt4};
 pub use projection::SparseProjection;
 pub use quant::{Precision, QuantMatrix, QuantMatrixPerRow, QuantVector};
 pub use select::{threshold_filter, top_k_indices, Candidate};

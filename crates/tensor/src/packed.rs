@@ -6,6 +6,8 @@
 //! safe accessors, so the functional DIMM model, the host runtime and any
 //! serialization share one canonical packing.
 
+use crate::quant::Precision;
+
 /// A sequence of signed 4-bit values packed two per byte.
 ///
 /// # Example
@@ -106,6 +108,70 @@ impl PackedInt4 {
     }
 }
 
+/// Packs integer codes into the canonical DRAM byte image for `precision`.
+///
+/// INT8 stores one code per byte (two's complement), INT4 two per byte (low
+/// nibble first, the [`PackedInt4`] layout), INT2 four per byte (low pair
+/// first, 2-bit two's complement). This is the byte stream the fault
+/// subsystem corrupts at DRAM read granularity.
+///
+/// # Errors
+///
+/// Returns an error string if `precision` is [`Precision::Fp32`] (floats
+/// are not code-packed) or a code does not fit the precision's two's
+/// complement range (e.g. `8` at INT4).
+pub fn pack_codes(codes: &[i8], precision: Precision) -> Result<Vec<u8>, &'static str> {
+    let bits = match precision {
+        Precision::Fp32 => return Err("pack_codes: FP32 operands are not code-packed"),
+        p => p.bits() as usize,
+    };
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    let per_byte = 8 / bits;
+    let mut bytes = vec![0u8; codes.len().div_ceil(per_byte)];
+    for (i, &c) in codes.iter().enumerate() {
+        if (c as i32) < lo || (c as i32) > hi {
+            return Err("pack_codes: code out of range for precision");
+        }
+        let field = (c as u8) & ((1u16 << bits) - 1) as u8;
+        bytes[i / per_byte] |= field << ((i % per_byte) * bits);
+    }
+    Ok(bytes)
+}
+
+/// Inverse of [`pack_codes`]: sign-extends `len` codes out of the packed
+/// byte image. Any bit pattern is accepted — a corrupted image unpacks to
+/// the full two's complement range (e.g. `-8` at INT4 even though the
+/// quantizer only emits `[-7, 7]`), exactly what hardware would latch.
+///
+/// # Errors
+///
+/// Returns an error string if `precision` is [`Precision::Fp32`] or the
+/// buffer is shorter than `len` codes require.
+pub fn unpack_codes(bytes: &[u8], len: usize, precision: Precision) -> Result<Vec<i8>, &'static str> {
+    let bits = match precision {
+        Precision::Fp32 => return Err("unpack_codes: FP32 operands are not code-packed"),
+        p => p.bits() as usize,
+    };
+    let per_byte = 8 / bits;
+    if bytes.len() < len.div_ceil(per_byte) {
+        return Err("unpack_codes: byte buffer too short");
+    }
+    let mask = ((1u16 << bits) - 1) as u8;
+    let sign = 1u8 << (bits - 1);
+    let span = 1i16 << bits;
+    Ok((0..len)
+        .map(|i| {
+            let field = (bytes[i / per_byte] >> ((i % per_byte) * bits)) & mask;
+            if field >= sign {
+                (field as i16 - span) as i8
+            } else {
+                field as i8
+            }
+        })
+        .collect())
+}
+
 impl FromIterator<i8> for PackedInt4 {
     fn from_iter<I: IntoIterator<Item = i8>>(iter: I) -> Self {
         let codes: Vec<i8> = iter.into_iter().collect();
@@ -165,6 +231,45 @@ mod tests {
                 .sum();
             assert_eq!(p.dot_range(start, &other), expect, "start {start}");
         }
+    }
+
+    #[test]
+    fn pack_codes_roundtrips_every_precision() {
+        for (precision, lo, hi) in [
+            (Precision::Int8, -128i8, 127i8),
+            (Precision::Int4, -8, 7),
+            (Precision::Int2, -2, 1),
+        ] {
+            let codes: Vec<i8> = (lo..=hi).collect();
+            let bytes = pack_codes(&codes, precision).unwrap();
+            assert_eq!(bytes.len(), precision.nbytes(codes.len()), "{precision}");
+            let back = unpack_codes(&bytes, codes.len(), precision).unwrap();
+            assert_eq!(back, codes, "{precision}");
+        }
+    }
+
+    #[test]
+    fn pack_codes_int4_matches_packed_int4_layout() {
+        let codes = vec![1i8, -2, 3, -4, 5];
+        let bytes = pack_codes(&codes, Precision::Int4).unwrap();
+        assert_eq!(bytes, PackedInt4::from_codes(&codes).as_bytes());
+    }
+
+    #[test]
+    fn pack_codes_rejects_fp32_and_out_of_range() {
+        assert!(pack_codes(&[0], Precision::Fp32).is_err());
+        assert!(pack_codes(&[8], Precision::Int4).is_err());
+        assert!(pack_codes(&[2], Precision::Int2).is_err());
+        assert!(unpack_codes(&[], 1, Precision::Int8).is_err());
+        assert!(unpack_codes(&[0], 1, Precision::Fp32).is_err());
+    }
+
+    #[test]
+    fn unpack_accepts_corrupted_bit_patterns() {
+        // 0x88 holds two INT4 fields of 0b1000 = -8: never produced by the
+        // quantizer (it clamps to ±7) but a single bit flip can create it.
+        let codes = unpack_codes(&[0x88], 2, Precision::Int4).unwrap();
+        assert_eq!(codes, vec![-8, -8]);
     }
 
     #[test]

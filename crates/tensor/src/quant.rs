@@ -288,6 +288,48 @@ impl QuantMatrix {
         Ok(QuantMatrix { rows: m.rows(), cols: m.cols(), codes, scale, precision })
     }
 
+    /// Rebuilds a quantized matrix from raw integer codes and a known scale.
+    ///
+    /// Unlike [`QuantMatrix::quantize`] the codes are *not* clamped to the
+    /// precision's `qmax`: this constructor exists so the fault subsystem can
+    /// re-materialize a weight image after bit-level corruption, and a flipped
+    /// sign bit legitimately yields e.g. `-8` at INT4 — exactly the value an
+    /// integer MAC array would consume. Codes must still fit the precision's
+    /// two's complement *storage* range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `precision` is
+    /// [`Precision::Fp32`], a dimension is zero, `codes.len() != rows*cols`,
+    /// a code exceeds the storage range, or `scale` is not finite-positive.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        codes: Vec<i8>,
+        scale: f32,
+        precision: Precision,
+    ) -> Result<Self, TensorError> {
+        if precision.qmax().is_none() {
+            return Err(TensorError::InvalidArgument("from_parts requires an integer precision"));
+        }
+        if rows == 0 || cols == 0 {
+            return Err(TensorError::InvalidArgument("from_parts: zero dimension"));
+        }
+        if codes.len() != rows * cols {
+            return Err(TensorError::InvalidArgument("from_parts: codes.len() != rows*cols"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(TensorError::InvalidArgument("from_parts: scale must be finite and positive"));
+        }
+        let bits = precision.bits();
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        if codes.iter().any(|&c| (c as i32) < lo || (c as i32) > hi) {
+            return Err(TensorError::InvalidArgument("from_parts: code outside storage range"));
+        }
+        Ok(QuantMatrix { rows, cols, codes, scale, precision })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -296,6 +338,12 @@ impl QuantMatrix {
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// All integer codes, row-major — the payload that [`crate::packed::pack_codes`]
+    /// serializes into the DRAM byte image.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
     }
 
     /// Per-tensor scale.
@@ -519,6 +567,37 @@ mod tests {
     fn per_row_rejects_bad_input() {
         assert!(QuantMatrixPerRow::quantize(&Matrix::zeros(0, 4), Precision::Int4).is_err());
         assert!(QuantMatrixPerRow::quantize(&Matrix::zeros(4, 4), Precision::Fp32).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_allows_storage_extremes() {
+        let m = Matrix::from_rows(&[&[0.5, -0.25][..], &[1.0, 1.0][..]]);
+        let q = QuantMatrix::quantize(&m, Precision::Int4).unwrap();
+        let rebuilt = QuantMatrix::from_parts(
+            q.rows(),
+            q.cols(),
+            q.codes().to_vec(),
+            q.scale(),
+            q.precision(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, q);
+        // -8 is outside the quantizer's clamp but inside INT4 storage.
+        let q = QuantMatrix::from_parts(1, 2, vec![-8, 7], 0.5, Precision::Int4).unwrap();
+        assert_eq!(q.row(0), &[-8, 7]);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_input() {
+        let ok = |codes: Vec<i8>| QuantMatrix::from_parts(1, 2, codes, 1.0, Precision::Int4);
+        assert!(ok(vec![0, 0]).is_ok());
+        assert!(ok(vec![0]).is_err()); // wrong element count
+        assert!(QuantMatrix::from_parts(0, 2, vec![], 1.0, Precision::Int4).is_err());
+        assert!(QuantMatrix::from_parts(1, 2, vec![0, 0], 1.0, Precision::Fp32).is_err());
+        assert!(QuantMatrix::from_parts(1, 2, vec![0, 0], 0.0, Precision::Int4).is_err());
+        assert!(QuantMatrix::from_parts(1, 2, vec![0, 0], f32::NAN, Precision::Int4).is_err());
+        assert!(QuantMatrix::from_parts(1, 2, vec![8, 0], 1.0, Precision::Int4).is_err());
+        assert!(QuantMatrix::from_parts(1, 2, vec![2, 0], 1.0, Precision::Int2).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`obs`] | `enmc-obs` | event tracing, metrics registry, structured run reports |
 //! | [`par`] | `enmc-par` | deterministic worker pool + execution policies |
 //! | [`serve`] | `enmc-serve` | online serving simulator: arrivals, batching, SLO degradation |
+//! | [`fault`] | `enmc-fault` | approximate-DRAM error models, SEC-DED ECC, resilience sweeps |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use enmc_arch as arch;
 pub use enmc_obs as obs;
 pub use enmc_compiler as compiler;
 pub use enmc_dram as dram;
+pub use enmc_fault as fault;
 pub use enmc_isa as isa;
 pub use enmc_model as model;
 pub use enmc_par as par;
@@ -56,3 +58,4 @@ pub use enmc_tensor as tensor;
 
 pub mod cli;
 pub mod pipeline;
+pub mod resilience;

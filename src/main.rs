@@ -12,6 +12,8 @@
 //!                                    or ENMC_THREADS when set)
 //!     --trace-out <file>             write a Chrome/Perfetto trace JSON
 //!     --report <text|json>           output format (default text)
+//!     --seed <n>                     recorded in the report (simulate itself
+//!                                    is deterministic; flag > ENMC_SEED > 7)
 //!     --check-protocol               shadow every DRAM command with the DDR4
 //!                                    conformance checker; nonzero exit on
 //!                                    any timing violation
@@ -38,11 +40,22 @@
 //!     --shed-queue <n>               shed arrivals beyond this queue depth
 //!     --degrade-queue <n>            step a tier down beyond this depth
 //!     --upgrade-queue <n>            step a tier up at or below this depth
-//!     --seed <n>                     arrival-stream seed (default 7)
+//!     --seed <n>                     arrival-stream seed (flag > ENMC_SEED > 7)
 //!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
 //!     --trace-file <file>            arrival timestamps for --arrival trace
 //!     --quality <n>                  score each tier over n queries
 //!     --threads / --check-protocol / --trace-out / --report as simulate
+//! enmc fault-sweep [options]         quality-vs-refresh-energy resilience sweep
+//!     --shape <name>                 lstm-wikitext2|transformer-wikitext103|
+//!                                    gnmt-wmt16|xmlcnn-amazon670k (short forms ok)
+//!     --ber <f>                      uniform bit-error rate in [0, 1] (default 0)
+//!     --multipliers <m,...>          refresh-interval multipliers >= 1 (default 1)
+//!     --weak-columns <f>             tRCD-marginal column fraction (default 0)
+//!     --ecc                          protect weights with SEC-DED (72,64)
+//!     --queries <n>                  queries per sweep point (default 256)
+//!     --seed <n>                     fault-map + query seed (flag > ENMC_SEED > 7)
+//!     --threads <n>                  workers (output is bit-identical for any n)
+//!     --trace-out / --report as simulate
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
 //! ```
@@ -50,8 +63,9 @@
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
-    parse_arrival_kind, parse_batch, parse_candidate_fraction, parse_count, parse_degrade_tiers,
-    parse_rate, parse_report_format, parse_threads, ArrivalKind, ReportFormat,
+    parse_arrival_kind, parse_batch, parse_ber, parse_candidate_fraction, parse_count,
+    parse_degrade_tiers, parse_multipliers, parse_rate, parse_report_format, parse_shape,
+    parse_threads, resolve_seed, ArrivalKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -70,6 +84,7 @@ fn main() {
         Some("demo") => cmd_demo(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("fault-sweep") => cmd_fault_sweep(&args[1..]),
         Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
@@ -87,8 +102,8 @@ enmc — ENMC (MICRO'21) reproduction
 usage:
   enmc demo                       run the quickstart pipeline
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
-                [--threads N] [--trace-out FILE] [--report text|json]
-                [--check-protocol]
+                [--threads N] [--seed N] [--trace-out FILE]
+                [--report text|json] [--check-protocol]
   enmc serve-sim [--workload W] [--arrival poisson|burst|diurnal|trace]
                  [--rate R] [--requests N] [--slo-cycles S] [--batch-max B]
                  [--linger L] [--lanes N] [--degrade-tiers K:S,...]
@@ -96,6 +111,9 @@ usage:
                  [--seed N] [--candidates F] [--trace-file FILE]
                  [--quality N] [--threads N] [--trace-out FILE]
                  [--report text|json] [--check-protocol]
+  enmc fault-sweep [--shape S] [--ber F] [--multipliers M,...]
+                   [--weak-columns F] [--ecc] [--queries N] [--seed N]
+                   [--threads N] [--trace-out FILE] [--report text|json]
   enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
                  [--repro-out FILE] [--check-protocol]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
@@ -103,6 +121,7 @@ usage:
 
 schemes: cpu, cpu-as, nda, chameleon, tensordimm, tensordimm-large, enmc
 workloads: lstm, transformer, gnmt, xmlcnn, s1m, s10m, s100m
+shapes: lstm-wikitext2, transformer-wikitext103, gnmt-wmt16, xmlcnn-amazon670k
 patterns: stream-sweep, same-bank-hammer, bank-group-conflict,
           refresh-straddle, row-thrash, turnaround-mix, lowered
 bugs: tfaw-1, trcd-1, trp-1, twtr-1
@@ -215,6 +234,15 @@ fn cmd_simulate(args: &[String]) -> i32 {
         eprintln!("--trace-out requires the representative-rank run; drop --threads (and unset ENMC_THREADS)");
         return 2;
     }
+    // The simulation itself is deterministic; the seed is validated and
+    // recorded so all seeded subcommands share one flag convention.
+    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let job = ClassificationJob {
         categories: workload.categories,
         hidden: workload.hidden,
@@ -229,7 +257,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
     );
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
     let sw = Stopwatch::start();
-    let (result, report) = match threads {
+    let (result, mut report) = match threads {
         Some(n) => {
             // Whole-system run: every rank unit simulated, sharded over n
             // workers. Bit-identical to n = 1 by construction.
@@ -249,6 +277,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
             (result, report)
         }
     };
+    report.notes.push(format!("seed {seed}"));
     if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
         // Timestamps are DRAM-clock cycles; Chrome wants microseconds.
         let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
@@ -430,7 +459,15 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
     let shed_queue_depth = count_flag!("--shed-queue", 48) as usize;
     let degrade_queue_depth = count_flag!("--degrade-queue", 12) as usize;
     let upgrade_queue_depth = count_flag!("--upgrade-queue", 3) as usize;
-    let seed = count_flag!("--seed", 7);
+    // Seeds resolve through the shared convention (flag > ENMC_SEED >
+    // default); zero is a valid seed, unlike the count flags above.
+    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let quality_queries = flag_value(args, "--quality").map(|r| parse_count("--quality", r));
     let quality_queries = match quality_queries {
         Some(Ok(n)) => Some(n as usize),
@@ -589,6 +626,129 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
             return 1;
         }
     }
+    0
+}
+
+fn cmd_fault_sweep(args: &[String]) -> i32 {
+    use enmc::resilience::{render_text, run_fault_sweep, FaultSweepArgs};
+
+    let shape = match parse_shape(flag_value(args, "--shape").unwrap_or("lstm-wikitext2")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let ber = match flag_value(args, "--ber").map(parse_ber).unwrap_or(Ok(0.0)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    // Default to the nominal schedule only: `--ber 0` with no extra flags
+    // is exactly the fault-free path (CI diffs that bit-for-bit).
+    let multipliers = match flag_value(args, "--multipliers")
+        .map(parse_multipliers)
+        .unwrap_or(Ok(vec![1.0]))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let weak_columns = match flag_value(args, "--weak-columns").map(parse_ber).unwrap_or(Ok(0.0))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{}", e.replace("--ber", "--weak-columns"));
+            return 2;
+        }
+    };
+    let ecc = args.iter().any(|a| a == "--ecc");
+    let queries = match flag_value(args, "--queries")
+        .map(|r| parse_count("--queries", r))
+        .unwrap_or(Ok(256))
+    {
+        Ok(n) => n as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let format = match flag_value(args, "--report")
+        .map(parse_report_format)
+        .unwrap_or(Ok(ReportFormat::Text))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let workers = match flag_value(args, "--threads") {
+        Some(raw) => match parse_threads(raw) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => enmc::par::env_threads().unwrap_or(1),
+    };
+    let sweep_args = FaultSweepArgs {
+        shape,
+        ber,
+        multipliers,
+        weak_columns,
+        ecc,
+        queries,
+        seed,
+        workers,
+    };
+    eprintln!(
+        "fault sweep on {}: ber {ber}, multipliers {:?}, ecc {}, {} queries, seed {seed}",
+        shape.name(),
+        sweep_args.multipliers,
+        if ecc { "on" } else { "off" },
+        queries
+    );
+    let trace_out = flag_value(args, "--trace-out");
+    let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
+    let (points, frontier, report) = match run_fault_sweep(&sweep_args, trace.as_mut()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
+        let chrome = export_chrome(&tb.drain(), 1.0);
+        match std::fs::write(path, chrome) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return 0;
+    }
+    print!("{}", render_text(&points, &frontier));
+    println!(
+        "  worst point: {:.3} % top-1 degradation, ecc {} corrected / {} uncorrectable",
+        report.quality_degradation_pct, report.ecc_corrected, report.ecc_uncorrected
+    );
     0
 }
 

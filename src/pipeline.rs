@@ -147,6 +147,11 @@ impl Pipeline {
         &self.config
     }
 
+    /// The hardware system model projections run against.
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+
     /// Classifies `n` fresh queries approximately and scores them against
     /// the exact classifier (top-1 agreement, precision@10, perplexity).
     pub fn evaluate_quality(&mut self, n: usize) -> QualityReport {

@@ -3,6 +3,7 @@
 
 use enmc::dram::{AddressMapping, DramConfig, DramStats};
 use enmc::isa::{BufferId, Instruction, RegId};
+use enmc::model::quality::QualityAccumulator;
 use enmc::tensor::activation::{softmax, taylor_exp};
 use enmc::tensor::quant::{Precision, QuantVector};
 use enmc::tensor::select::{threshold_filter, top_k_indices};
@@ -35,6 +36,28 @@ fn dram_stats_strategy() -> impl Strategy<Value = DramStats> {
         busy_cycles: v[8] as u64,
         idle_cycles: v[9] as u64,
         total_cycles: v[10] as u64,
+    })
+}
+
+/// One quality query: full logits, approximate logits, ground-truth target.
+/// Logits are kept in ±50 so the softmax never underflows the target's
+/// probability to zero (which would push the perplexity sums to infinity
+/// and make tolerance comparisons meaningless).
+fn quality_query_strategy() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, usize)> {
+    (
+        prop::collection::vec(-50.0f32..50.0, 12..13),
+        prop::collection::vec(-50.0f32..50.0, 12..13),
+        0usize..12,
+    )
+}
+
+fn quality_acc_strategy() -> impl Strategy<Value = QualityAccumulator> {
+    prop::collection::vec(quality_query_strategy(), 1..12).prop_map(|qs| {
+        let mut acc = QualityAccumulator::new(3);
+        for (full, approx, target) in &qs {
+            acc.add(full, approx, *target);
+        }
+        acc
     })
 }
 
@@ -220,6 +243,54 @@ proptest! {
         let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).collect();
         let got = enmc::par::par_map(workers, items, |_, x| x.wrapping_mul(31).wrapping_add(7));
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn quality_merge_is_commutative(
+        a in quality_acc_strategy(),
+        b in quality_acc_strategy(),
+    ) {
+        // The parallel pipeline merges per-shard accumulators; whichever
+        // order the scheduler hands them over, a ∪ b must equal b ∪ a
+        // exactly — every counter is a sum, and f64 addition commutes
+        // bitwise even though it does not associate.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert_eq!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn quality_merge_reproduces_sequential_accumulation(
+        queries in prop::collection::vec(quality_query_strategy(), 1..24),
+        shards in 1usize..6,
+    ) {
+        // Sharding the batch with the runtime's own shard_ranges and
+        // merging in shard order must reproduce sequential accumulation:
+        // integer-derived metrics exactly, float sums up to re-association.
+        let mut seq = QualityAccumulator::new(3);
+        for (f, a, t) in &queries {
+            seq.add(f, a, *t);
+        }
+        let mut merged = QualityAccumulator::new(3);
+        for r in &enmc::par::shard_ranges(queries.len(), shards) {
+            let mut acc = QualityAccumulator::new(3);
+            for (f, a, t) in &queries[r.clone()] {
+                acc.add(f, a, *t);
+            }
+            merged.merge(&acc);
+        }
+        let (m, s) = (merged.finish(), seq.finish());
+        prop_assert_eq!(m.queries, s.queries);
+        prop_assert_eq!(m.top1_agreement, s.top1_agreement);
+        prop_assert_eq!(m.k, s.k);
+        prop_assert!((m.precision_at_k - s.precision_at_k).abs() < 1e-12);
+        prop_assert!((m.perplexity_full - s.perplexity_full).abs()
+            <= 1e-9 * s.perplexity_full.abs());
+        prop_assert!((m.perplexity_approx - s.perplexity_approx).abs()
+            <= 1e-9 * s.perplexity_approx.abs());
     }
 
     #[test]
