@@ -13,8 +13,25 @@ use crate::cpu::CpuModel;
 use crate::energy::{LogicEnergyModel, SystemEnergy};
 use crate::unit::{RankJob, RankUnit, UnitParams, UnitReport};
 use enmc_dram::energy::EnergyModel;
+use enmc_dram::DramStats;
 use enmc_obs::trace::TraceBuffer;
 use enmc_par::SimConfig;
+
+/// DRAM channels in the Table 3 platform; rank-units spread evenly
+/// across them (8 ranks per channel for ENMC). Cost attribution groups
+/// per-shard statistics into this many channel buckets.
+pub const CHANNELS: usize = 8;
+
+/// Table 4 logic-power totals for the homogeneous-FP32 NMP baselines,
+/// in milliwatts per unit.
+fn baseline_total_mw(kind: BaselineKind) -> f64 {
+    match kind {
+        BaselineKind::Nda => 293.6,
+        BaselineKind::Chameleon => 249.0,
+        BaselineKind::TensorDimm => 303.5,
+        BaselineKind::TensorDimmLarge => 303.5 * 2.5,
+    }
+}
 
 /// A classification job at system scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -150,6 +167,11 @@ pub struct ShardedRun {
     pub wall_ns: f64,
     /// Summed per-shard host wall time (the sequential-equivalent cost).
     pub shard_wall_ns: f64,
+    /// Per-shard DRAM statistics in rank order (empty for analytic CPU
+    /// schemes). The shard decomposition is fixed by the workload, so
+    /// this vector is bit-identical for any worker count — it is the
+    /// per-channel/per-rank input to cost attribution.
+    pub shard_dram: Vec<DramStats>,
 }
 
 impl ShardedRun {
@@ -210,6 +232,18 @@ impl SystemModel {
     /// The CPU model in use.
     pub fn cpu(&self) -> &CpuModel {
         &self.cpu
+    }
+
+    /// The logic-power model a simulated scheme draws per unit (`None`
+    /// for the analytic CPU schemes, which model no NMP logic).
+    pub fn logic_energy_model(&self, scheme: Scheme) -> Option<LogicEnergyModel> {
+        match scheme {
+            Scheme::Enmc => Some(LogicEnergyModel::enmc_table5()),
+            Scheme::Baseline(kind) => {
+                Some(LogicEnergyModel::baseline(baseline_total_mw(kind)))
+            }
+            Scheme::CpuFull | Scheme::CpuScreened => None,
+        }
     }
 
     /// Runs `job` under `scheme`.
@@ -282,19 +316,13 @@ impl SystemModel {
                 let units = kind.config().units_per_channel * 8;
                 let report =
                     baseline.unit().simulate_checked(&job.rank_slice(units), trace, check_protocol);
-                let total_mw = match kind {
-                    BaselineKind::Nda => 293.6,
-                    BaselineKind::Chameleon => 249.0,
-                    BaselineKind::TensorDimm => 303.5,
-                    BaselineKind::TensorDimmLarge => 303.5 * 2.5,
-                };
                 // Energy scales with the number of units actually deployed
                 // (TensorDIMM-Large doubles them).
                 let energy = SystemEnergy::from_rank(
                     &report,
                     units,
                     &self.energy_model,
-                    &LogicEnergyModel::baseline(total_mw),
+                    &LogicEnergyModel::baseline(baseline_total_mw(kind)),
                 );
                 SchemeResult {
                     scheme,
@@ -323,13 +351,11 @@ impl SystemModel {
             Scheme::Enmc => Some((UnitParams::enmc(&self.enmc), self.total_ranks, LogicEnergyModel::enmc_table5())),
             Scheme::Baseline(kind) => {
                 let units = kind.config().units_per_channel * 8;
-                let total_mw = match kind {
-                    BaselineKind::Nda => 293.6,
-                    BaselineKind::Chameleon => 249.0,
-                    BaselineKind::TensorDimm => 303.5,
-                    BaselineKind::TensorDimmLarge => 303.5 * 2.5,
-                };
-                Some((*NmpBaseline::new(kind).unit().params(), units, LogicEnergyModel::baseline(total_mw)))
+                Some((
+                    *NmpBaseline::new(kind).unit().params(),
+                    units,
+                    LogicEnergyModel::baseline(baseline_total_mw(kind)),
+                ))
             }
             Scheme::CpuFull | Scheme::CpuScreened => None,
         };
@@ -337,7 +363,14 @@ impl SystemModel {
             let wall = std::time::Instant::now();
             let result = self.run(job, scheme);
             let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
-            return ShardedRun { result, workers: 1, shards: 1, wall_ns, shard_wall_ns: wall_ns };
+            return ShardedRun {
+                result,
+                workers: 1,
+                shards: 1,
+                wall_ns,
+                shard_wall_ns: wall_ns,
+                shard_dram: Vec::new(),
+            };
         };
 
         let jobs = job.rank_jobs(units);
@@ -362,13 +395,14 @@ impl SystemModel {
             energy.dram_access_nj += e.dram_access_nj;
             energy.logic_nj += e.logic_nj;
         }
+        let shard_dram: Vec<DramStats> = reports.iter().map(|r| r.dram).collect();
         let result = SchemeResult {
             scheme,
             ns: merged.ns,
             energy: Some(energy),
             rank_report: Some(merged),
         };
-        ShardedRun { result, workers, shards, wall_ns, shard_wall_ns }
+        ShardedRun { result, workers, shards, wall_ns, shard_wall_ns, shard_dram }
     }
 
     /// Runs `job` on ENMC with candidate load imbalance `skew` (system

@@ -23,14 +23,19 @@
 use crate::config::EnmcConfig;
 use enmc_dram::{AddressMapping, DramConfig, DramStats, DramSystem, MemRequest, RequestId};
 use enmc_obs::trace::{
-    TraceBuffer, TraceEvent, TraceSink, CAT_PIPELINE, TID_EXECUTOR, TID_PHASES, TID_SCREENER,
-    TID_SFU,
+    TraceBuffer, TraceEvent, TraceSink, CAT_PIPELINE, TID_COUNTERS, TID_EXECUTOR, TID_PHASES,
+    TID_SCREENER, TID_SFU,
 };
 use std::collections::{HashMap, VecDeque};
 
 /// Ring capacity per DRAM channel when a traced simulation turns the
 /// controller's command trace on.
 const DRAM_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Cycle stride between sampled `busy_lanes` counter-track events when a
+/// run is traced (coarser than the DRAM controller's sampling; MAC spans
+/// last hundreds of cycles).
+const BUSY_SAMPLE_INTERVAL: u64 = 256;
 
 /// What one rank has to do for one classification job.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -404,6 +409,18 @@ impl RankUnit {
             guard += 1;
             assert!(guard < 4_000_000_000, "simulation did not converge");
 
+            // (0) Sampled busy-lane counter track: how many MAC arrays
+            // (Screener + Executor) are computing this cycle.
+            if now % BUSY_SAMPLE_INTERVAL == 0 {
+                if let Some(tb) = trace.as_deref_mut() {
+                    let busy = u64::from(screen_mac_free > now) + u64::from(exec_mac_free > now);
+                    tb.record(
+                        TraceEvent::counter("busy_lanes", CAT_PIPELINE, now, 0, TID_COUNTERS)
+                            .with_arg("value", busy),
+                    );
+                }
+            }
+
             // (1) Queue new screening-tile fetches under the prefetch cap.
             while next_tile < total_stream_tiles
                 && screen_fetch.outstanding() + tiles_ready.len() < p.prefetch_depth + 1
@@ -772,6 +789,20 @@ mod tests {
         assert!(traced.screen_done_cycle <= traced.exec_done_cycle);
         assert!(traced.exec_done_cycle <= traced.dram_cycles);
         assert_eq!(traced.dram_cycles - traced.exec_done_cycle, traced.sfu_cycles);
+    }
+
+    #[test]
+    fn traced_run_samples_busy_lanes() {
+        let mut tb = TraceBuffer::unbounded();
+        enmc_unit().simulate_traced(&job(1024, 1, 16), Some(&mut tb));
+        let samples: Vec<u64> = tb
+            .iter()
+            .filter(|e| e.name == "busy_lanes")
+            .map(|e| e.args[0].1)
+            .collect();
+        assert!(!samples.is_empty(), "no busy_lanes samples");
+        assert!(samples.iter().all(|&v| v <= 2), "at most two MAC arrays: {samples:?}");
+        assert!(samples.iter().any(|&v| v > 0), "some sample must catch a busy MAC");
     }
 
     #[test]

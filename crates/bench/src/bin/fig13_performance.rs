@@ -7,6 +7,7 @@
 
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::report::Reporter;
+use enmc_bench::trajectory::BenchEmitter;
 use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_bench::table::{fmt_speedup, Table};
 use enmc_model::workloads::WorkloadId;
@@ -32,9 +33,10 @@ fn main() {
         .iter()
         .flat_map(|&id| [1usize, 2, 4].map(|batch| (id, batch)))
         .collect();
+    let mut bench = BenchEmitter::from_env("fig13_performance");
     // Every (workload, batch) point simulates independently; shard them
     // across the bench workers. Rows come back in sweep order.
-    let rows = par_rows(&cfg, points, |&(id, batch)| {
+    let rows = bench.timed("harness/sweep_ns", || par_rows(&cfg, points, |&(id, batch)| {
         let w = id.workload();
         let job = ClassificationJob {
             categories: w.categories,
@@ -50,9 +52,14 @@ fn main() {
             .map(|r| r.speedup_over(&cpu_full))
             .collect();
         (w.abbr, batch, speedups)
-    });
+    }));
     for (abbr, batch, speedups) in rows {
         let mut cells = vec![abbr.to_string(), batch.to_string()];
+        // The last scheme column is ENMC; its per-point speedup is a pure
+        // function of simulated cycles, so it gates at zero tolerance.
+        if let Some(enmc) = speedups.last() {
+            bench.det(&format!("speedup/{abbr}/b{batch}/enmc"), *enmc);
+        }
         for (i, s) in speedups.into_iter().enumerate() {
             per_scheme[i].1.push(s);
             cells.push(fmt_speedup(s));
@@ -70,8 +77,10 @@ fn main() {
         means.push((name.clone(), g));
         println!("  {name:<12} {}", fmt_speedup(g));
         rep.note(&format!("geomean {name}: {}", fmt_speedup(g)));
+        bench.det(&format!("speedup/geomean/{}", name.to_lowercase()), g);
     }
     rep.finish();
+    bench.finish();
     let enmc = means.last().expect("five schemes").1;
     println!("\nENMC advantage over baselines:");
     for (name, g) in &means[..means.len() - 1] {

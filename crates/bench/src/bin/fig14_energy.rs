@@ -6,6 +6,7 @@ use enmc_arch::baseline::BaselineKind;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
+use enmc_bench::trajectory::BenchEmitter;
 use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_model::workloads::WorkloadId;
 
@@ -18,9 +19,10 @@ fn main() {
     let mut ratios_td = Vec::new();
     let mut ratios_tdl = Vec::new();
     let cfg = sim_config();
+    let mut bench = BenchEmitter::from_env("fig14_energy");
     // One independent three-scheme simulation per workload; shard them
     // across the bench workers.
-    let runs = par_rows(&cfg, WorkloadId::table2().to_vec(), |&id| {
+    let runs = bench.timed("harness/sweep_ns", || par_rows(&cfg, WorkloadId::table2().to_vec(), |&id| {
         let w = id.workload();
         let job = ClassificationJob {
             categories: w.categories,
@@ -39,9 +41,11 @@ fn main() {
             .expect("simulated");
         let enmc = sys.run(&job, Scheme::Enmc).energy.expect("simulated");
         (w.abbr, td, tdl, enmc)
-    });
+    }));
     for (abbr, td, tdl, enmc) in &runs {
         let norm = td.total_nj();
+        bench.det(&format!("energy_nj/{abbr}/enmc"), enmc.total_nj());
+        bench.det(&format!("energy_ratio/{abbr}/td_over_enmc"), td.total_nj() / enmc.total_nj());
         for (name, e) in [("TensorDIMM", td), ("TensorDIMM-L", tdl), ("ENMC", enmc)] {
             t.row_owned(vec![
                 abbr.to_string(),
@@ -60,6 +64,9 @@ fn main() {
     rep.table("energy_breakdown", &t);
     rep.finish();
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    bench.det("energy_ratio/avg/td_over_enmc", avg(&ratios_td));
+    bench.det("energy_ratio/avg/tdl_over_enmc", avg(&ratios_tdl));
+    bench.finish();
     println!("\nAverage energy reduction of ENMC: {:.1}x vs TensorDIMM, {:.1}x vs TensorDIMM-Large",
         avg(&ratios_td), avg(&ratios_tdl));
     println!("Paper reference: 5.0x and 8.4x (static-energy reductions 9.3x / 4.8x).");

@@ -12,10 +12,13 @@
 //! * [`table`] — fixed-width table printing for harness output;
 //! * [`report`] — the shared JSON report emitter: every binary mirrors its
 //!   printed tables into `<name>.json` when `--json <file>` or
-//!   `ENMC_REPORT_DIR` asks for it.
+//!   `ENMC_REPORT_DIR` asks for it;
+//! * [`trajectory`] — the bench-trajectory emitter: headline metrics land
+//!   in `BENCH_<name>.json` records that `enmc bench-diff` gates on.
 
 pub mod report;
 pub mod table;
+pub mod trajectory;
 
 use enmc_par::SimConfig;
 use enmc_model::synth::{SynthesisConfig, SyntheticClassifier};

@@ -1,5 +1,10 @@
 //! DRAM statistics counters.
 
+/// Bank-group slots tracked by [`DramStats::bank_group_accesses`]. DDR4
+/// devices have four bank groups; organizations with more fold in
+/// modulo.
+pub const MAX_BANK_GROUPS: usize = 4;
+
 /// Counters accumulated by a channel controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DramStats {
@@ -26,6 +31,9 @@ pub struct DramStats {
     pub idle_cycles: u64,
     /// Total cycles observed.
     pub total_cycles: u64,
+    /// Column accesses (reads + writes) per bank group, for locality
+    /// attribution. Index is `bank_group % MAX_BANK_GROUPS`.
+    pub bank_group_accesses: [u64; MAX_BANK_GROUPS],
 }
 
 impl DramStats {
@@ -114,6 +122,11 @@ impl DramStats {
         self.row_conflicts += other.row_conflicts;
         self.busy_cycles += other.busy_cycles;
         self.idle_cycles += other.idle_cycles;
+        for (mine, theirs) in
+            self.bank_group_accesses.iter_mut().zip(other.bank_group_accesses.iter())
+        {
+            *mine += theirs;
+        }
     }
 
     /// Records every counter (plus the derived rates as gauges) into a
@@ -135,6 +148,15 @@ impl DramStats {
         registry.counter_add("dram.idle_cycles", labels, self.idle_cycles);
         registry.counter_add("dram.total_cycles", labels, self.total_cycles);
         registry.counter_add("dram.bytes", labels, self.bytes());
+        const BG_METRICS: [&str; MAX_BANK_GROUPS] = [
+            "dram.bank_group0_accesses",
+            "dram.bank_group1_accesses",
+            "dram.bank_group2_accesses",
+            "dram.bank_group3_accesses",
+        ];
+        for (name, count) in BG_METRICS.iter().zip(self.bank_group_accesses.iter()) {
+            registry.counter_add(name, labels, *count);
+        }
         registry.gauge_set("dram.row_hit_rate", labels, self.row_hit_rate());
         registry.gauge_set("dram.bus_utilization", labels, self.bus_utilization());
         registry.gauge_set("dram.idle_fraction", labels, self.idle_fraction());
@@ -160,12 +182,24 @@ mod tests {
 
     #[test]
     fn merge_parallel_adds_counts_and_maxes_cycles() {
-        let mut a = DramStats { reads: 1, total_cycles: 10, ..Default::default() };
-        let b = DramStats { reads: 2, total_cycles: 7, busy_cycles: 3, ..Default::default() };
+        let mut a = DramStats {
+            reads: 1,
+            total_cycles: 10,
+            bank_group_accesses: [1, 0, 0, 2],
+            ..Default::default()
+        };
+        let b = DramStats {
+            reads: 2,
+            total_cycles: 7,
+            busy_cycles: 3,
+            bank_group_accesses: [0, 4, 0, 1],
+            ..Default::default()
+        };
         a.merge_parallel(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.total_cycles, 10);
         assert_eq!(a.busy_cycles, 3);
+        assert_eq!(a.bank_group_accesses, [1, 4, 0, 3]);
     }
 
     #[test]

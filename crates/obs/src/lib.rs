@@ -43,7 +43,7 @@ pub mod trace;
 
 pub use json::Value;
 pub use metrics::{MetricsRegistry, MetricsReport};
-pub use report::{PhaseSpan, RunReport, Stopwatch};
+pub use report::{BreakdownRow, PhaseSpan, RunReport, Stopwatch};
 pub use trace::{
     export_chrome, validate_chrome, ChromeSummary, NullSink, SpanPhase, TraceBuffer, TraceEvent,
     TraceSink,

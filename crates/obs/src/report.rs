@@ -40,11 +40,13 @@ use crate::metrics::MetricsReport;
 /// | v3 | `protocol_violations` (DDR4 conformance violations under `--check-protocol`) | `0` |
 /// | v4 | `slo_attainment` (fraction of completed requests meeting their deadline — serving runs only), `p99_ns` (99th-percentile request latency, ns), `shed` (requests rejected by admission control), `degrade_transitions` (screener degrade-tier steps, both directions) | `0.0`, `0.0`, `0`, `0` |
 /// | v5 | `ber` (injected uniform bit-error rate — fault runs only), `refresh_multiplier` (refresh-interval multiplier; 1.0 nominal), `ecc_corrected` (SEC-DED single-bit corrections), `ecc_uncorrected` (detected-uncorrectable words), `quality_degradation_pct` (top-1 agreement loss vs the fault-free model, percent) | `0.0`, `1.0`, `0`, `0`, `0.0` |
+/// | v6 | `energy_nj` (total attributed system energy; deterministic, derived from simulation counters only), `breakdown` (flattened cost-attribution leaves: `path`/`cycles`/`nj` rows whose sums reproduce the headline totals exactly) | `0.0`, `[]` |
 ///
-/// The v4 serving fields are only meaningful for `serve-sim` reports, and
-/// the v5 fault fields only for `fault-sweep` reports; other commands
-/// write them at their defaults.
-pub const SCHEMA_VERSION: u32 = 5;
+/// The v4 serving fields are only meaningful for `serve-sim` reports,
+/// the v5 fault fields only for `fault-sweep` reports, and the v6
+/// attribution fields only for cycle-level runs (`profile`, sharded
+/// `simulate`); other commands write them at their defaults.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +61,26 @@ pub struct PhaseSpan {
     pub sim_cycles: u64,
     /// Simulated nanoseconds attributed to the phase.
     pub sim_ns: f64,
+}
+
+/// One flattened leaf of a hierarchical cost attribution.
+///
+/// `path` is a `/`-separated position in the tree
+/// (`energy/dram/access/ch0/act`); sibling leaves partition their parent,
+/// so summing any complete leaf set reproduces the corresponding total
+/// exactly. Rows are derived from simulation counters only — never host
+/// wall time — which keeps them bit-identical across worker counts.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BreakdownRow {
+    /// `/`-separated path of the leaf in the attribution tree.
+    pub path: String,
+    /// Simulated DRAM-clock cycles attributed to the leaf (0 for
+    /// energy-only leaves).
+    pub cycles: u64,
+    /// Energy attributed to the leaf, nanojoules (0.0 for cycle-only
+    /// leaves).
+    pub nj: f64,
 }
 
 /// Machine-readable summary of one run.
@@ -114,6 +136,13 @@ pub struct RunReport {
     /// Fraction of queries whose top-1 flipped due to injected faults,
     /// in percent (0.0 when no faults were injected).
     pub quality_degradation_pct: f64,
+    /// Total attributed system energy in nanojoules (0.0 when the run
+    /// produced no attribution; equals the sum of energy leaves in
+    /// [`RunReport::breakdown`] when it did).
+    pub energy_nj: f64,
+    /// Flattened cost-attribution leaves (empty when the run produced no
+    /// attribution).
+    pub breakdown: Vec<BreakdownRow>,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -136,9 +165,19 @@ impl RunReport {
         }
     }
 
-    /// Appends a phase record.
+    /// Records a phase, merging into an existing phase of the same name.
+    ///
+    /// Repeated passes over the same phase (calibration loops, retries)
+    /// accumulate into one row instead of producing a misleading list of
+    /// duplicates; a genuinely new phase appends in execution order.
     pub fn push_phase(&mut self, name: &str, wall_ns: f64, sim_cycles: u64, sim_ns: f64) {
-        self.phases.push(PhaseSpan { name: name.to_string(), wall_ns, sim_cycles, sim_ns });
+        if let Some(existing) = self.phases.iter_mut().find(|p| p.name == name) {
+            existing.wall_ns += wall_ns;
+            existing.sim_cycles += sim_cycles;
+            existing.sim_ns += sim_ns;
+        } else {
+            self.phases.push(PhaseSpan { name: name.to_string(), wall_ns, sim_cycles, sim_ns });
+        }
     }
 
     /// Sum of per-phase simulated cycles.
@@ -192,6 +231,22 @@ impl RunReport {
             ("ecc_corrected".to_string(), Value::Int(self.ecc_corrected as i64)),
             ("ecc_uncorrected".to_string(), Value::Int(self.ecc_uncorrected as i64)),
             ("quality_degradation_pct".to_string(), Value::Num(self.quality_degradation_pct)),
+            ("energy_nj".to_string(), Value::Num(self.energy_nj)),
+            (
+                "breakdown".to_string(),
+                Value::Arr(
+                    self.breakdown
+                        .iter()
+                        .map(|b| {
+                            Value::Obj(vec![
+                                ("path".to_string(), Value::Str(b.path.clone())),
+                                ("cycles".to_string(), Value::Int(b.cycles as i64)),
+                                ("nj".to_string(), Value::Num(b.nj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -248,6 +303,26 @@ impl RunReport {
                     .ok_or_else(|| "phase missing sim_ns".to_string())?,
             });
         }
+        let mut breakdown = Vec::new();
+        if let Some(rows) = v.get("breakdown").and_then(Value::as_arr) {
+            for b in rows {
+                breakdown.push(BreakdownRow {
+                    path: b
+                        .get("path")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| "breakdown row missing path".to_string())?
+                        .to_string(),
+                    cycles: b
+                        .get("cycles")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "breakdown row missing cycles".to_string())?,
+                    nj: b
+                        .get("nj")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "breakdown row missing nj".to_string())?,
+                });
+            }
+        }
         let metrics = MetricsReport::from_json_value(
             v.get("metrics").ok_or_else(|| "missing field 'metrics'".to_string())?,
         )?;
@@ -297,6 +372,9 @@ impl RunReport {
                 .get("quality_degradation_pct")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
+            // v6 attribution fields; default when reading an older report.
+            energy_nj: v.get("energy_nj").and_then(Value::as_f64).unwrap_or(0.0),
+            breakdown,
             phases,
             metrics,
             notes,
@@ -441,6 +519,49 @@ mod tests {
     }
 
     #[test]
+    fn v5_reports_parse_with_defaulted_attribution_fields() {
+        // A v5 report has none of the v6 attribution keys.
+        let mut r = sample();
+        r.schema_version = 5;
+        let v5_json =
+            r.to_json().replace("\"energy_nj\":0,", "").replace("\"breakdown\":[],", "");
+        assert!(!v5_json.contains("energy_nj"));
+        let back = RunReport::from_json(&v5_json).unwrap();
+        assert_eq!(back.energy_nj, 0.0);
+        assert!(back.breakdown.is_empty());
+        assert_eq!(back.ber, r.ber);
+    }
+
+    #[test]
+    fn breakdown_rows_round_trip() {
+        let mut r = sample();
+        r.energy_nj = 10.5;
+        r.breakdown.push(BreakdownRow {
+            path: "energy/dram/access/ch0/act".to_string(),
+            cycles: 0,
+            nj: 4.2,
+        });
+        r.breakdown.push(BreakdownRow { path: "cycles/screen".to_string(), cycles: 700, nj: 0.0 });
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn push_phase_merges_duplicate_names() {
+        let mut r = RunReport::new("demo", "lstm", "enmc");
+        r.push_phase("calibrate", 10.0, 100, 83.0);
+        r.push_phase("screen", 5.0, 50, 41.5);
+        r.push_phase("calibrate", 30.0, 200, 166.0);
+        assert_eq!(r.phases.len(), 2, "duplicate phase merged, order kept");
+        assert_eq!(r.phases[0].name, "calibrate");
+        assert_eq!(r.phases[0].wall_ns, 40.0);
+        assert_eq!(r.phases[0].sim_cycles, 300);
+        assert_eq!(r.phases[0].sim_ns, 249.0);
+        assert_eq!(r.phases[1].name, "screen");
+        assert_eq!(r.phase_sim_cycles(), 350);
+    }
+
+    #[test]
     fn every_documented_schema_version_parses() {
         // Emit the sample report at each historical schema version by
         // stripping exactly the fields that version lacked, per the field
@@ -452,8 +573,9 @@ mod tests {
             "\"ecc_uncorrected\":0,",
             "\"quality_degradation_pct\":0,",
         ];
-        let strip: [&[&str]; 5] = [
-            // v1: no v2/v3/v4/v5 fields.
+        const V6_KEYS: [&str; 2] = ["\"energy_nj\":0,", "\"breakdown\":[],"];
+        let strip: [&[&str]; 6] = [
+            // v1: no v2/v3/v4/v5/v6 fields.
             &[
                 "\"threads\":0,",
                 "\"speedup\":1,",
@@ -467,8 +589,10 @@ mod tests {
                 V5_KEYS[2],
                 V5_KEYS[3],
                 V5_KEYS[4],
+                V6_KEYS[0],
+                V6_KEYS[1],
             ],
-            // v2: no v3/v4/v5 fields.
+            // v2: no v3/v4/v5/v6 fields.
             &[
                 "\"protocol_violations\":0,",
                 "\"slo_attainment\":0,",
@@ -480,8 +604,10 @@ mod tests {
                 V5_KEYS[2],
                 V5_KEYS[3],
                 V5_KEYS[4],
+                V6_KEYS[0],
+                V6_KEYS[1],
             ],
-            // v3: no v4/v5 fields.
+            // v3: no v4/v5/v6 fields.
             &[
                 "\"slo_attainment\":0,",
                 "\"p99_ns\":0,",
@@ -492,10 +618,22 @@ mod tests {
                 V5_KEYS[2],
                 V5_KEYS[3],
                 V5_KEYS[4],
+                V6_KEYS[0],
+                V6_KEYS[1],
             ],
-            // v4: no v5 fields.
-            &[V5_KEYS[0], V5_KEYS[1], V5_KEYS[2], V5_KEYS[3], V5_KEYS[4]],
-            // v5: current — nothing stripped.
+            // v4: no v5/v6 fields.
+            &[
+                V5_KEYS[0],
+                V5_KEYS[1],
+                V5_KEYS[2],
+                V5_KEYS[3],
+                V5_KEYS[4],
+                V6_KEYS[0],
+                V6_KEYS[1],
+            ],
+            // v5: no v6 fields.
+            &[V6_KEYS[0], V6_KEYS[1]],
+            // v6: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

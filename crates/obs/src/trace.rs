@@ -33,6 +33,10 @@ pub const TID_EXECUTOR: u32 = 1001;
 pub const TID_SFU: u32 = 1002;
 /// Track id for instruction decode / buffer-fill issue markers.
 pub const TID_DECODE: u32 = 1003;
+/// Track id for sampled counter series (queue depth, busy lanes, open
+/// rows). Counter events render as their own value graph per name, so a
+/// single track id is enough.
+pub const TID_COUNTERS: u32 = 1100;
 
 /// What kind of mark an event is (mirrors the Chrome `ph` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +47,9 @@ pub enum SpanPhase {
     End,
     /// A zero-duration marker (`ph: "i"`).
     Instant,
+    /// A sampled counter value (`ph: "C"`); the event's args are the
+    /// series values the viewer plots over time.
+    Counter,
 }
 
 /// One trace event, timestamped in DRAM-clock cycles.
@@ -84,6 +91,18 @@ impl TraceEvent {
         tid: u32,
     ) -> Self {
         TraceEvent { name, category, phase: SpanPhase::Instant, ts, pid, tid, args: Vec::new() }
+    }
+
+    /// A sampled counter value; attach the plotted series via
+    /// [`TraceEvent::with_arg`] (arg key = series name, value = sample).
+    pub fn counter(
+        name: &'static str,
+        category: &'static str,
+        ts: u64,
+        pid: u32,
+        tid: u32,
+    ) -> Self {
+        TraceEvent { name, category, phase: SpanPhase::Counter, ts, pid, tid, args: Vec::new() }
     }
 
     /// Attaches a numeric annotation (builder style).
@@ -205,6 +224,7 @@ pub fn export_chrome(events: &[TraceEvent], ns_per_cycle: f64) -> String {
             SpanPhase::Begin => "B",
             SpanPhase::End => "E",
             SpanPhase::Instant => "i",
+            SpanPhase::Counter => "C",
         };
         out.push_str(&format!(",\"ph\":\"{ph}\""));
         if e.phase == SpanPhase::Instant {
@@ -240,6 +260,8 @@ pub struct ChromeSummary {
     pub ends: usize,
     /// Instant markers.
     pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
     /// Distinct categories observed, sorted.
     pub categories: Vec<String>,
 }
@@ -324,6 +346,12 @@ pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
                 }
             }
             "i" | "I" => summary.instants += 1,
+            "C" => {
+                summary.counters += 1;
+                if e.get("args").and_then(Value::as_obj).is_none_or(|a| a.is_empty()) {
+                    return Err(format!("event {i}: counter '{name}' carries no args"));
+                }
+            }
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
     }
@@ -389,6 +417,29 @@ mod tests {
         ];
         let json = export_chrome(&events, 1.0);
         validate_chrome(&json).expect("stable order keeps pairs balanced");
+    }
+
+    #[test]
+    fn counter_events_round_trip() {
+        let events = vec![
+            TraceEvent::counter("queue_depth", CAT_DRAM, 0, 0, TID_COUNTERS).with_arg("value", 3),
+            TraceEvent::counter("open_rows", CAT_DRAM, 8, 0, TID_COUNTERS).with_arg("value", 1),
+            TraceEvent::counter("queue_depth", CAT_DRAM, 16, 0, TID_COUNTERS)
+                .with_arg("value", 0),
+        ];
+        let json = export_chrome(&events, 0.833);
+        assert!(json.contains("\"ph\":\"C\""));
+        let summary = validate_chrome(&json).expect("valid counter trace");
+        assert_eq!(summary.counters, 3);
+        assert_eq!(summary.begins, 0);
+        assert_eq!(summary.ends, 0);
+    }
+
+    #[test]
+    fn validation_rejects_counter_without_args() {
+        let json = r#"{"traceEvents":[
+            {"name":"queue_depth","ph":"C","ts":1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome(json).is_err());
     }
 
     #[test]

@@ -132,4 +132,63 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
     }
+
+    #[test]
+    fn empty_histogram_reports_zero_for_every_quantile() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [h.p50(), h.p90(), h.p99(), h.p999()] {
+            assert_eq!(q, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket_at_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.observe(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 1000.0);
+        // With one sample, every quantile is that sample's bucket bound:
+        // at least the value, overstating by at most one quarter-octave.
+        for q in [h.p50(), h.p90(), h.p99(), h.p999()] {
+            assert!((1000.0..1000.0 * 1.19).contains(&q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn observations_beyond_the_ladder_saturate_at_the_top_bound() {
+        let mut h = LatencyHistogram::new();
+        // Far past the 2^30-cycle top edge: lands in the overflow bucket.
+        h.observe(u64::MAX);
+        let top = *cycle_bounds().last().unwrap();
+        assert_eq!(h.p50(), top);
+        assert_eq!(h.p999(), top);
+        // The mean still uses the exact sum, not the clamped bound.
+        assert!(h.mean() > top);
+    }
+
+    proptest::proptest! {
+        /// Quantiles are monotone in `q` and bracketed by the observed
+        /// extremes' bucket bounds, for arbitrary latency batches.
+        #[test]
+        fn quantiles_are_monotone_and_bracketed(
+            latencies in proptest::collection::vec(1u64..1_000_000_000, 1..64),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &c in &latencies {
+                h.observe(c);
+            }
+            let qs = [h.p50(), h.p90(), h.p99(), h.p999()];
+            for w in qs.windows(2) {
+                proptest::prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+            }
+            let lo = *latencies.iter().min().unwrap() as f64;
+            let hi = *latencies.iter().max().unwrap() as f64;
+            // Bucket upper bounds never understate, and overstate by at
+            // most one quarter-octave step.
+            proptest::prop_assert!(qs[0] >= lo, "p50 {} below min {lo}", qs[0]);
+            proptest::prop_assert!(qs[3] <= hi * 1.19, "p999 {} above max bucket of {hi}", qs[3]);
+        }
+    }
 }

@@ -193,6 +193,22 @@ pub fn parse_multipliers(raw: &str) -> Result<Vec<f64>, String> {
     Ok(out)
 }
 
+/// Validates a `--wall-tolerance` value for `bench-diff`: a finite
+/// fraction ≥ 0 of allowed wall-clock regression (0.2 = the new median
+/// may be up to 20% slower before the gate fails). Deterministic metrics
+/// ignore this knob — they are always compared at zero tolerance.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_wall_tolerance(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(t) if t.is_finite() && t >= 0.0 => Ok(t),
+        Ok(_) => Err(format!("--wall-tolerance must be a finite fraction >= 0, got '{raw}'")),
+        Err(_) => Err(format!("--wall-tolerance expects a number >= 0, got '{raw}'")),
+    }
+}
+
 /// Validates a `--shape` value for `fault-sweep`.
 ///
 /// # Errors
@@ -386,6 +402,17 @@ mod tests {
         assert!(parse_multipliers("2,zero").unwrap_err().contains("'zero'"));
         assert!(parse_multipliers("2,,4").is_err());
         assert!(parse_multipliers("inf").is_err());
+    }
+
+    #[test]
+    fn wall_tolerance_accepts_nonnegative_fractions() {
+        assert_eq!(parse_wall_tolerance("0"), Ok(0.0));
+        assert_eq!(parse_wall_tolerance("0.2"), Ok(0.2));
+        assert_eq!(parse_wall_tolerance("1.5"), Ok(1.5));
+        assert!(parse_wall_tolerance("-0.1").unwrap_err().contains(">= 0"));
+        assert!(parse_wall_tolerance("inf").is_err());
+        assert!(parse_wall_tolerance("NaN").is_err());
+        assert!(parse_wall_tolerance("loose").unwrap_err().contains("'loose'"));
     }
 
     #[test]

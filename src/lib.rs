@@ -18,6 +18,7 @@
 //! | [`compiler`] | `enmc-compiler` | tiling compiler to instruction streams |
 //! | [`arch`] | `enmc-arch` | ENMC / NDA / Chameleon / TensorDIMM / CPU models |
 //! | [`obs`] | `enmc-obs` | event tracing, metrics registry, structured run reports |
+//! | [`perf`] | `enmc-perf` | cost attribution, self-profiler, bench-trajectory diffing |
 //! | [`par`] | `enmc-par` | deterministic worker pool + execution policies |
 //! | [`serve`] | `enmc-serve` | online serving simulator: arrivals, batching, SLO degradation |
 //! | [`fault`] | `enmc-fault` | approximate-DRAM error models, SEC-DED ECC, resilience sweeps |
@@ -52,6 +53,7 @@ pub use enmc_fault as fault;
 pub use enmc_isa as isa;
 pub use enmc_model as model;
 pub use enmc_par as par;
+pub use enmc_perf as perf;
 pub use enmc_screen as screen;
 pub use enmc_serve as serve;
 pub use enmc_tensor as tensor;

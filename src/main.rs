@@ -56,6 +56,24 @@
 //!     --seed <n>                     fault-map + query seed (flag > ENMC_SEED > 7)
 //!     --threads <n>                  workers (output is bit-identical for any n)
 //!     --trace-out / --report as simulate
+//! enmc profile [options]             top-down cost attribution of one run
+//!     --shape <abbr>                 lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --scheme <name>                nda|chameleon|tensordimm|enmc (simulated
+//!                                    schemes only; default enmc)
+//!     --batch <n>                    batch size (default 1)
+//!     --candidates <fraction>        exact fraction in (0, 1] (default 0.05)
+//!     --threads <n>                  workers for the sharded run; the tree on
+//!                                    stdout is bit-identical for any n
+//!     --trace-out <file>             Chrome trace with counter tracks
+//!                                    (queue depth, open rows, busy lanes)
+//!     --report <text|json>           text prints the cost tree; json emits the
+//!                                    RunReport with its breakdown rows
+//!     --self-profile                 host-side span rollup on stderr
+//! enmc bench-diff <old> <new>        gate one BENCH_*.json against another
+//!     --wall-tolerance <f>           allowed wall-clock regression fraction
+//!                                    (default 0.2); deterministic metrics are
+//!                                    compared at zero tolerance. Nonzero exit
+//!                                    on any gate failure.
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
 //! ```
@@ -65,7 +83,7 @@ use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
     parse_arrival_kind, parse_batch, parse_ber, parse_candidate_fraction, parse_count,
     parse_degrade_tiers, parse_multipliers, parse_rate, parse_report_format, parse_shape,
-    parse_threads, resolve_seed, ArrivalKind, ReportFormat,
+    parse_threads, parse_wall_tolerance, resolve_seed, ArrivalKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -76,7 +94,12 @@ use enmc::obs::report::Stopwatch;
 use enmc::obs::trace::export_chrome;
 use enmc::obs::TraceBuffer;
 use enmc::par::SimConfig;
-use enmc::pipeline::{report_from_result, report_from_sharded, Pipeline, PipelineConfig};
+use enmc::perf::bench::BenchRecord;
+use enmc::perf::SelfProfiler;
+use enmc::pipeline::{
+    attribute_run, report_from_result, report_from_sharded, scheme_label, Pipeline,
+    PipelineConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +109,8 @@ fn main() {
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("fault-sweep") => cmd_fault_sweep(&args[1..]),
         Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         _ => {
@@ -116,6 +141,10 @@ usage:
                    [--threads N] [--trace-out FILE] [--report text|json]
   enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
                  [--repro-out FILE] [--check-protocol]
+  enmc profile [--shape W] [--scheme S] [--batch N] [--candidates F]
+               [--threads N] [--trace-out FILE] [--report text|json]
+               [--self-profile]
+  enmc bench-diff OLD.json NEW.json [--wall-tolerance F]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
   enmc workloads                  list the Table 2 workloads
 
@@ -266,7 +295,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
                 sim_cfg = sim_cfg.with_protocol_check();
             }
             let run = sys.run_sharded(&job, scheme, &sim_cfg);
-            let report = report_from_sharded("simulate", workload.abbr, &job, &run);
+            let report = report_from_sharded("simulate", workload.abbr, &job, &sys, &run);
             (run.result, report)
         }
         None => {
@@ -911,6 +940,182 @@ fn cmd_fuzz_dram(args: &[String]) -> i32 {
             }
         }
     }
+}
+
+fn cmd_profile(args: &[String]) -> i32 {
+    let workload = match parse_workload(flag_value(args, "--shape").unwrap_or("s1m")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown shape; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    let scheme = match parse_scheme(flag_value(args, "--scheme").unwrap_or("enmc")) {
+        Some(Scheme::CpuFull | Scheme::CpuScreened) => {
+            eprintln!(
+                "profile needs a simulated scheme (nda, chameleon, tensordimm, enmc); \
+                 the analytic CPU model has no cycle-level costs to attribute"
+            );
+            return 2;
+        }
+        Some(s) => s,
+        None => {
+            eprintln!("unknown scheme; try: nda chameleon tensordimm enmc");
+            return 2;
+        }
+    };
+    let batch = match flag_value(args, "--batch").map(parse_batch).unwrap_or(Ok(1)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let frac = match flag_value(args, "--candidates")
+        .map(parse_candidate_fraction)
+        .unwrap_or(Ok(0.05))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let format = match flag_value(args, "--report")
+        .map(parse_report_format)
+        .unwrap_or(Ok(ReportFormat::Text))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let threads = match flag_value(args, "--threads") {
+        Some(raw) => match parse_threads(raw) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => enmc::par::env_threads().unwrap_or(1),
+    };
+    let trace_out = flag_value(args, "--trace-out");
+    let self_profile = args.iter().any(|a| a == "--self-profile");
+
+    let mut prof = SelfProfiler::new();
+    prof.begin("profile");
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch,
+        candidates: ((workload.categories as f64) * frac).round() as usize,
+    };
+    let sys = SystemModel::table3();
+    eprintln!(
+        "profiling {} {} batch {batch} on {threads} worker(s)",
+        workload.abbr,
+        scheme_label(scheme)
+    );
+    prof.begin("simulate");
+    let run = sys.run_sharded(&job, scheme, &SimConfig::with_threads(threads));
+    prof.end("simulate");
+    prof.begin("attribute");
+    let report = report_from_sharded("profile", workload.abbr, &job, &sys, &run);
+    let attr = attribute_run(&sys, &run).expect("simulated schemes always attribute");
+    prof.end("attribute");
+    if let Some(path) = trace_out {
+        // A representative-rank traced rerun carries the counter tracks
+        // (queue depth, open rows, busy lanes) the sharded run cannot.
+        prof.begin("trace");
+        let mut tb = TraceBuffer::unbounded();
+        sys.run_traced(&job, scheme, Some(&mut tb));
+        let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
+        let chrome = export_chrome(&tb.drain(), ns_per_cycle);
+        prof.end("trace");
+        match std::fs::write(path, chrome) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    prof.end("profile");
+
+    if format == ReportFormat::Json {
+        println!("{}", report.to_json());
+    } else {
+        // Stdout carries only deterministic content (the tree and its
+        // exact totals), so CI can diff it across --threads settings;
+        // host-side context goes to stderr.
+        println!(
+            "profile: {} {} batch {batch}, {} rank shard(s)",
+            workload.abbr,
+            scheme_label(scheme),
+            run.shards
+        );
+        print!("{}", attr.render());
+        println!("total: {} cycles, {:.3} nJ", attr.total_cycles(), attr.energy_nj());
+    }
+    if self_profile {
+        eprint!("{}", prof.render());
+    }
+    0
+}
+
+fn cmd_bench_diff(args: &[String]) -> i32 {
+    let tolerance = match flag_value(args, "--wall-tolerance")
+        .map(parse_wall_tolerance)
+        .unwrap_or(Ok(0.2))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--wall-tolerance" {
+            i += 2;
+            continue;
+        }
+        if args[i].starts_with("--") {
+            eprintln!("unknown bench-diff flag '{}'", args[i]);
+            return 2;
+        }
+        paths.push(args[i].as_str());
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: enmc bench-diff OLD.json NEW.json [--wall-tolerance F]");
+        return 2;
+    }
+    let load = |path: &str| -> Result<BenchRecord, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchRecord::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(paths[0]), load(paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let diff = match enmc::perf::bench::diff(&old, &new, tolerance) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    print!("{}", diff.render());
+    i32::from(diff.failed())
 }
 
 fn cmd_asm(args: &[String]) -> i32 {

@@ -7,7 +7,8 @@
 //! this module wires them together the way the paper's evaluation does.
 
 use enmc_arch::baseline::BaselineKind;
-use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, ShardedRun, SystemModel};
+use enmc_arch::system::{ClassificationJob, Scheme, SchemeResult, ShardedRun, SystemModel, CHANNELS};
+use enmc_perf::CostAttribution;
 use enmc_model::quality::{QualityAccumulator, QualityReport};
 use enmc_par::SimConfig;
 use enmc_obs::report::{PhaseSpan, RunReport, Stopwatch};
@@ -259,7 +260,7 @@ impl Pipeline {
     ) -> (ShardedRun, RunReport) {
         let job = self.job(batch);
         let run = self.system.run_sharded(&job, scheme, cfg);
-        let mut report = report_from_sharded("pipeline", "synthetic", &job, &run);
+        let mut report = report_from_sharded("pipeline", "synthetic", &job, &self.system, &run);
         report.phases.splice(0..0, self.build_phases.iter().cloned());
         (run, report)
     }
@@ -337,16 +338,39 @@ pub fn report_from_result(
     report
 }
 
+/// Builds the top-down cost attribution for a sharded run: the merged
+/// rank report plus the per-shard DRAM statistics, priced with the
+/// system's DRAM and logic energy models. `None` for analytic CPU
+/// schemes (nothing cycle-level to attribute).
+///
+/// Every input is bit-identical for any worker count, so the attribution
+/// (and everything derived from it — report rows, the `enmc profile`
+/// tree) is too.
+pub fn attribute_run(sys: &SystemModel, run: &ShardedRun) -> Option<CostAttribution> {
+    let merged = run.result.rank_report.as_ref()?;
+    let logic = sys.logic_energy_model(run.result.scheme)?;
+    Some(enmc_perf::attribute(
+        merged,
+        &run.shard_dram,
+        CHANNELS,
+        sys.energy_model(),
+        &logic,
+    ))
+}
+
 /// Builds a [`RunReport`] from a sharded whole-system run.
 ///
 /// Same phase structure as [`report_from_result`], but the rank report is
 /// the straggler-merge over every simulated rank unit, and the report
-/// additionally records the worker count and the observed parallel
-/// speedup (summed shard wall time over region wall time).
+/// additionally records the worker count, the observed parallel speedup
+/// (summed shard wall time over region wall time), and — for simulated
+/// schemes — the cost-attribution rows from [`attribute_run`], whose
+/// leaves sum exactly to `sim_cycles` and `energy_nj`.
 pub fn report_from_sharded(
     command: &str,
     workload: &str,
     job: &ClassificationJob,
+    sys: &SystemModel,
     run: &ShardedRun,
 ) -> RunReport {
     let mut report = report_from_result(command, workload, job, &run.result, run.wall_ns);
@@ -361,6 +385,10 @@ pub fn report_from_sharded(
             run.workers,
             run.speedup()
         ));
+    }
+    if let Some(attr) = attribute_run(sys, run) {
+        report.energy_nj = attr.energy_nj();
+        report.breakdown = attr.rows();
     }
     report
 }
@@ -492,6 +520,43 @@ mod tests {
         let (_, cpu) = p.run_report_with(Scheme::CpuFull, 1, &SimConfig::with_threads(2));
         assert!(cpu.is_consistent());
         assert_eq!(cpu.sim_cycles, 0);
+    }
+
+    #[test]
+    fn sharded_report_attribution_leaves_sum_to_totals() {
+        let p = Pipeline::build(&PipelineConfig {
+            categories: 4096,
+            hidden: 64,
+            candidates: 64,
+            train_queries: 16,
+            seed: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let (_, report) = p.run_report_with(Scheme::Enmc, 1, &SimConfig::with_threads(3));
+        assert!(!report.breakdown.is_empty());
+        let cyc: u64 = report
+            .breakdown
+            .iter()
+            .filter(|r| r.path.starts_with("cycles/"))
+            .map(|r| r.cycles)
+            .sum();
+        assert_eq!(cyc, report.sim_cycles);
+        let nj: f64 = report
+            .breakdown
+            .iter()
+            .filter(|r| r.path.starts_with("energy/"))
+            .map(|r| r.nj)
+            .sum();
+        assert_eq!(nj.to_bits(), report.energy_nj.to_bits(), "leaves must sum exactly");
+        // Bit-identical attribution regardless of worker count.
+        let (_, seq) = p.run_report_with(Scheme::Enmc, 1, &SimConfig::sequential());
+        assert_eq!(seq.breakdown, report.breakdown);
+        assert_eq!(seq.energy_nj.to_bits(), report.energy_nj.to_bits());
+        // Analytic CPU schemes carry no attribution.
+        let (_, cpu) = p.run_report_with(Scheme::CpuFull, 1, &SimConfig::with_threads(2));
+        assert!(cpu.breakdown.is_empty());
+        assert_eq!(cpu.energy_nj, 0.0);
     }
 
     #[test]

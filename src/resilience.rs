@@ -1,6 +1,6 @@
 //! Root glue for `enmc fault-sweep`: builds a paper-shape pipeline, runs
 //! the fault/resilience sweep from `enmc-fault`, and renders the
-//! quality-vs-refresh-energy Pareto table plus a schema-v5 [`RunReport`].
+//! quality-vs-refresh-energy Pareto table plus a schema-v6 [`RunReport`].
 //!
 //! Like the bench harness, quality runs on a scaled *evaluation shape*
 //! (real matrices must fit in memory) while the energy join simulates the
@@ -283,7 +283,7 @@ mod tests {
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert!(report.quality_degradation_pct > 0.0, "1e-4 BER without ECC must degrade");
         assert_eq!(report.refresh_multiplier, 64.0);
-        assert_eq!(report.schema_version, 5);
+        assert_eq!(report.schema_version, 6);
         for w in frontier.windows(2) {
             assert!(w[1].top1_agreement <= w[0].top1_agreement, "quality must not increase");
             assert!(

@@ -59,11 +59,34 @@ fn sharded_enmc_is_bit_identical_for_every_paper_shape() {
         assert_eq!(seq.result, par.result, "{}: sequential vs 4 workers", shape.0);
         assert_eq!(seq.shards, par.shards, "{}: shard count must not depend on workers", shape.0);
 
-        let rep_seq = canonical(report_from_sharded("simulate", shape.0, &job, &seq));
-        let rep_par = canonical(report_from_sharded("simulate", shape.0, &job, &par));
+        let rep_seq = canonical(report_from_sharded("simulate", shape.0, &job, &sys, &seq));
+        let rep_par = canonical(report_from_sharded("simulate", shape.0, &job, &sys, &par));
         assert_eq!(rep_seq, rep_par, "{}: canonical RunReports diverge", shape.0);
         assert!(rep_par.is_consistent(), "{}: phase cycles must tile sim_cycles", shape.0);
         assert_eq!(rep_seq.sim_cycles, rep_seq.phase_sim_cycles(), "{}: cycle sum", shape.0);
+        // The attribution rides along and is part of the bit-exact diff:
+        // RunReport equality above covered it, and its leaves tile the
+        // headline totals exactly.
+        assert!(!rep_par.breakdown.is_empty(), "{}: missing breakdown", shape.0);
+        let leaf_cycles: u64 = rep_par
+            .breakdown
+            .iter()
+            .filter(|r| r.path.starts_with("cycles/"))
+            .map(|r| r.cycles)
+            .sum();
+        assert_eq!(leaf_cycles, rep_par.sim_cycles, "{}: breakdown cycle sum", shape.0);
+        let leaf_nj: f64 = rep_par
+            .breakdown
+            .iter()
+            .filter(|r| r.path.starts_with("energy/"))
+            .map(|r| r.nj)
+            .sum();
+        assert_eq!(
+            leaf_nj.to_bits(),
+            rep_par.energy_nj.to_bits(),
+            "{}: breakdown energy sum",
+            shape.0
+        );
     }
 }
 

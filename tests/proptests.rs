@@ -24,7 +24,7 @@ fn reg_strategy() -> impl Strategy<Value = RegId> {
 
 fn dram_stats_strategy() -> impl Strategy<Value = DramStats> {
     // u32-sized counters keep every sum far from u64 overflow.
-    prop::collection::vec(any::<u32>(), 11..12).prop_map(|v| DramStats {
+    prop::collection::vec(any::<u32>(), 15..16).prop_map(|v| DramStats {
         reads: v[0] as u64,
         writes: v[1] as u64,
         activations: v[2] as u64,
@@ -36,6 +36,7 @@ fn dram_stats_strategy() -> impl Strategy<Value = DramStats> {
         busy_cycles: v[8] as u64,
         idle_cycles: v[9] as u64,
         total_cycles: v[10] as u64,
+        bank_group_accesses: [v[11] as u64, v[12] as u64, v[13] as u64, v[14] as u64],
     })
 }
 
