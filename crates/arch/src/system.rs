@@ -234,6 +234,13 @@ impl SystemModel {
         &self.cpu
     }
 
+    /// The per-rank unit parameters an ENMC run simulates with — the
+    /// exact configuration [`SystemModel::run`] hands to [`RankUnit`],
+    /// exposed so surrogate fits anchor on the same simulator.
+    pub fn enmc_unit_params(&self) -> UnitParams {
+        UnitParams::enmc(&self.enmc)
+    }
+
     /// The logic-power model a simulated scheme draws per unit (`None`
     /// for the analytic CPU schemes, which model no NMP logic).
     pub fn logic_energy_model(&self, scheme: Scheme) -> Option<LogicEnergyModel> {
@@ -377,14 +384,33 @@ impl SystemModel {
         let shards = jobs.len();
         let check = cfg.check_protocol;
         let wall = std::time::Instant::now();
-        let per_rank: Vec<(UnitReport, f64)> = enmc_par::par_map(workers, jobs, |_, rank_job| {
+        // Symmetric sharding yields at most a handful of distinct rank
+        // slices (remainder categories and candidates land on the
+        // earliest ranks); the unit simulator is deterministic, so each
+        // distinct slice simulates once and every rank sharing it reuses
+        // the report bit-identically.
+        let mut slice_index: std::collections::BTreeMap<_, usize> = std::collections::BTreeMap::new();
+        let mut unique: Vec<RankJob> = Vec::new();
+        let mut slot: Vec<usize> = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            let key =
+                (j.categories, j.hidden, j.reduced, j.batch, j.candidates_per_item.clone());
+            let i = *slice_index.entry(key).or_insert_with(|| {
+                unique.push(j);
+                unique.len() - 1
+            });
+            slot.push(i);
+        }
+        let per_unique: Vec<(UnitReport, f64)> = enmc_par::par_map(workers, unique, |_, rank_job| {
             let shard_wall = std::time::Instant::now();
             let report = RankUnit::new(params).simulate_checked(&rank_job, None, check);
             (report, shard_wall.elapsed().as_secs_f64() * 1e9)
         });
         let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
-        let shard_wall_ns: f64 = per_rank.iter().map(|(_, ns)| ns).sum();
-        let reports: Vec<UnitReport> = per_rank.into_iter().map(|(r, _)| r).collect();
+        // Host-side work per simulated slice; replicated ranks cost
+        // nothing on the host.
+        let shard_wall_ns: f64 = per_unique.iter().map(|(_, ns)| ns).sum();
+        let reports: Vec<UnitReport> = slot.iter().map(|&i| per_unique[i].0.clone()).collect();
         let merged = UnitReport::merge_parallel(&reports);
         // Every rank's own activity and always-on window, summed exactly.
         let dram_model = self.energy_model;

@@ -8,20 +8,34 @@
 //! sweep itself is worker-count invariant. The frontier is monotone
 //! nonincreasing in both axes by construction — the binary verifies that
 //! on every cell before printing.
+//!
+//! `--cost-model surrogate [--audit-rate R]` answers every energy join
+//! with the fitted surrogate instead of the cycle-accurate system run;
+//! audited points that miss the declared bound abort the grid (the CI
+//! surrogate gate runs exactly that and requires zero violations).
 
 use enmc_arch::system::{ClassificationJob, SystemModel};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt, Table};
-use enmc_bench::{candidate_fraction, fit_pipeline, par_rows, sim_config};
-use enmc_fault::{pareto_frontier, run_resilience_sweep, FaultModel, FaultSweepSpec, SweepPoint};
+use enmc_bench::{candidate_fraction, cost_backend, fit_pipeline, par_rows, sim_config};
+use enmc_fault::{
+    pareto_frontier, run_resilience_sweep_with_cost, FaultModel, FaultSweepSpec, SweepError,
+    SweepPoint,
+};
 use enmc_model::workloads::WorkloadId;
+use enmc_surrogate::{CostBackend, CostModel};
 use enmc_tensor::quant::Precision;
 
 const MULTIPLIERS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 const QUERIES: usize = 96;
 const SEED: u64 = 7;
 
-fn sweep_cell(id: WorkloadId, ecc: bool, workers: usize) -> (WorkloadId, bool, Vec<SweepPoint>) {
+fn sweep_cell(
+    id: WorkloadId,
+    ecc: bool,
+    workers: usize,
+    backend: CostBackend,
+) -> (WorkloadId, bool, Vec<SweepPoint>) {
     let fitted = fit_pipeline(id, 0.25, Precision::Int4, SEED);
     let w = &fitted.workload;
     let job = ClassificationJob {
@@ -45,7 +59,8 @@ fn sweep_cell(id: WorkloadId, ecc: bool, workers: usize) -> (WorkloadId, bool, V
         query_seed: SEED ^ 0xfa17,
         tiers: vec![k, (k / 2).max(1)],
     };
-    let points = run_resilience_sweep(
+    let mut cost = CostModel::new(backend, SEED);
+    let points = run_resilience_sweep_with_cost(
         &fitted.synth,
         &fitted.classifier,
         &SystemModel::table3(),
@@ -54,8 +69,12 @@ fn sweep_cell(id: WorkloadId, ecc: bool, workers: usize) -> (WorkloadId, bool, V
         workers,
         None,
         None,
+        &mut cost,
     )
-    .expect("frozen per-tensor screeners inject cleanly");
+    .unwrap_or_else(|e| match e {
+        SweepError::Tensor(t) => panic!("frozen per-tensor screeners inject cleanly: {t}"),
+        SweepError::Surrogate(v) => panic!("surrogate audit failed: {v}"),
+    });
     (id, ecc, points)
 }
 
@@ -70,7 +89,8 @@ fn main() {
     }
     // One independent fitted pipeline per cell; shard cells across the
     // bench workers (within a cell the sweep runs sequentially).
-    let cells = par_rows(&cfg, grid, |&(id, ecc)| sweep_cell(id, ecc, 1));
+    let backend = cost_backend();
+    let cells = par_rows(&cfg, grid, |&(id, ecc)| sweep_cell(id, ecc, 1, backend));
 
     let mut t = Table::new(&[
         "Workload", "ECC", "Mult", "Refresh uJ", "Top-1 %", "Fault degr %", "Masked rows",

@@ -43,6 +43,40 @@ pub fn sim_config() -> SimConfig {
     SimConfig::resolve(flag, false)
 }
 
+/// Bench-wide cost backend: `--cost-model {cycle-accurate|surrogate}`
+/// picks who answers sweep points, `--audit-rate R` (surrogate only,
+/// default 0.1) sets the fraction of predictions re-run cycle-accurately.
+/// Mirrors the `enmc` CLI flags so the CI surrogate gate drives the grid
+/// benches the same way it drives the serving and fault commands.
+///
+/// # Panics
+///
+/// Panics (with the offending value) on an unknown model name or an
+/// audit rate outside `[0, 1]` — bench binaries fail fast on bad flags.
+pub fn cost_backend() -> enmc_surrogate::CostBackend {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    match get("--cost-model").as_deref() {
+        None | Some("cycle-accurate") | Some("cycle") => {
+            enmc_surrogate::CostBackend::CycleAccurate
+        }
+        Some("surrogate") => {
+            let audit_rate = get("--audit-rate")
+                .map(|r| {
+                    r.parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
+                        .unwrap_or_else(|| panic!("--audit-rate must be in [0, 1], got '{r}'"))
+                })
+                .unwrap_or(0.1);
+            enmc_surrogate::CostBackend::Surrogate { audit_rate }
+        }
+        Some(other) => panic!("--cost-model must be 'cycle-accurate' or 'surrogate', got '{other}'"),
+    }
+}
+
 /// Maps `f` over `items` under the bench execution policy. Results keep
 /// the input order, so a parallel harness run prints exactly the
 /// sequential output — `--threads` only changes wall-clock time.

@@ -29,14 +29,16 @@ use crate::ecc::{ECC_MW, ECC_NJ_PER_BURST, ECC_NS_PER_BURST};
 use crate::inject::{corrupt_matrix, corrupt_screener, InjectionStats, WEIGHTS_BASE_ADDR};
 use crate::model::FaultModel;
 use enmc_arch::energy::LogicEnergyModel;
-use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_arch::system::{ClassificationJob, SystemModel};
 use enmc_dram::energy::EnergyModel;
 use enmc_model::quality::{QualityAccumulator, QualityReport};
 use enmc_model::synth::SyntheticClassifier;
 use enmc_obs::trace::{TraceBuffer, TraceEvent, TraceSink};
 use enmc_obs::MetricsRegistry;
 use enmc_screen::{ApproxClassifier, SelectionPolicy};
+use enmc_surrogate::{CostBackend, CostModel, SurrogateViolation};
 use enmc_tensor::{top_k_indices, TensorError};
+use std::fmt;
 
 /// Fixed shard count for quality evaluation — like the pipeline's
 /// `QUALITY_SHARDS`, decoupled from the worker count so results are
@@ -274,6 +276,39 @@ pub fn run_sweep(
     Ok(points)
 }
 
+/// Why a resilience sweep failed: a fault-injection error, or an audited
+/// surrogate prediction outside its declared bound.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Injection failed (unfrozen or per-row-scale screener).
+    Tensor(TensorError),
+    /// The surrogate cost model missed its audited error bound.
+    Surrogate(SurrogateViolation),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Tensor(e) => write!(f, "{e}"),
+            SweepError::Surrogate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<TensorError> for SweepError {
+    fn from(e: TensorError) -> Self {
+        SweepError::Tensor(e)
+    }
+}
+
+impl From<SurrogateViolation> for SweepError {
+    fn from(e: SurrogateViolation) -> Self {
+        SweepError::Surrogate(e)
+    }
+}
+
 /// [`run_sweep`] joined with the system energy at each refresh setting:
 /// the whole rank-parallel system runs `job` under an
 /// [`EnergyModel`] with the point's refresh multiplier (and the SEC-DED
@@ -291,8 +326,42 @@ pub fn run_resilience_sweep(
     spec: &FaultSweepSpec,
     workers: usize,
     registry: Option<&mut MetricsRegistry>,
-    mut trace: Option<&mut TraceBuffer>,
+    trace: Option<&mut TraceBuffer>,
 ) -> Result<Vec<SweepPoint>, TensorError> {
+    let mut cost = CostModel::new(CostBackend::CycleAccurate, spec.query_seed);
+    run_resilience_sweep_with_cost(
+        synth, classifier, system, job, spec, workers, registry, trace, &mut cost,
+    )
+    .map_err(|e| match e {
+        SweepError::Tensor(t) => t,
+        SweepError::Surrogate(v) => {
+            unreachable!("cycle-accurate backend cannot violate: {v}")
+        }
+    })
+}
+
+/// [`run_resilience_sweep`] with an explicit cost backend: the per-point
+/// energy join runs through `cost`, so a surrogate backend answers each
+/// point in pure arithmetic (auditing a seeded fraction cycle-accurately)
+/// while the cycle-accurate backend behaves exactly like
+/// [`run_resilience_sweep`].
+///
+/// # Errors
+///
+/// Propagates injection errors, and [`SweepError::Surrogate`] when an
+/// audited point misses the declared bound.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilience_sweep_with_cost(
+    synth: &SyntheticClassifier,
+    classifier: &ApproxClassifier,
+    system: &SystemModel,
+    job: &ClassificationJob,
+    spec: &FaultSweepSpec,
+    workers: usize,
+    registry: Option<&mut MetricsRegistry>,
+    mut trace: Option<&mut TraceBuffer>,
+    cost: &mut CostModel,
+) -> Result<Vec<SweepPoint>, SweepError> {
     let mut points = run_sweep(synth, classifier, spec, workers)?;
     for point in &mut points {
         let mut dram = EnergyModel::ddr4_2400_rank(1)
@@ -303,7 +372,11 @@ pub fn run_resilience_sweep(
             logic = logic.with_ecc(ECC_MW);
         }
         let sys = system.clone().with_energy_model(dram);
-        let result = sys.run(job, Scheme::Enmc);
+        let context = format!(
+            "fault-sweep energy join (multiplier {}, ecc {})",
+            point.refresh_multiplier, spec.ecc
+        );
+        let result = cost.run_enmc(&sys, job, &context)?;
         let report = result.rank_report.as_ref().expect("ENMC runs are simulated");
         let energy = result.energy.expect("ENMC runs carry energy");
         let ranks = sys.total_ranks as f64;

@@ -41,12 +41,14 @@ use crate::metrics::MetricsReport;
 /// | v4 | `slo_attainment` (fraction of completed requests meeting their deadline — serving runs only), `p99_ns` (99th-percentile request latency, ns), `shed` (requests rejected by admission control), `degrade_transitions` (screener degrade-tier steps, both directions) | `0.0`, `0.0`, `0`, `0` |
 /// | v5 | `ber` (injected uniform bit-error rate — fault runs only), `refresh_multiplier` (refresh-interval multiplier; 1.0 nominal), `ecc_corrected` (SEC-DED single-bit corrections), `ecc_uncorrected` (detected-uncorrectable words), `quality_degradation_pct` (top-1 agreement loss vs the fault-free model, percent) | `0.0`, `1.0`, `0`, `0`, `0.0` |
 /// | v6 | `energy_nj` (total attributed system energy; deterministic, derived from simulation counters only), `breakdown` (flattened cost-attribution leaves: `path`/`cycles`/`nj` rows whose sums reproduce the headline totals exactly) | `0.0`, `[]` |
+/// | v7 | `cost_backend` (which cost model answered sweep points: `cycle-accurate` or `surrogate`), `fit_anchors` (cycle-accurate anchor simulations run by surrogate fits), `audit_points` (surrogate predictions re-run cycle-accurately), `audit_max_rel_err` (worst bound-normalized relative leaf error over the audited points) | `"cycle-accurate"`, `0`, `0`, `0.0` |
 ///
 /// The v4 serving fields are only meaningful for `serve-sim` reports,
-/// the v5 fault fields only for `fault-sweep` reports, and the v6
+/// the v5 fault fields only for `fault-sweep` reports, the v6
 /// attribution fields only for cycle-level runs (`profile`, sharded
-/// `simulate`); other commands write them at their defaults.
-pub const SCHEMA_VERSION: u32 = 6;
+/// `simulate`), and the v7 surrogate fields only for commands that
+/// accept `--cost-model`; other commands write them at their defaults.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +145,19 @@ pub struct RunReport {
     /// Flattened cost-attribution leaves (empty when the run produced no
     /// attribution).
     pub breakdown: Vec<BreakdownRow>,
+    /// The cost backend that answered the run's sweep points
+    /// (`cycle-accurate` or `surrogate`).
+    pub cost_backend: String,
+    /// Cycle-accurate anchor simulations the surrogate fits ran (0 on
+    /// the cycle-accurate backend).
+    pub fit_anchors: u64,
+    /// Surrogate predictions that were re-run cycle-accurately by the
+    /// audit lottery.
+    pub audit_points: u64,
+    /// Worst bound-normalized relative leaf error observed over the
+    /// audited points (≤ the declared bound or the run would have
+    /// failed with a `SurrogateViolation`).
+    pub audit_max_rel_err: f64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -161,6 +176,7 @@ impl RunReport {
             scheme: scheme.to_string(),
             speedup: 1.0,
             refresh_multiplier: 1.0,
+            cost_backend: "cycle-accurate".to_string(),
             ..Default::default()
         }
     }
@@ -247,6 +263,10 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("cost_backend".to_string(), Value::Str(self.cost_backend.clone())),
+            ("fit_anchors".to_string(), Value::Int(self.fit_anchors as i64)),
+            ("audit_points".to_string(), Value::Int(self.audit_points as i64)),
+            ("audit_max_rel_err".to_string(), Value::Num(self.audit_max_rel_err)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -375,6 +395,18 @@ impl RunReport {
             // v6 attribution fields; default when reading an older report.
             energy_nj: v.get("energy_nj").and_then(Value::as_f64).unwrap_or(0.0),
             breakdown,
+            // v7 surrogate fields; default when reading an older report.
+            cost_backend: v
+                .get("cost_backend")
+                .and_then(Value::as_str)
+                .unwrap_or("cycle-accurate")
+                .to_string(),
+            fit_anchors: v.get("fit_anchors").and_then(Value::as_u64).unwrap_or(0),
+            audit_points: v.get("audit_points").and_then(Value::as_u64).unwrap_or(0),
+            audit_max_rel_err: v
+                .get("audit_max_rel_err")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             phases,
             metrics,
             notes,
@@ -574,8 +606,14 @@ mod tests {
             "\"quality_degradation_pct\":0,",
         ];
         const V6_KEYS: [&str; 2] = ["\"energy_nj\":0,", "\"breakdown\":[],"];
-        let strip: [&[&str]; 6] = [
-            // v1: no v2/v3/v4/v5/v6 fields.
+        const V7_KEYS: [&str; 4] = [
+            "\"cost_backend\":\"cycle-accurate\",",
+            "\"fit_anchors\":0,",
+            "\"audit_points\":0,",
+            "\"audit_max_rel_err\":0,",
+        ];
+        let strip: [&[&str]; 7] = [
+            // v1: no v2/v3/v4/v5/v6/v7 fields.
             &[
                 "\"threads\":0,",
                 "\"speedup\":1,",
@@ -591,8 +629,12 @@ mod tests {
                 V5_KEYS[4],
                 V6_KEYS[0],
                 V6_KEYS[1],
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
             ],
-            // v2: no v3/v4/v5/v6 fields.
+            // v2: no v3/v4/v5/v6/v7 fields.
             &[
                 "\"protocol_violations\":0,",
                 "\"slo_attainment\":0,",
@@ -606,8 +648,12 @@ mod tests {
                 V5_KEYS[4],
                 V6_KEYS[0],
                 V6_KEYS[1],
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
             ],
-            // v3: no v4/v5/v6 fields.
+            // v3: no v4/v5/v6/v7 fields.
             &[
                 "\"slo_attainment\":0,",
                 "\"p99_ns\":0,",
@@ -620,8 +666,12 @@ mod tests {
                 V5_KEYS[4],
                 V6_KEYS[0],
                 V6_KEYS[1],
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
             ],
-            // v4: no v5/v6 fields.
+            // v4: no v5/v6/v7 fields.
             &[
                 V5_KEYS[0],
                 V5_KEYS[1],
@@ -630,10 +680,23 @@ mod tests {
                 V5_KEYS[4],
                 V6_KEYS[0],
                 V6_KEYS[1],
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
             ],
-            // v5: no v6 fields.
-            &[V6_KEYS[0], V6_KEYS[1]],
-            // v6: current — nothing stripped.
+            // v5: no v6/v7 fields.
+            &[
+                V6_KEYS[0],
+                V6_KEYS[1],
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
+            ],
+            // v6: no v7 fields.
+            &[V7_KEYS[0], V7_KEYS[1], V7_KEYS[2], V7_KEYS[3]],
+            // v7: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

@@ -249,6 +249,27 @@ impl DiffReport {
         out.push_str(if self.failed() { "verdict: FAIL\n" } else { "verdict: PASS\n" });
         out
     }
+
+    /// One line per *failing* metric, each naming the old value, the new
+    /// value, and the percentage delta — so the last lines of a CI log
+    /// say what regressed and by how much without scrolling back through
+    /// the full table. Empty when the gate passes.
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        for row in self.rows.iter().filter(|r| r.fails) {
+            let detail = match (row.old, row.new) {
+                (Some(o), Some(n)) if o != 0.0 => {
+                    format!("old {o}, new {n}, delta {:+.3}%", (n - o) / o * 100.0)
+                }
+                (Some(o), Some(n)) => format!("old {o}, new {n} (old is zero, no delta)"),
+                (Some(o), None) => format!("old {o}, metric removed in new record"),
+                (None, Some(n)) => format!("metric absent in old record, new {n}"),
+                (None, None) => unreachable!("a diff row always has at least one side"),
+            };
+            out.push_str(&format!("bench-diff failure: {}: {detail}\n", row.metric));
+        }
+        out
+    }
 }
 
 /// Compares two records.
@@ -417,6 +438,28 @@ mod tests {
         let d = diff(&old, &better, 0.2).unwrap();
         assert!(d.failed(), "improvements still force a baseline refresh");
         assert!(d.render().contains("improved"));
+    }
+
+    #[test]
+    fn failure_summary_names_values_and_percentage_delta() {
+        let old = record();
+        let mut worse = record();
+        worse.metric("sim_cycles", 135_801.6); // +10% on 123456
+        let d = diff(&old, &worse, 0.2).unwrap();
+        let summary = d.failure_summary();
+        assert_eq!(
+            summary,
+            "bench-diff failure: sim_cycles: old 123456, new 135801.6, delta +10.000%\n"
+        );
+        // Only failing rows appear; a clean gate has nothing to say.
+        assert_eq!(diff(&old, &old, 0.2).unwrap().failure_summary(), "");
+        // One-sided rows still name the value that exists.
+        let mut extra = record();
+        extra.metric("extra", 1.0);
+        let added = diff(&old, &extra, 0.2).unwrap().failure_summary();
+        assert!(added.contains("extra: metric absent in old record, new 1"), "{added}");
+        let removed = diff(&extra, &old, 0.2).unwrap().failure_summary();
+        assert!(removed.contains("extra: old 1, metric removed in new record"), "{removed}");
     }
 
     #[test]

@@ -35,5 +35,7 @@ pub mod tier;
 
 pub use arrival::ArrivalProcess;
 pub use hist::LatencyHistogram;
-pub use sim::{simulate, BatchRecord, RequestRecord, ServeConfig, ServeOutcome};
+pub use sim::{
+    simulate, simulate_with_cost, BatchRecord, RequestRecord, ServeConfig, ServeOutcome,
+};
 pub use tier::{parse_tiers, DegradeTier};

@@ -26,11 +26,12 @@
 
 use std::collections::VecDeque;
 
-use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
+use enmc_arch::system::{ClassificationJob, SystemModel};
 use enmc_obs::report::RunReport;
 use enmc_obs::trace::{TraceBuffer, TraceEvent, TraceSink};
 use enmc_obs::MetricsRegistry;
 use enmc_par::SimConfig;
+use enmc_surrogate::{CostBackend, CostModel, SurrogateViolation};
 
 use crate::arrival::ArrivalProcess;
 use crate::hist::{cycle_bounds, LatencyHistogram};
@@ -155,6 +156,16 @@ pub struct ServeOutcome {
     pub requests: Vec<RequestRecord>,
     /// Per-batch records, in dispatch order.
     pub batches: Vec<BatchRecord>,
+    /// Cost backend that answered the calibration points
+    /// (`cycle-accurate` or `surrogate`).
+    pub cost_backend: String,
+    /// Cycle-accurate anchor simulations run by surrogate fits (0 on the
+    /// cycle-accurate backend).
+    pub fit_anchors: u64,
+    /// Calibration points the audit lottery re-ran cycle-accurately.
+    pub audit_points: u64,
+    /// Worst bound-normalized relative leaf error over audited points.
+    pub audit_max_rel_err: f64,
 }
 
 impl ServeOutcome {
@@ -191,6 +202,10 @@ impl ServeOutcome {
         report.p99_ns = self.latency.p99() * self.ns_per_cycle;
         report.shed = self.shed;
         report.degrade_transitions = self.degrade_transitions;
+        report.cost_backend = self.cost_backend.clone();
+        report.fit_anchors = self.fit_anchors;
+        report.audit_points = self.audit_points;
+        report.audit_max_rel_err = self.audit_max_rel_err;
         report.metrics = registry.snapshot();
         report.notes.push(format!(
             "open-loop {} arrivals, seed {}, {} request(s)",
@@ -217,21 +232,30 @@ fn tier_label(t: usize) -> &'static str {
     NAMES.get(t).copied().unwrap_or("8+")
 }
 
-/// Calibrates the `[tier][batch-1]` service-time table by running the
-/// rank-sharded cycle simulator at every point.
+/// Calibrates the `[tier][batch-1]` service-time table by running every
+/// point through the cost model — the rank-sharded cycle simulator on
+/// the cycle-accurate backend, pure arithmetic (with seeded audits) on
+/// the surrogate backend.
 fn calibrate(
     sys: &SystemModel,
     job: &ClassificationJob,
     cfg: &ServeConfig,
     sim: &SimConfig,
-) -> (Vec<Vec<u64>>, f64, u64) {
+    cost: &mut CostModel,
+) -> Result<(Vec<Vec<u64>>, f64, u64), SurrogateViolation> {
     let mut table = vec![vec![0u64; cfg.batch_max]; cfg.tiers.len()];
     let mut ns_per_cycle = 0.0;
     let mut violations = 0u64;
     for (t, tier) in cfg.tiers.iter().enumerate() {
         let tier_job = tier.apply(job);
         for b in 1..=cfg.batch_max {
-            let run = sys.run_sharded(&tier_job.with_load(b, tier.candidates), Scheme::Enmc, sim);
+            let context = format!("serve-sim calibration (tier {t}, batch {b})");
+            let run = cost.run_sharded_enmc(
+                sys,
+                &tier_job.with_load(b, tier.candidates),
+                sim,
+                &context,
+            )?;
             let r = run.result.rank_report.expect("ENMC runs are cycle-simulated");
             table[t][b - 1] = r.dram_cycles.max(1);
             violations += r.protocol_violations;
@@ -240,7 +264,7 @@ fn calibrate(
             }
         }
     }
-    (table, ns_per_cycle, violations)
+    Ok((table, ns_per_cycle, violations))
 }
 
 /// Runs one serving scenario.
@@ -259,11 +283,40 @@ pub fn simulate(
     cfg: &ServeConfig,
     sim: &SimConfig,
     registry: &mut MetricsRegistry,
-    mut trace: Option<&mut TraceBuffer>,
+    trace: Option<&mut TraceBuffer>,
 ) -> ServeOutcome {
+    let mut cost = CostModel::new(CostBackend::CycleAccurate, cfg.seed);
+    simulate_with_cost(sys, job, cfg, sim, registry, trace, &mut cost)
+        .expect("cycle-accurate backend cannot violate an audit")
+}
+
+/// [`simulate`] with an explicit cost backend: the calibration pass runs
+/// through `cost`, so a surrogate backend fills the service table in pure
+/// arithmetic (auditing a seeded fraction cycle-accurately) while the
+/// event loop is untouched. The outcome is bit-identical to [`simulate`]
+/// on the cycle-accurate backend, and identical across audit rates on
+/// the surrogate backend (audits never change predictions).
+///
+/// # Errors
+///
+/// Returns the [`SurrogateViolation`] when an audited calibration point
+/// misses the declared bound.
+///
+/// # Panics
+///
+/// Panics when `cfg.tiers` is empty or `cfg.batch_max` is zero.
+pub fn simulate_with_cost(
+    sys: &SystemModel,
+    job: &ClassificationJob,
+    cfg: &ServeConfig,
+    sim: &SimConfig,
+    registry: &mut MetricsRegistry,
+    mut trace: Option<&mut TraceBuffer>,
+    cost: &mut CostModel,
+) -> Result<ServeOutcome, SurrogateViolation> {
     assert!(!cfg.tiers.is_empty(), "serve config needs at least one degrade tier");
     assert!(cfg.batch_max > 0, "batch_max must be positive");
-    let (service, ns_per_cycle, protocol_violations) = calibrate(sys, job, cfg, sim);
+    let (service, ns_per_cycle, protocol_violations) = calibrate(sys, job, cfg, sim, cost)?;
 
     let arrivals = cfg.arrival.generate(cfg.requests, cfg.seed);
     let mut requests: Vec<RequestRecord> = arrivals
@@ -421,7 +474,8 @@ pub fn simulate(
         }
     }
 
-    ServeOutcome {
+    let stats = cost.stats();
+    Ok(ServeOutcome {
         generated: n as u64,
         admitted,
         completed,
@@ -438,7 +492,11 @@ pub fn simulate(
         service_cycles: service,
         requests,
         batches,
-    }
+        cost_backend: cost.backend().name().to_string(),
+        fit_anchors: stats.fit_anchors,
+        audit_points: stats.audited,
+        audit_max_rel_err: stats.max_rel_err,
+    })
 }
 
 #[cfg(test)]

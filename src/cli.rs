@@ -253,6 +253,44 @@ impl FaultShape {
     }
 }
 
+/// Validates a `--cost-model` value.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted backends.
+pub fn parse_cost_model(raw: &str) -> Result<CostModelKind, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "cycle-accurate" | "cycle" | "accurate" => Ok(CostModelKind::CycleAccurate),
+        "surrogate" => Ok(CostModelKind::Surrogate),
+        _ => Err(format!("--cost-model must be 'cycle-accurate' or 'surrogate', got '{raw}'")),
+    }
+}
+
+/// Cost backends selectable with `--cost-model` (the audit rate binds
+/// separately via `--audit-rate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModelKind {
+    /// Simulate every sweep point cycle-accurately (the default).
+    CycleAccurate,
+    /// Answer sweep points with the fitted surrogate, auditing a seeded
+    /// fraction cycle-accurately.
+    Surrogate,
+}
+
+/// Validates an `--audit-rate` value: a finite fraction in `[0, 1]` of
+/// surrogate predictions to re-run cycle-accurately.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_audit_rate(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(r) if r.is_finite() && (0.0..=1.0).contains(&r) => Ok(r),
+        Ok(_) => Err(format!("--audit-rate must be a fraction in [0, 1], got '{raw}'")),
+        Err(_) => Err(format!("--audit-rate expects a number in [0, 1], got '{raw}'")),
+    }
+}
+
 /// Validates a `--report` value.
 ///
 /// # Errors
@@ -424,6 +462,26 @@ mod tests {
         assert_eq!(parse_shape("xmlcnn"), Ok(FaultShape::XmlcnnAmazon670k));
         assert_eq!(parse_shape("xmlcnn").unwrap().name(), "xmlcnn-amazon670k");
         assert!(parse_shape("resnet").unwrap_err().contains("'resnet'"));
+    }
+
+    #[test]
+    fn cost_model_parses_both_backends_and_short_forms() {
+        assert_eq!(parse_cost_model("cycle-accurate"), Ok(CostModelKind::CycleAccurate));
+        assert_eq!(parse_cost_model("CYCLE"), Ok(CostModelKind::CycleAccurate));
+        assert_eq!(parse_cost_model("surrogate"), Ok(CostModelKind::Surrogate));
+        assert!(parse_cost_model("oracle").unwrap_err().contains("'oracle'"));
+        assert!(parse_cost_model("").unwrap_err().contains("--cost-model"));
+    }
+
+    #[test]
+    fn audit_rate_accepts_the_closed_unit_interval() {
+        assert_eq!(parse_audit_rate("0"), Ok(0.0));
+        assert_eq!(parse_audit_rate("0.1"), Ok(0.1));
+        assert_eq!(parse_audit_rate("1"), Ok(1.0));
+        assert!(parse_audit_rate("1.5").unwrap_err().contains("[0, 1]"));
+        assert!(parse_audit_rate("-0.1").is_err());
+        assert!(parse_audit_rate("NaN").is_err());
+        assert!(parse_audit_rate("always").unwrap_err().contains("'always'"));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use enmc_par as par;
 pub use enmc_perf as perf;
 pub use enmc_screen as screen;
 pub use enmc_serve as serve;
+pub use enmc_surrogate as surrogate;
 pub use enmc_tensor as tensor;
 
 pub mod cli;

@@ -81,9 +81,10 @@
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
-    parse_arrival_kind, parse_batch, parse_ber, parse_candidate_fraction, parse_count,
-    parse_degrade_tiers, parse_multipliers, parse_rate, parse_report_format, parse_shape,
-    parse_threads, parse_wall_tolerance, resolve_seed, ArrivalKind, ReportFormat,
+    parse_arrival_kind, parse_audit_rate, parse_batch, parse_ber, parse_candidate_fraction,
+    parse_cost_model, parse_count, parse_degrade_tiers, parse_multipliers, parse_rate,
+    parse_report_format, parse_shape, parse_threads, parse_wall_tolerance, resolve_seed,
+    ArrivalKind, CostModelKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -136,9 +137,13 @@ usage:
                  [--seed N] [--candidates F] [--trace-file FILE]
                  [--quality N] [--threads N] [--trace-out FILE]
                  [--report text|json] [--check-protocol]
+                 [--cost-model cycle-accurate|surrogate] [--audit-rate F]
+                 [--coeffs FILE] [--coeffs-out FILE]
   enmc fault-sweep [--shape S] [--ber F] [--multipliers M,...]
                    [--weak-columns F] [--ecc] [--queries N] [--seed N]
                    [--threads N] [--trace-out FILE] [--report text|json]
+                   [--cost-model cycle-accurate|surrogate] [--audit-rate F]
+                   [--coeffs FILE] [--coeffs-out FILE]
   enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
                  [--repro-out FILE] [--check-protocol]
   enmc profile [--shape W] [--scheme S] [--batch N] [--candidates F]
@@ -199,6 +204,22 @@ fn parse_scheme(s: &str) -> Option<Scheme> {
         "tensordimm-large" => Scheme::Baseline(BaselineKind::TensorDimmLarge),
         "enmc" => Scheme::Enmc,
         _ => return None,
+    })
+}
+
+/// Resolves the `--cost-model` / `--audit-rate` flag pair into a cost
+/// backend (cycle-accurate by default; audit rate defaults to 0.1 when
+/// the surrogate is selected without an explicit rate).
+fn resolve_cost_backend(args: &[String]) -> Result<enmc::surrogate::CostBackend, String> {
+    use enmc::surrogate::CostBackend;
+    let kind = flag_value(args, "--cost-model")
+        .map(parse_cost_model)
+        .unwrap_or(Ok(CostModelKind::CycleAccurate))?;
+    let audit_rate =
+        flag_value(args, "--audit-rate").map(parse_audit_rate).unwrap_or(Ok(0.1))?;
+    Ok(match kind {
+        CostModelKind::CycleAccurate => CostBackend::CycleAccurate,
+        CostModelKind::Surrogate => CostBackend::Surrogate { audit_rate },
     })
 }
 
@@ -421,8 +442,9 @@ fn build_arrival(
 fn cmd_serve_sim(args: &[String]) -> i32 {
     use enmc::obs::MetricsRegistry;
     use enmc::screen::infer::SelectionPolicy;
-    use enmc::serve::{simulate, ServeConfig};
+    use enmc::serve::{simulate_with_cost, ServeConfig};
     use enmc::serve::tier::default_tiers;
+    use enmc::surrogate::CostModel;
 
     let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("lstm")) {
         Some(w) => w,
@@ -520,6 +542,13 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
     // Threads only speed up the calibration pass; the outcome and report
     // are byte-identical for any worker count.
     let sim_cfg = SimConfig::resolve(threads, check_protocol);
+    let backend = match resolve_cost_backend(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let arrival = match build_arrival(arrival_kind, rate, flag_value(args, "--trace-file")) {
         Ok(a) => a,
@@ -573,7 +602,35 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
     let mut registry = MetricsRegistry::new();
     let trace_out = flag_value(args, "--trace-out");
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
-    let outcome = simulate(&sys, &job, &cfg, &sim_cfg, &mut registry, trace.as_mut());
+    let mut cost = CostModel::new(backend, seed);
+    if let Some(path) = flag_value(args, "--coeffs") {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = cost.load_coeffs(&raw) {
+            eprintln!("cannot load coefficients from {path}: {e}");
+            return 1;
+        }
+    }
+    let outcome =
+        match simulate_with_cost(&sys, &job, &cfg, &sim_cfg, &mut registry, trace.as_mut(), &mut cost)
+        {
+            Ok(o) => o,
+            Err(v) => {
+                eprintln!("error: {v}");
+                return 1;
+            }
+        };
+    if let Some(path) = flag_value(args, "--coeffs-out") {
+        if let Err(e) = std::fs::write(path, cost.coeffs_to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
 
     // Price the degrade ladder: each tier's quality over the same seeded
     // query stream, on a pipeline-scale model (the workload's full
@@ -733,6 +790,13 @@ fn cmd_fault_sweep(args: &[String]) -> i32 {
         },
         None => enmc::par::env_threads().unwrap_or(1),
     };
+    let backend = match resolve_cost_backend(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let sweep_args = FaultSweepArgs {
         shape,
         ber,
@@ -742,6 +806,9 @@ fn cmd_fault_sweep(args: &[String]) -> i32 {
         queries,
         seed,
         workers,
+        backend,
+        coeffs_in: flag_value(args, "--coeffs").map(String::from),
+        coeffs_out: flag_value(args, "--coeffs-out").map(String::from),
     };
     eprintln!(
         "fault sweep on {}: ber {ber}, multipliers {:?}, ecc {}, {} queries, seed {seed}",
@@ -1115,7 +1182,11 @@ fn cmd_bench_diff(args: &[String]) -> i32 {
         }
     };
     print!("{}", diff.render());
-    i32::from(diff.failed())
+    if diff.failed() {
+        eprint!("{}", diff.failure_summary());
+        return 1;
+    }
+    0
 }
 
 fn cmd_asm(args: &[String]) -> i32 {

@@ -16,8 +16,10 @@ use crate::cli::FaultShape;
 use crate::pipeline::{Pipeline, PipelineConfig};
 use enmc_arch::system::ClassificationJob;
 use enmc_fault::{
-    pareto_frontier, run_resilience_sweep, FaultModel, FaultSweepSpec, ParetoRow, SweepPoint,
+    pareto_frontier, run_resilience_sweep_with_cost, FaultModel, FaultSweepSpec, ParetoRow,
+    SweepError, SweepPoint,
 };
+use enmc_surrogate::{CostBackend, CostModel};
 use enmc_model::workloads::WorkloadId;
 use enmc_obs::report::RunReport;
 use enmc_obs::{MetricsRegistry, TraceBuffer};
@@ -106,6 +108,14 @@ pub struct FaultSweepArgs {
     pub seed: u64,
     /// Worker threads (result is bit-identical for any count).
     pub workers: usize,
+    /// Cost backend answering the per-point energy join.
+    pub backend: CostBackend,
+    /// Surrogate coefficient file to load instead of fitting fresh
+    /// (ignored on the cycle-accurate backend).
+    pub coeffs_in: Option<String>,
+    /// Where to write the surrogate's fitted coefficients (ignored on
+    /// the cycle-accurate backend).
+    pub coeffs_out: Option<String>,
 }
 
 /// Runs the sweep end to end: pipeline build, injection, quality, energy
@@ -135,7 +145,13 @@ pub fn run_fault_sweep(
         tiers: tiers.clone(),
     };
     let mut registry = MetricsRegistry::new();
-    let points = run_resilience_sweep(
+    let mut cost = CostModel::new(args.backend, args.seed);
+    if let Some(path) = &args.coeffs_in {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read --coeffs {path}: {e}"))?;
+        cost.load_coeffs(&text).map_err(|e| format!("cannot load --coeffs {path}: {e}"))?;
+    }
+    let points = run_resilience_sweep_with_cost(
         pipeline.synth(),
         pipeline.classifier(),
         pipeline.system(),
@@ -144,8 +160,16 @@ pub fn run_fault_sweep(
         args.workers,
         Some(&mut registry),
         trace,
+        &mut cost,
     )
-    .map_err(|e| format!("fault injection failed: {e}"))?;
+    .map_err(|e| match e {
+        SweepError::Tensor(t) => format!("fault injection failed: {t}"),
+        SweepError::Surrogate(v) => format!("surrogate audit failed: {v}"),
+    })?;
+    if let Some(path) = &args.coeffs_out {
+        std::fs::write(path, cost.coeffs_to_json())
+            .map_err(|e| format!("cannot write --coeffs-out {path}: {e}"))?;
+    }
     let frontier = pareto_frontier(&points);
 
     let mut report = RunReport::new("fault-sweep", args.shape.name(), "enmc");
@@ -163,6 +187,11 @@ pub fn run_fault_sweep(
         .iter()
         .map(SweepPoint::quality_degradation_pct)
         .fold(0.0f64, f64::max);
+    let stats = cost.stats();
+    report.cost_backend = cost.backend().name().to_string();
+    report.fit_anchors = stats.fit_anchors;
+    report.audit_points = stats.audited;
+    report.audit_max_rel_err = stats.max_rel_err;
     report.metrics = registry.snapshot();
     let cfg = pipeline.config();
     report.notes.push(format!(
@@ -255,10 +284,15 @@ mod tests {
             queries: 24,
             seed: 7,
             workers: 1,
+            backend: CostBackend::CycleAccurate,
+            coeffs_in: None,
+            coeffs_out: None,
         };
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert_eq!(report.quality_degradation_pct, 0.0);
         assert_eq!(report.ecc_corrected, 0);
+        assert_eq!(report.cost_backend, "cycle-accurate");
+        assert_eq!(report.fit_anchors, 0);
         assert_eq!(points[0].primary().fault_top1_flips, 0);
         assert_eq!(frontier.len(), 1);
         assert!(points[0].refresh_energy_nj > 0.0, "energy join must see refreshes");
@@ -266,6 +300,37 @@ mod tests {
         let (p4, _, r4) = run_fault_sweep(&par, None).unwrap();
         assert_eq!(p4, points, "sweep points diverged across worker counts");
         assert_eq!(r4.to_json(), report.to_json(), "report diverged across worker counts");
+    }
+
+    #[test]
+    fn surrogate_backend_survives_a_full_audit_and_reports_its_stats() {
+        let args = FaultSweepArgs {
+            shape: FaultShape::LstmWikitext2,
+            ber: 0.0,
+            multipliers: vec![1.0, 8.0],
+            weak_columns: 0.0,
+            ecc: false,
+            queries: 24,
+            seed: 7,
+            workers: 1,
+            backend: CostBackend::Surrogate { audit_rate: 1.0 },
+            coeffs_in: None,
+            coeffs_out: None,
+        };
+        let (points, _, report) = run_fault_sweep(&args, None).unwrap();
+        assert_eq!(report.cost_backend, "surrogate");
+        assert!(report.fit_anchors > 0, "surrogate must have fitted anchors");
+        assert_eq!(report.audit_points, 2, "audit rate 1.0 audits every point");
+        assert!(
+            report.audit_max_rel_err <= enmc_surrogate::DECLARED_BOUND.rel,
+            "observed {}",
+            report.audit_max_rel_err
+        );
+        assert!(points[0].refresh_energy_nj > 0.0, "predicted energy join sees refreshes");
+        assert!(
+            points[1].refresh_energy_nj < points[0].refresh_energy_nj,
+            "relaxed refresh must cost less refresh energy"
+        );
     }
 
     #[test]
@@ -279,11 +344,14 @@ mod tests {
             queries: 24,
             seed: 7,
             workers: 2,
+            backend: CostBackend::CycleAccurate,
+            coeffs_in: None,
+            coeffs_out: None,
         };
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert!(report.quality_degradation_pct > 0.0, "1e-4 BER without ECC must degrade");
         assert_eq!(report.refresh_multiplier, 64.0);
-        assert_eq!(report.schema_version, 6);
+        assert_eq!(report.schema_version, 7);
         for w in frontier.windows(2) {
             assert!(w[1].top1_agreement <= w[0].top1_agreement, "quality must not increase");
             assert!(

@@ -1,0 +1,129 @@
+//! Randomized cycle-accurate audit harness for the surrogate cost model:
+//! 200 seeded random (batch, candidates) configurations across all five
+//! paper shapes must predict within [`DECLARED_BOUND`] on every
+//! attribution leaf when audited at rate 1.0; a deliberately perturbed
+//! coefficient must *trip* the audit (inverted-sensitivity, the same
+//! pattern as the fuzz-dram injected-bug loop); and surrogate output is
+//! bit-identical across worker counts (`ENMC_THREADS` equivalents).
+
+use enmc::arch::system::{ClassificationJob, SystemModel};
+use enmc::par::SimConfig;
+use enmc::surrogate::fit::splitmix64;
+use enmc::surrogate::{CostBackend, CostModel, DECLARED_BOUND};
+
+/// Paper Table 2 shapes plus the S1M stress point (same set as the
+/// differential conformance suite): candidate budget ~0.1%, `reduced`
+/// 32, so each cycle-accurate audit stays debug-mode affordable.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("lstm", 33_278, 1_500, 33),
+    ("transformer", 267_744, 512, 268),
+    ("gnmt", 32_317, 1_024, 32),
+    ("xmlcnn", 670_091, 512, 670),
+    ("s1m", 1_000_000, 512, 1_000),
+];
+
+fn job_for(shape: &(&str, usize, usize, usize), batch: usize, candidates: usize) -> ClassificationJob {
+    let (_, categories, hidden, _) = *shape;
+    ClassificationJob { categories, hidden, reduced: 32, batch, candidates }
+}
+
+/// (a) Every one of 200 seeded random configurations — 40 per shape,
+/// batch 1..=8, candidates 1..=budget — passes a forced audit: the
+/// prediction is within the declared bound on the latency scalars and
+/// every attribution leaf, or `run_sharded_enmc` would return the
+/// structured violation.
+#[test]
+fn two_hundred_random_configs_audit_within_the_declared_bound() {
+    let sys = SystemModel::table3();
+    let cfg = SimConfig::sequential();
+    for (si, shape) in SHAPES.iter().enumerate() {
+        let (name, _, _, cand_max) = *shape;
+        let mut cost = CostModel::new(CostBackend::Surrogate { audit_rate: 1.0 }, 7);
+        // Anchor the full envelope first so the random probes below
+        // interpolate instead of triggering per-probe refits.
+        let warm = job_for(shape, 8, cand_max);
+        cost.run_sharded_enmc(&sys, &warm, &cfg, name).unwrap_or_else(|v| {
+            panic!("{name}: envelope corner failed its audit: {v}")
+        });
+        for i in 0..40u64 {
+            let draw = (si as u64) << 32 | i;
+            let b = 1 + (splitmix64(0x5eed_0001 ^ draw) as usize) % 8;
+            let c = 1 + (splitmix64(0x5eed_0002 ^ draw) as usize) % cand_max;
+            let job = job_for(shape, b, c);
+            cost.run_sharded_enmc(&sys, &job, &cfg, name).unwrap_or_else(|v| {
+                panic!("{name}: random config b={b} c={c} failed its audit: {v}")
+            });
+        }
+        let s = cost.stats();
+        assert_eq!(s.audited, 41, "{name}: audit rate 1.0 must audit every point");
+        assert_eq!(s.predicted, 41);
+        assert!(
+            s.max_rel_err <= DECLARED_BOUND.rel,
+            "{name}: worst bound-normalized error {} exceeds {}",
+            s.max_rel_err,
+            DECLARED_BOUND.rel
+        );
+        assert!(s.fit_anchors > 0, "{name}: the fit must have consumed anchors");
+    }
+}
+
+/// (b) Inverted sensitivity: the audit harness must *catch* a model that
+/// is wrong. Scaling the fitted screener-busy row and the total-cycles
+/// anchor table plants two different kinds of defect (a work counter
+/// feeding energy/compute leaves; the headline latency); both must
+/// surface as structured violations naming a leaf, not pass silently.
+#[test]
+fn perturbed_coefficients_must_trip_the_audit() {
+    let sys = SystemModel::table3();
+    let cfg = SimConfig::sequential();
+    for target in ["dram_cycles", "screener_busy"] {
+        let shape = &SHAPES[0];
+        let job = job_for(shape, 4, 17);
+        let mut cost = CostModel::new(CostBackend::Surrogate { audit_rate: 1.0 }, 7);
+        cost.run_sharded_enmc(&sys, &job, &cfg, "clean").expect("unperturbed model audits clean");
+        assert!(cost.perturb_coeff(target, 1.5) > 0, "perturbation must touch a fit");
+        let err = cost
+            .run_sharded_enmc(&sys, &job, &cfg, "perturbed")
+            .expect_err("a 50% error on a load-bearing value cannot pass a forced audit");
+        assert!(!err.leaf.is_empty(), "violation must name the offending leaf");
+        assert!(err.rel_err > err.bound, "{}: {} <= {}", target, err.rel_err, err.bound);
+        let msg = err.to_string();
+        assert!(msg.contains("surrogate violation"), "{msg}");
+        assert!(msg.contains("predicted"), "{msg}");
+    }
+}
+
+/// (c) Worker-count invariance: the surrogate path (prediction *and*
+/// fitted coefficients) is bit-identical between 1 and 4 workers — the
+/// same contract `ENMC_THREADS` relies on everywhere else in the repo.
+/// Predictions carry no host timing, so whole results compare equal.
+#[test]
+fn surrogate_output_is_bit_identical_across_worker_counts() {
+    let sys = SystemModel::table3();
+    let shape = &SHAPES[2];
+    let jobs: Vec<ClassificationJob> =
+        (1..=4).map(|b| job_for(shape, b, 8 * b)).collect();
+
+    let run_all = |threads: usize| {
+        let cfg =
+            if threads <= 1 { SimConfig::sequential() } else { SimConfig::with_threads(threads) };
+        let mut cost = CostModel::new(CostBackend::Surrogate { audit_rate: 0.5 }, 7);
+        let results: Vec<_> = jobs
+            .iter()
+            .map(|j| cost.run_sharded_enmc(&sys, j, &cfg, "invariance").expect("audits clean"))
+            .collect();
+        (results, cost.coeffs_to_json(), cost.stats())
+    };
+
+    let (r1, coeffs1, s1) = run_all(1);
+    let (r4, coeffs4, s4) = run_all(4);
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(a.result, b.result, "prediction must not depend on worker count");
+        assert_eq!(a.shard_dram, b.shard_dram);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(a.wall_ns, 0.0, "predictions carry no host timing");
+    }
+    assert_eq!(coeffs1, coeffs4, "fitted coefficients must serialize byte-identically");
+    assert_eq!(s1.audited, s4.audited, "the audit lottery is seeded, not thread-scheduled");
+    assert_eq!(s1.max_rel_err.to_bits(), s4.max_rel_err.to_bits());
+}
