@@ -38,6 +38,14 @@ impl Network {
     pub fn transfer_ns(&self, bytes: u64) -> f64 {
         self.latency_ns + bytes as f64 / self.bandwidth * 1e9
     }
+
+    /// [`Network::transfer_ns`] converted to whole DRAM-clock cycles
+    /// (rounded up), for discrete-event simulators that account time in
+    /// cycles. `ns_per_cycle` must be positive.
+    pub fn transfer_cycles(&self, bytes: u64, ns_per_cycle: f64) -> u64 {
+        debug_assert!(ns_per_cycle > 0.0, "cycle time must be positive");
+        (self.transfer_ns(bytes) / ns_per_cycle).ceil() as u64
+    }
 }
 
 /// Result of a scale-out projection.
@@ -115,6 +123,14 @@ mod tests {
         assert!(n.transfer_ns(0) == 2_000.0);
         // 12.5 GB at 12.5 GB/s = 1 s.
         assert!((n.transfer_ns(12_500_000_000) - 1e9 - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let n = Network::roce_100g();
+        // 2000 ns latency at 0.75 ns/cycle = 2666.67 cycles -> 2667.
+        assert_eq!(n.transfer_cycles(0, 0.75), 2667);
+        assert!(n.transfer_cycles(1 << 20, 0.75) > n.transfer_cycles(0, 0.75));
     }
 
     #[test]

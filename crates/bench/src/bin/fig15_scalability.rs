@@ -12,6 +12,7 @@ use enmc_arch::endtoend::end_to_end;
 use enmc_arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc_bench::report::Reporter;
 use enmc_bench::table::{fmt_speedup, Table};
+use enmc_bench::trajectory::BenchEmitter;
 use enmc_bench::{candidate_fraction, par_rows, sim_config};
 use enmc_model::workloads::WorkloadId;
 
@@ -63,12 +64,22 @@ fn main() {
         }
         (row, scheme_ns)
     });
+    let mut bench = BenchEmitter::from_env("fig15_scalability");
     for (row, scheme_ns) in rows {
+        let abbr = row[0].clone();
         adv_td.push(scheme_ns[0] / scheme_ns[2]);
         adv_tdl.push(scheme_ns[1] / scheme_ns[2]);
+        bench.det(&format!("end_to_end_ns/{abbr}/tensordimm"), scheme_ns[0]);
+        bench.det(&format!("end_to_end_ns/{abbr}/tensordimm-large"), scheme_ns[1]);
+        bench.det(&format!("end_to_end_ns/{abbr}/enmc"), scheme_ns[2]);
+        bench.det(
+            &format!("advantage/{abbr}/vs-tensordimm"),
+            scheme_ns[0] / scheme_ns[2],
+        );
         t.row_owned(row);
     }
     t.print();
+    bench.finish();
     let mut rep = Reporter::from_env("fig15_scalability");
     rep.table("scalability", &t);
     rep.note(&format!("sim scale 1/{scale}"));

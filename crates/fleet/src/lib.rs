@@ -1,0 +1,46 @@
+//! Fleet-scale multi-tenant serving simulator for the ENMC accelerator.
+//!
+//! [`enmc_serve`] answers "what happens when traffic hits *one*
+//! accelerator node?"; this crate scales that question out to a fleet —
+//! the paper's §8 deployment story made operational. An S10M/S100M
+//! classifier is sharded row-wise across simulated DIMM-group nodes
+//! (each a full Table 3 system), hot shards get extra replicas, a
+//! cluster router sends each query to the least-backlogged holder of its
+//! shard, and multiple tenants with distinct SLOs and degrade ladders
+//! contend for the same nodes:
+//!
+//! 1. [`placement`] — shard→node maps: a consistent-hash ring (64
+//!    vnodes/node, minimal disruption on membership change) and a
+//!    popularity-aware placer that spends a replica budget on the Zipf
+//!    hot head.
+//! 2. [`sim`] — the fleet discrete-event loop: per-tenant seeded
+//!    arrival streams merged into one timeline, per-node FIFO queues and
+//!    batchers (the `serve-sim` dispatch rules, verbatim), per-tenant
+//!    admission control and cluster-global degrade ladders, and an
+//!    interconnect charge per remote query priced by
+//!    [`enmc_arch::scaleout::Network`].
+//!
+//! # Determinism contract
+//!
+//! Identical to [`enmc_serve`]'s: every output is a pure function of the
+//! configuration and its seeds. Arrivals and shard draws come from
+//! pinned [`enmc_serve::arrival::SplitMix64`] streams, placement is
+//! seed-free hashing, service times come from the thread-invariant
+//! calibration pass, and the event loop folds nodes and tenants in fixed
+//! index order. Host wall-clock never enters any output, so a fleet
+//! report is byte-identical for any `ENMC_THREADS` and any worker count.
+//!
+//! # Differential anchor
+//!
+//! A 1-node, 1-shard, 1-tenant, replica-free fleet is *exactly* a
+//! `serve-sim` run: same shed decisions, same batches, same tier steps,
+//! same latency histogram, bit for bit (`tests/fleet_differential.rs`).
+
+pub mod placement;
+pub mod sim;
+
+pub use placement::{place, zipf_weights, HashRing, Placement, PlacementPolicy, VNODES};
+pub use sim::{
+    simulate_fleet, FleetBatchRecord, FleetConfig, FleetOutcome, FleetRequest, TenantConfig,
+    TenantOutcome,
+};

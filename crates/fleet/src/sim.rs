@@ -1,0 +1,891 @@
+//! The fleet-level discrete-event loop: per-tenant arrival streams → a
+//! cluster router → per-node FIFO queues → dynamic batchers → service
+//! lanes, with per-tenant admission control and degrade ladders.
+//!
+//! # Time model
+//!
+//! Everything runs in DRAM-clock cycles, exactly as in
+//! [`enmc_serve::sim`]. A calibration pass fills one `[tier][batch-1]`
+//! service table per distinct degrade ladder through
+//! [`calibrate_service_table`] — the same bridge `serve-sim` uses — and
+//! the event loop then never touches the cycle simulator again. A query
+//! routed to a remote node additionally pays the interconnect:
+//! broadcast of the hidden vector plus gather of the shard's candidate
+//! list, priced by [`Network::transfer_cycles`] (zero on a 1-node
+//! fleet, matching `scaleout::scale_out`).
+//!
+//! # Determinism contract
+//!
+//! A fleet outcome is a pure function of the configuration: arrivals and
+//! shard draws come from [`SplitMix64`] streams, service times from the
+//! thread-invariant calibration, placement from seed-free hashing, and
+//! the event loop folds per-node state in fixed node order (and
+//! per-tenant state in fixed tenant order). Host wall-clock never enters
+//! any output, so a fleet report is byte-identical for any
+//! `ENMC_THREADS` — worker counts only change how fast calibration runs.
+//!
+//! # Differential anchor
+//!
+//! With `nodes = shards = 1`, one tenant, and a zero replica budget, the
+//! loop degenerates statement-for-statement into the `serve-sim` loop:
+//! same shed check, same full-or-lingered dispatch condition, same
+//! one-tier-step-per-dispatch controller with hysteresis, same
+//! next-event arithmetic. `tests/fleet_differential.rs` pins this
+//! bit-for-bit.
+
+use std::collections::VecDeque;
+
+use enmc_arch::scaleout::Network;
+use enmc_arch::system::{ClassificationJob, SystemModel};
+use enmc_obs::report::{RunReport, TenantRow};
+use enmc_obs::MetricsRegistry;
+use enmc_par::SimConfig;
+use enmc_serve::arrival::SplitMix64;
+use enmc_serve::hist::LatencyHistogram;
+use enmc_serve::sim::{calibrate_service_table, ServiceTable};
+use enmc_serve::tier::DegradeTier;
+use enmc_serve::ArrivalProcess;
+use enmc_surrogate::{CostModel, SurrogateViolation};
+
+use crate::placement::{place, zipf_weights, PlacementPolicy};
+
+/// Salt separating the shard-popularity draw stream from arrival seeds.
+const SHARD_STREAM_SALT: u64 = 0x5AAD_57AE_A31B_0003;
+
+/// One tenant sharing the fleet: its own traffic, deadline, ladder, and
+/// admission thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Tenant name, used in reports and metric labels.
+    pub name: String,
+    /// The tenant's arrival process.
+    pub arrival: ArrivalProcess,
+    /// Requests to generate (a replayed trace may yield fewer).
+    pub requests: usize,
+    /// Per-request deadline: arrival cycle + this.
+    pub slo_cycles: u64,
+    /// Degrade ladder in **full-model** candidate counts, full quality
+    /// first; the simulator scales it to the shard size. Must be
+    /// non-empty.
+    pub tiers: Vec<DegradeTier>,
+    /// Step the tenant's ladder down when its queue share at the
+    /// dispatching node is deeper than this.
+    pub degrade_queue_depth: usize,
+    /// Step the ladder up (hysteresis) at or below this depth.
+    pub upgrade_queue_depth: usize,
+    /// Shed the tenant's arrivals once the routed node's queue holds
+    /// this many requests — a *smaller* value means the tenant loses
+    /// admission contention earlier (lower priority).
+    pub shed_queue_depth: usize,
+    /// Seed for the tenant's arrival stream.
+    pub seed: u64,
+}
+
+impl TenantConfig {
+    /// A tenant with the `serve-sim` default admission thresholds.
+    pub fn new(name: &str, arrival: ArrivalProcess, requests: usize, slo_cycles: u64, tiers: Vec<DegradeTier>, seed: u64) -> Self {
+        TenantConfig {
+            name: name.to_string(),
+            arrival,
+            requests,
+            slo_cycles,
+            tiers,
+            degrade_queue_depth: 12,
+            upgrade_queue_depth: 3,
+            shed_queue_depth: 48,
+            seed,
+        }
+    }
+}
+
+/// Configuration of one fleet scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Simulated DIMM-group nodes, each a full Table 3 system.
+    pub nodes: usize,
+    /// Row-wise classifier shards spread over the nodes.
+    pub shards: usize,
+    /// Extra shard copies the placement may spend.
+    pub replicas: usize,
+    /// How shards map to nodes.
+    pub placement: PlacementPolicy,
+    /// Zipf popularity exponent for shard draws (multiples of 0.5;
+    /// shard 0 hottest; 0.0 = uniform).
+    pub zipf_s: f64,
+    /// Maximum requests per dispatched batch (per node).
+    pub batch_max: usize,
+    /// Longest a request may wait before the batcher must dispatch.
+    pub linger_cycles: u64,
+    /// Independent service lanes per node.
+    pub lanes: usize,
+    /// The cluster interconnect pricing remote queries.
+    pub network: Network,
+    /// The tenants contending for the fleet. Must be non-empty.
+    pub tenants: Vec<TenantConfig>,
+    /// Seed for the shard-popularity draw stream.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: 4,
+            shards: 4,
+            replicas: 2,
+            placement: PlacementPolicy::PopularityAware,
+            zipf_s: 1.0,
+            batch_max: 4,
+            linger_cycles: 2_000,
+            lanes: 2,
+            network: Network::roce_100g(),
+            tenants: Vec::new(),
+            seed: 7,
+        }
+    }
+}
+
+/// One request's life across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRequest {
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Shard the query targets (drawn from the Zipf stream).
+    pub shard: usize,
+    /// Node the router chose (`usize::MAX` when shed).
+    pub node: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Deadline cycle (`arrival + tenant.slo_cycles`).
+    pub deadline: u64,
+    /// Completion cycle including network time, `None` when shed.
+    pub completion: Option<u64>,
+    /// `true` when admission control rejected the request.
+    pub shed: bool,
+}
+
+/// One dispatched batch on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetBatchRecord {
+    /// Node that served the batch.
+    pub node: usize,
+    /// Tenant the batch belonged to (batches never mix tenants).
+    pub tenant: usize,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Service completion cycle (network time excluded — the lane frees
+    /// here).
+    pub end: u64,
+    /// Requests in the batch.
+    pub size: usize,
+    /// Degrade tier the batch ran at.
+    pub tier: usize,
+    /// Lane index on the node.
+    pub lane: usize,
+}
+
+/// One tenant's aggregate outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// Requests the tenant's arrival process generated.
+    pub generated: u64,
+    /// Requests admitted to a node queue.
+    pub admitted: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Completed requests that met their deadline.
+    pub slo_met: u64,
+    /// Degrade-tier steps taken, both directions.
+    pub degrade_transitions: u64,
+    /// Request latencies (queueing + service + network), log-bucketed.
+    pub latency: LatencyHistogram,
+    /// Completed requests per tier.
+    pub per_tier_completed: Vec<u64>,
+    /// Batches dispatched per tier.
+    pub per_tier_batches: Vec<u64>,
+    /// The tenant's calibrated shard-level service table.
+    pub service_cycles: Vec<Vec<u64>>,
+}
+
+impl TenantOutcome {
+    /// Fraction of completed requests that met the deadline (0 when
+    /// nothing completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Per-tenant outcomes, in configuration order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Nodes the fleet simulated.
+    pub nodes: usize,
+    /// Shards the classifier was split into.
+    pub shards: usize,
+    /// Placement policy name (`consistent-hash` or `popularity`).
+    pub placement: String,
+    /// Extra shard copies the placement actually placed.
+    pub hot_shard_replicas: u64,
+    /// Cycle the last request completed (service + network; 0 when
+    /// nothing ran).
+    pub makespan_cycles: u64,
+    /// Simulated nanoseconds per DRAM cycle (from calibration).
+    pub ns_per_cycle: f64,
+    /// Deepest any node queue ever got.
+    pub max_queue_depth: usize,
+    /// DDR4 protocol violations observed during calibration runs.
+    pub protocol_violations: u64,
+    /// Interconnect cycles summed over completed requests.
+    pub network_cycles: u64,
+    /// End-to-end latency cycles summed over completed requests.
+    pub latency_cycles: u64,
+    /// Admitted queries per shard (router's view; for invariance tests).
+    pub shard_queries: Vec<u64>,
+    /// Busy service cycles per node, in node order.
+    pub node_busy_cycles: Vec<u64>,
+    /// Per-request life records, in merged arrival order.
+    pub requests: Vec<FleetRequest>,
+    /// Per-batch records, in dispatch order.
+    pub batches: Vec<FleetBatchRecord>,
+    /// Cost backend that answered the calibration points.
+    pub cost_backend: String,
+    /// Cycle-accurate anchor simulations run by surrogate fits.
+    pub fit_anchors: u64,
+    /// Calibration points the audit lottery re-ran cycle-accurately.
+    pub audit_points: u64,
+    /// Worst bound-normalized relative leaf error over audited points.
+    pub audit_max_rel_err: f64,
+}
+
+impl FleetOutcome {
+    /// Fraction of completed-request latency cycles spent on the
+    /// interconnect (0 on a 1-node fleet).
+    pub fn network_share(&self) -> f64 {
+        if self.latency_cycles == 0 {
+            0.0
+        } else {
+            self.network_cycles as f64 / self.latency_cycles as f64
+        }
+    }
+
+    /// Fleet-wide SLO attainment (completed-weighted across tenants).
+    pub fn slo_attainment(&self) -> f64 {
+        let completed: u64 = self.tenants.iter().map(|t| t.completed).sum();
+        let met: u64 = self.tenants.iter().map(|t| t.slo_met).sum();
+        if completed == 0 {
+            0.0
+        } else {
+            met as f64 / completed as f64
+        }
+    }
+
+    /// All tenants' latencies merged into one histogram.
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for t in &self.tenants {
+            h.merge(&t.latency);
+        }
+        h
+    }
+
+    /// Builds the schema-v8 [`RunReport`] for this run.
+    ///
+    /// Fleet reports are **simulation-time only**, like serving reports:
+    /// phase wall time is zero and `threads` stays 0, preserving the
+    /// byte-identical-across-`ENMC_THREADS` contract.
+    pub fn report(
+        &self,
+        workload: &str,
+        cfg: &FleetConfig,
+        registry: &MetricsRegistry,
+    ) -> RunReport {
+        let mut report = RunReport::new("fleet-sim", workload, "enmc");
+        report.batch = cfg.batch_max as u64;
+        report.candidates = cfg
+            .tenants
+            .first()
+            .and_then(|t| t.tiers.first())
+            .map(|t| t.candidates as u64)
+            .unwrap_or(0);
+        report.sim_cycles = self.makespan_cycles;
+        report.headline_ns = self.makespan_cycles as f64 * self.ns_per_cycle;
+        report.push_phase("fleet", 0.0, self.makespan_cycles, report.headline_ns);
+        report.protocol_violations = self.protocol_violations;
+        report.slo_attainment = self.slo_attainment();
+        report.p99_ns = self.merged_latency().p99() * self.ns_per_cycle;
+        report.shed = self.tenants.iter().map(|t| t.shed).sum();
+        report.degrade_transitions =
+            self.tenants.iter().map(|t| t.degrade_transitions).sum();
+        report.cost_backend = self.cost_backend.clone();
+        report.fit_anchors = self.fit_anchors;
+        report.audit_points = self.audit_points;
+        report.audit_max_rel_err = self.audit_max_rel_err;
+        report.nodes = self.nodes as u64;
+        report.placement = self.placement.clone();
+        report.hot_shard_replicas = self.hot_shard_replicas;
+        report.network_share = self.network_share();
+        report.tenants = self
+            .tenants
+            .iter()
+            .map(|t| TenantRow {
+                name: t.name.clone(),
+                slo_attainment: t.slo_attainment(),
+                p99_ns: t.latency.p99() * self.ns_per_cycle,
+                shed: t.shed,
+                admitted: t.admitted,
+                completed: t.completed,
+                degrade_transitions: t.degrade_transitions,
+            })
+            .collect();
+        report.metrics = registry.snapshot();
+        report.notes.push(format!(
+            "{} node(s), {} shard(s), {} placement, {} hot-shard replica(s), zipf {}",
+            self.nodes, self.shards, self.placement, self.hot_shard_replicas, cfg.zipf_s
+        ));
+        for (t, out) in cfg.tenants.iter().zip(&self.tenants) {
+            report.notes.push(format!(
+                "tenant {}: {} {} request(s), seed {}, slo {} cycle(s)",
+                t.name,
+                out.generated,
+                t.arrival.kind(),
+                t.seed,
+                t.slo_cycles
+            ));
+        }
+        report.notes.push(
+            "host wall time excluded: fleet reports are simulation-time only".to_string(),
+        );
+        report
+    }
+}
+
+/// The shard-sized job: `1/shards` of the classifier rows and candidate
+/// budget, everything else untouched (matches `scaleout::scale_out`).
+fn shard_job(job: &ClassificationJob, shards: usize) -> ClassificationJob {
+    ClassificationJob {
+        categories: job.categories.div_ceil(shards),
+        hidden: job.hidden,
+        reduced: job.reduced,
+        batch: job.batch,
+        candidates: job.candidates.div_ceil(shards),
+    }
+}
+
+/// A tenant's ladder scaled to the shard size: candidate counts divide
+/// by the shard count (screening shifts are shard-independent).
+fn shard_tiers(tiers: &[DegradeTier], shards: usize) -> Vec<DegradeTier> {
+    tiers
+        .iter()
+        .map(|t| DegradeTier {
+            candidates: t.candidates.div_ceil(shards).max(1),
+            screen_shift: t.screen_shift,
+        })
+        .collect()
+}
+
+/// Draws one shard index from the cumulative Zipf weights.
+fn draw_shard(cum: &[f64], total: f64, rng: &mut SplitMix64) -> usize {
+    let u = rng.next_unit() * total;
+    // First bucket whose cumulative weight reaches the draw.
+    cum.partition_point(|&c| c < u).min(cum.len() - 1)
+}
+
+/// Per-node mutable state inside the event loop.
+struct NodeState {
+    pending: VecDeque<usize>,
+    lane_free: Vec<u64>,
+    busy_cycles: u64,
+}
+
+/// Runs one fleet scenario.
+///
+/// `sim` controls only how the calibration pass executes (worker count,
+/// protocol checking); the outcome is bit-identical for any worker
+/// count. Fleet metrics are recorded into `registry` under the `fleet.*`
+/// prefix.
+///
+/// # Errors
+///
+/// Returns the [`SurrogateViolation`] when an audited calibration point
+/// misses the declared bound (surrogate backend only).
+///
+/// # Panics
+///
+/// Panics when `cfg` has zero nodes/shards/batch, no tenants, or a
+/// tenant with an empty ladder.
+pub fn simulate_fleet(
+    sys: &SystemModel,
+    job: &ClassificationJob,
+    cfg: &FleetConfig,
+    sim: &SimConfig,
+    registry: &mut MetricsRegistry,
+    cost: &mut CostModel,
+) -> Result<FleetOutcome, SurrogateViolation> {
+    assert!(cfg.nodes > 0, "fleet needs at least one node");
+    assert!(cfg.shards > 0, "fleet needs at least one shard");
+    assert!(cfg.batch_max > 0, "batch_max must be positive");
+    assert!(!cfg.tenants.is_empty(), "fleet needs at least one tenant");
+    for t in &cfg.tenants {
+        assert!(!t.tiers.is_empty(), "tenant {} needs at least one degrade tier", t.name);
+    }
+
+    // Calibration: one service table per *distinct* shard-scaled ladder,
+    // in first-appearance order (tenants sharing a ladder share a table,
+    // and the audit stream stays independent of tenant count).
+    let sjob = shard_job(job, cfg.shards);
+    let mut ladders: Vec<Vec<DegradeTier>> = Vec::new();
+    let mut tenant_table: Vec<usize> = Vec::with_capacity(cfg.tenants.len());
+    for t in &cfg.tenants {
+        let ladder = shard_tiers(&t.tiers, cfg.shards);
+        let idx = ladders.iter().position(|l| *l == ladder).unwrap_or_else(|| {
+            ladders.push(ladder.clone());
+            ladders.len() - 1
+        });
+        tenant_table.push(idx);
+    }
+    let mut tables: Vec<ServiceTable> = Vec::with_capacity(ladders.len());
+    for (i, ladder) in ladders.iter().enumerate() {
+        let context = format!("fleet-sim calibration (ladder {i})");
+        tables.push(calibrate_service_table(
+            sys,
+            &sjob,
+            ladder,
+            cfg.batch_max,
+            sim,
+            cost,
+            &context,
+        )?);
+    }
+    let ns_per_cycle =
+        tables.iter().map(|t| t.ns_per_cycle).fold(0.0f64, f64::max);
+    let protocol_violations: u64 = tables.iter().map(|t| t.protocol_violations).sum();
+
+    // Interconnect cost per (tenant, tier): broadcast h + gather the
+    // shard's candidate list. Zero on a 1-node fleet, exactly like
+    // `scale_out`.
+    let net_cycles: Vec<Vec<u64>> = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(ti, _)| {
+            ladders[tenant_table[ti]]
+                .iter()
+                .map(|tier| {
+                    if cfg.nodes == 1 {
+                        0
+                    } else {
+                        let bcast = (job.hidden * 4) as u64;
+                        let gather = (tier.candidates * 8) as u64;
+                        cfg.network.transfer_cycles(bcast, ns_per_cycle)
+                            + cfg.network.transfer_cycles(gather, ns_per_cycle)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let placement = place(cfg.placement, cfg.shards, cfg.nodes, cfg.replicas, cfg.zipf_s);
+
+    // Merge the tenants' arrival streams: stable order (arrival cycle,
+    // tenant index), which preserves each tenant's generation order.
+    let mut reqs: Vec<FleetRequest> = Vec::new();
+    let mut generated = vec![0u64; cfg.tenants.len()];
+    for (ti, t) in cfg.tenants.iter().enumerate() {
+        for at in t.arrival.generate(t.requests, t.seed) {
+            reqs.push(FleetRequest {
+                tenant: ti,
+                shard: 0,
+                node: usize::MAX,
+                arrival: at,
+                deadline: at.saturating_add(t.slo_cycles),
+                completion: None,
+                shed: false,
+            });
+            generated[ti] += 1;
+        }
+    }
+    reqs.sort_by_key(|r| (r.arrival, r.tenant));
+
+    // Shard draws in merged order from one seeded stream — identical
+    // across placement policies and worker counts by construction.
+    let weights = zipf_weights(cfg.shards, cfg.zipf_s);
+    let total_weight: f64 = weights.iter().sum();
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let mut shard_rng = SplitMix64::new(cfg.seed ^ SHARD_STREAM_SALT);
+    for r in &mut reqs {
+        r.shard = draw_shard(&cum, total_weight, &mut shard_rng);
+    }
+
+    // Event-loop state, folded in fixed node and tenant order.
+    let lanes_n = cfg.lanes.max(1);
+    let mut nodes: Vec<NodeState> = (0..cfg.nodes)
+        .map(|_| NodeState {
+            pending: VecDeque::new(),
+            lane_free: vec![0u64; lanes_n],
+            busy_cycles: 0,
+        })
+        .collect();
+    let nt = cfg.tenants.len();
+    let mut tier_state = vec![0usize; nt];
+    let mut admitted = vec![0u64; nt];
+    let mut shed = vec![0u64; nt];
+    let mut completed = vec![0u64; nt];
+    let mut slo_met = vec![0u64; nt];
+    let mut degrade_transitions = vec![0u64; nt];
+    let mut latency: Vec<LatencyHistogram> =
+        (0..nt).map(|_| LatencyHistogram::new()).collect();
+    let mut per_tier_completed: Vec<Vec<u64>> =
+        cfg.tenants.iter().map(|t| vec![0u64; t.tiers.len()]).collect();
+    let mut per_tier_batches: Vec<Vec<u64>> =
+        cfg.tenants.iter().map(|t| vec![0u64; t.tiers.len()]).collect();
+    let mut shard_queries = vec![0u64; cfg.shards];
+    let mut batches: Vec<FleetBatchRecord> = Vec::new();
+    let mut max_queue_depth = 0usize;
+    let mut network_cycles_total = 0u64;
+    let mut latency_cycles_total = 0u64;
+    let mut makespan = 0u64;
+    let mut now = 0u64;
+    let mut next_arrival = 0usize;
+    let n = reqs.len();
+
+    loop {
+        // Admit (or shed) every arrival due by `now`, in merged order:
+        // route to the least-backlogged holder of the query's shard, then
+        // apply the owning tenant's shed threshold on that node's queue.
+        while next_arrival < n && reqs[next_arrival].arrival <= now {
+            let id = next_arrival;
+            next_arrival += 1;
+            let ti = reqs[id].tenant;
+            let node = placement.holders[reqs[id].shard]
+                .iter()
+                .copied()
+                .min_by_key(|&nd| (nodes[nd].pending.len(), nd))
+                .expect("every shard has a holder");
+            if nodes[node].pending.len() >= cfg.tenants[ti].shed_queue_depth.max(1) {
+                reqs[id].shed = true;
+                shed[ti] += 1;
+            } else {
+                reqs[id].node = node;
+                nodes[node].pending.push_back(id);
+                admitted[ti] += 1;
+                shard_queries[reqs[id].shard] += 1;
+                max_queue_depth = max_queue_depth.max(nodes[node].pending.len());
+            }
+        }
+
+        // Dispatch on every node while a lane is free and a batch is
+        // ready; nodes are visited in fixed index order.
+        for (ni, node) in nodes.iter_mut().enumerate() {
+            loop {
+                let Some(&front) = node.pending.front() else { break };
+                let Some(lane) = node.lane_free.iter().position(|&f| f <= now) else { break };
+                let ti = reqs[front].tenant;
+                let t_cfg = &cfg.tenants[ti];
+                let depth_t =
+                    node.pending.iter().filter(|&&id| reqs[id].tenant == ti).count();
+                let full = depth_t >= cfg.batch_max;
+                let lingered =
+                    now >= reqs[front].arrival.saturating_add(cfg.linger_cycles);
+                if !(full || lingered) {
+                    break;
+                }
+
+                // Controller: one tier step per dispatch, with hysteresis
+                // — the tenant's ladder is cluster-global, stepped by
+                // whichever node dispatches (deterministic: fixed order).
+                let service = &tables[tenant_table[ti]].cycles;
+                let size = depth_t.min(cfg.batch_max);
+                let mut tier = tier_state[ti];
+                let predicted_end = now
+                    .saturating_add(service[tier][size - 1])
+                    .saturating_add(net_cycles[ti][tier]);
+                if (depth_t > t_cfg.degrade_queue_depth
+                    || predicted_end > reqs[front].deadline)
+                    && tier + 1 < t_cfg.tiers.len()
+                {
+                    tier += 1;
+                    degrade_transitions[ti] += 1;
+                } else if depth_t <= t_cfg.upgrade_queue_depth && tier > 0 {
+                    tier -= 1;
+                    degrade_transitions[ti] += 1;
+                }
+                tier_state[ti] = tier;
+
+                // Pull the first `size` requests of this tenant from the
+                // queue front, preserving everyone else's order.
+                let mut picked = Vec::with_capacity(size);
+                let mut rest = VecDeque::with_capacity(node.pending.len());
+                while let Some(id) = node.pending.pop_front() {
+                    if reqs[id].tenant == ti && picked.len() < size {
+                        picked.push(id);
+                    } else {
+                        rest.push_back(id);
+                    }
+                }
+                node.pending = rest;
+
+                let svc = service[tier][size - 1];
+                let net = net_cycles[ti][tier];
+                let end = now.saturating_add(svc);
+                for &id in &picked {
+                    let done = end.saturating_add(net);
+                    reqs[id].completion = Some(done);
+                    let lat = done - reqs[id].arrival;
+                    latency[ti].observe(lat);
+                    completed[ti] += 1;
+                    per_tier_completed[ti][tier] += 1;
+                    if done <= reqs[id].deadline {
+                        slo_met[ti] += 1;
+                    }
+                    network_cycles_total += net;
+                    latency_cycles_total += lat;
+                    makespan = makespan.max(done);
+                }
+                node.lane_free[lane] = end;
+                node.busy_cycles += svc;
+                per_tier_batches[ti][tier] += 1;
+                batches.push(FleetBatchRecord {
+                    node: ni,
+                    tenant: ti,
+                    start: now,
+                    end,
+                    size,
+                    tier,
+                    lane,
+                });
+            }
+        }
+
+        // Advance to the next event: an arrival, or the earliest moment
+        // any node's oldest waiter can actually dispatch.
+        let mut next = u64::MAX;
+        if next_arrival < n {
+            next = reqs[next_arrival].arrival;
+        }
+        for node in &nodes {
+            if let Some(&front) = node.pending.front() {
+                let earliest_lane =
+                    node.lane_free.iter().copied().min().expect("at least one lane");
+                let ti = reqs[front].tenant;
+                let depth_t =
+                    node.pending.iter().filter(|&&id| reqs[id].tenant == ti).count();
+                let readiness = if depth_t >= cfg.batch_max {
+                    now
+                } else {
+                    reqs[front].arrival.saturating_add(cfg.linger_cycles)
+                };
+                next = next.min(readiness.max(earliest_lane).max(now + 1));
+            }
+        }
+        if next == u64::MAX {
+            break;
+        }
+        debug_assert!(next > now, "event time must advance");
+        now = next;
+    }
+
+    // Metrics: recorded once, after the loop, in fixed tenant order.
+    for (ti, t) in cfg.tenants.iter().enumerate() {
+        let l: &[(&str, &str)] = &[("tenant", &t.name)];
+        registry.counter_add("fleet.generated", l, generated[ti]);
+        registry.counter_add("fleet.admitted", l, admitted[ti]);
+        registry.counter_add("fleet.completed", l, completed[ti]);
+        registry.counter_add("fleet.shed", l, shed[ti]);
+        registry.counter_add("fleet.slo_met", l, slo_met[ti]);
+        registry.counter_add("fleet.degrade_transitions", l, degrade_transitions[ti]);
+    }
+    registry.counter_add("fleet.batches", &[], batches.len() as u64);
+    registry.counter_add("fleet.network_cycles", &[], network_cycles_total);
+    registry.gauge_set("fleet.queue_depth_max", &[], max_queue_depth as f64);
+    registry.gauge_set("fleet.nodes", &[], cfg.nodes as f64);
+    registry.gauge_set("fleet.replicas_placed", &[], placement.replicas_placed as f64);
+
+    let stats = cost.stats();
+    let tenants_out = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| TenantOutcome {
+            name: t.name.clone(),
+            generated: generated[ti],
+            admitted: admitted[ti],
+            completed: completed[ti],
+            shed: shed[ti],
+            slo_met: slo_met[ti],
+            degrade_transitions: degrade_transitions[ti],
+            latency: latency[ti].clone(),
+            per_tier_completed: per_tier_completed[ti].clone(),
+            per_tier_batches: per_tier_batches[ti].clone(),
+            service_cycles: tables[tenant_table[ti]].cycles.clone(),
+        })
+        .collect();
+    Ok(FleetOutcome {
+        tenants: tenants_out,
+        nodes: cfg.nodes,
+        shards: cfg.shards,
+        placement: cfg.placement.name().to_string(),
+        hot_shard_replicas: placement.replicas_placed,
+        makespan_cycles: makespan,
+        ns_per_cycle,
+        max_queue_depth,
+        protocol_violations,
+        network_cycles: network_cycles_total,
+        latency_cycles: latency_cycles_total,
+        shard_queries,
+        node_busy_cycles: nodes.iter().map(|s| s.busy_cycles).collect(),
+        requests: reqs,
+        batches,
+        cost_backend: cost.backend().name().to_string(),
+        fit_anchors: stats.fit_anchors,
+        audit_points: stats.audited,
+        audit_max_rel_err: stats.max_rel_err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enmc_serve::tier::default_tiers;
+    use enmc_surrogate::CostBackend;
+
+    fn small_job() -> ClassificationJob {
+        ClassificationJob { categories: 2048, hidden: 64, reduced: 16, batch: 1, candidates: 128 }
+    }
+
+    fn two_tenant_cfg(job: &ClassificationJob) -> FleetConfig {
+        FleetConfig {
+            nodes: 2,
+            shards: 2,
+            replicas: 1,
+            placement: PlacementPolicy::PopularityAware,
+            zipf_s: 1.0,
+            batch_max: 3,
+            linger_cycles: 5_000,
+            lanes: 1,
+            tenants: vec![
+                TenantConfig::new(
+                    "t0",
+                    ArrivalProcess::Poisson { rate: 0.05 },
+                    32,
+                    400_000,
+                    default_tiers(job),
+                    11,
+                ),
+                TenantConfig::new(
+                    "t1",
+                    ArrivalProcess::Poisson { rate: 0.05 },
+                    32,
+                    800_000,
+                    default_tiers(job),
+                    12,
+                ),
+            ],
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn conservation_per_tenant_and_total() {
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let cfg = two_tenant_cfg(&job);
+        let mut reg = MetricsRegistry::new();
+        let mut cost = CostModel::new(CostBackend::CycleAccurate, 7);
+        let out = simulate_fleet(&sys, &job, &cfg, &SimConfig::sequential(), &mut reg, &mut cost)
+            .unwrap();
+        for t in &out.tenants {
+            assert_eq!(t.admitted + t.shed, t.generated, "{}", t.name);
+            assert_eq!(t.completed, t.admitted, "open queues drain: {}", t.name);
+            assert_eq!(t.latency.count(), t.completed);
+        }
+        let routed: u64 = out.shard_queries.iter().sum();
+        let admitted: u64 = out.tenants.iter().map(|t| t.admitted).sum();
+        assert_eq!(routed, admitted, "router accounts every admitted query");
+        assert!(out.makespan_cycles > 0);
+        assert!(out.ns_per_cycle > 0.0);
+    }
+
+    #[test]
+    fn outcome_is_identical_across_worker_counts() {
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let cfg = two_tenant_cfg(&job);
+        let mut reg1 = MetricsRegistry::new();
+        let mut c1 = CostModel::new(CostBackend::CycleAccurate, 7);
+        let seq =
+            simulate_fleet(&sys, &job, &cfg, &SimConfig::sequential(), &mut reg1, &mut c1)
+                .unwrap();
+        let mut reg4 = MetricsRegistry::new();
+        let mut c4 = CostModel::new(CostBackend::CycleAccurate, 7);
+        let par =
+            simulate_fleet(&sys, &job, &cfg, &SimConfig::with_threads(4), &mut reg4, &mut c4)
+                .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(
+            seq.report("test", &cfg, &reg1).to_json(),
+            par.report("test", &cfg, &reg4).to_json()
+        );
+    }
+
+    #[test]
+    fn multi_node_pays_the_network_and_single_node_does_not() {
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let mut cfg = two_tenant_cfg(&job);
+        let mut reg = MetricsRegistry::new();
+        let mut cost = CostModel::new(CostBackend::CycleAccurate, 7);
+        let multi =
+            simulate_fleet(&sys, &job, &cfg, &SimConfig::sequential(), &mut reg, &mut cost)
+                .unwrap();
+        assert!(multi.network_cycles > 0, "2-node fleet pays the interconnect");
+        assert!(multi.network_share() > 0.0);
+
+        cfg.nodes = 1;
+        cfg.shards = 1;
+        cfg.replicas = 0;
+        let mut reg1 = MetricsRegistry::new();
+        let mut cost1 = CostModel::new(CostBackend::CycleAccurate, 7);
+        let single =
+            simulate_fleet(&sys, &job, &cfg, &SimConfig::sequential(), &mut reg1, &mut cost1)
+                .unwrap();
+        assert_eq!(single.network_cycles, 0);
+        assert_eq!(single.network_share(), 0.0);
+    }
+
+    #[test]
+    fn report_is_consistent_schema_v8() {
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let cfg = two_tenant_cfg(&job);
+        let mut reg = MetricsRegistry::new();
+        let mut cost = CostModel::new(CostBackend::CycleAccurate, 7);
+        let out = simulate_fleet(&sys, &job, &cfg, &SimConfig::sequential(), &mut reg, &mut cost)
+            .unwrap();
+        let report = out.report("synthetic", &cfg, &reg);
+        assert_eq!(report.schema_version, enmc_obs::report::SCHEMA_VERSION);
+        assert!(report.is_consistent());
+        assert_eq!(report.command, "fleet-sim");
+        assert_eq!(report.nodes, 2);
+        assert_eq!(report.placement, "popularity");
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.threads, 0, "fleet reports carry no host threading");
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+}

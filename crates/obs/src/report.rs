@@ -42,13 +42,15 @@ use crate::metrics::MetricsReport;
 /// | v5 | `ber` (injected uniform bit-error rate — fault runs only), `refresh_multiplier` (refresh-interval multiplier; 1.0 nominal), `ecc_corrected` (SEC-DED single-bit corrections), `ecc_uncorrected` (detected-uncorrectable words), `quality_degradation_pct` (top-1 agreement loss vs the fault-free model, percent) | `0.0`, `1.0`, `0`, `0`, `0.0` |
 /// | v6 | `energy_nj` (total attributed system energy; deterministic, derived from simulation counters only), `breakdown` (flattened cost-attribution leaves: `path`/`cycles`/`nj` rows whose sums reproduce the headline totals exactly) | `0.0`, `[]` |
 /// | v7 | `cost_backend` (which cost model answered sweep points: `cycle-accurate` or `surrogate`), `fit_anchors` (cycle-accurate anchor simulations run by surrogate fits), `audit_points` (surrogate predictions re-run cycle-accurately), `audit_max_rel_err` (worst bound-normalized relative leaf error over the audited points) | `"cycle-accurate"`, `0`, `0`, `0.0` |
+/// | v8 | `nodes` (simulated DIMM-group nodes — fleet runs only), `placement` (shard placement policy: `consistent-hash` or `popularity`), `hot_shard_replicas` (extra hot-shard copies the placement placed), `network_share` (fraction of completed-request latency cycles spent on the interconnect), `tenants` (per-tenant rows: `name`/`slo_attainment`/`p99_ns`/`shed`/`admitted`/`completed`/`degrade_transitions`) | `0`, `""`, `0`, `0.0`, `[]` |
 ///
 /// The v4 serving fields are only meaningful for `serve-sim` reports,
 /// the v5 fault fields only for `fault-sweep` reports, the v6
 /// attribution fields only for cycle-level runs (`profile`, sharded
-/// `simulate`), and the v7 surrogate fields only for commands that
-/// accept `--cost-model`; other commands write them at their defaults.
-pub const SCHEMA_VERSION: u32 = 7;
+/// `simulate`), the v7 surrogate fields only for commands that accept
+/// `--cost-model`, and the v8 fleet fields only for `fleet-sim` reports;
+/// other commands write them at their defaults.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +85,30 @@ pub struct BreakdownRow {
     /// Energy attributed to the leaf, nanojoules (0.0 for cycle-only
     /// leaves).
     pub nj: f64,
+}
+
+/// One tenant's serving outcome inside a fleet run.
+///
+/// Fleet reports fold per-node state in fixed shard order, so these rows
+/// are listed in tenant-configuration order and carry simulation-derived
+/// numbers only — never host wall clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TenantRow {
+    /// Tenant name (`t0`, `t1`, … by CLI convention).
+    pub name: String,
+    /// Fraction of the tenant's completed requests that met its deadline.
+    pub slo_attainment: f64,
+    /// The tenant's 99th-percentile request latency, simulated ns.
+    pub p99_ns: f64,
+    /// Requests of this tenant rejected by admission control.
+    pub shed: u64,
+    /// Requests of this tenant admitted to a node queue.
+    pub admitted: u64,
+    /// Requests of this tenant that completed service.
+    pub completed: u64,
+    /// Degrade-tier steps the tenant's ladder took, both directions.
+    pub degrade_transitions: u64,
 }
 
 /// Machine-readable summary of one run.
@@ -158,6 +184,19 @@ pub struct RunReport {
     /// audited points (≤ the declared bound or the run would have
     /// failed with a `SurrogateViolation`).
     pub audit_max_rel_err: f64,
+    /// Simulated DIMM-group nodes in a fleet run (0 for single-node
+    /// commands).
+    pub nodes: u64,
+    /// Shard placement policy of a fleet run (`consistent-hash` or
+    /// `popularity`; empty for single-node commands).
+    pub placement: String,
+    /// Extra hot-shard copies the placement actually placed.
+    pub hot_shard_replicas: u64,
+    /// Fraction of completed-request latency cycles spent on the
+    /// interconnect (0.0 for single-node commands).
+    pub network_share: f64,
+    /// Per-tenant serving rows (fleet runs only; empty otherwise).
+    pub tenants: Vec<TenantRow>,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -267,6 +306,32 @@ impl RunReport {
             ("fit_anchors".to_string(), Value::Int(self.fit_anchors as i64)),
             ("audit_points".to_string(), Value::Int(self.audit_points as i64)),
             ("audit_max_rel_err".to_string(), Value::Num(self.audit_max_rel_err)),
+            ("nodes".to_string(), Value::Int(self.nodes as i64)),
+            ("placement".to_string(), Value::Str(self.placement.clone())),
+            ("hot_shard_replicas".to_string(), Value::Int(self.hot_shard_replicas as i64)),
+            ("network_share".to_string(), Value::Num(self.network_share)),
+            (
+                "tenants".to_string(),
+                Value::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Value::Obj(vec![
+                                ("name".to_string(), Value::Str(t.name.clone())),
+                                ("slo_attainment".to_string(), Value::Num(t.slo_attainment)),
+                                ("p99_ns".to_string(), Value::Num(t.p99_ns)),
+                                ("shed".to_string(), Value::Int(t.shed as i64)),
+                                ("admitted".to_string(), Value::Int(t.admitted as i64)),
+                                ("completed".to_string(), Value::Int(t.completed as i64)),
+                                (
+                                    "degrade_transitions".to_string(),
+                                    Value::Int(t.degrade_transitions as i64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -343,6 +408,43 @@ impl RunReport {
                 });
             }
         }
+        // v8 fleet rows; default when reading an older report.
+        let mut tenants = Vec::new();
+        if let Some(rows) = v.get("tenants").and_then(Value::as_arr) {
+            for t in rows {
+                tenants.push(TenantRow {
+                    name: t
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| "tenant row missing name".to_string())?
+                        .to_string(),
+                    slo_attainment: t
+                        .get("slo_attainment")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "tenant row missing slo_attainment".to_string())?,
+                    p99_ns: t
+                        .get("p99_ns")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "tenant row missing p99_ns".to_string())?,
+                    shed: t
+                        .get("shed")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "tenant row missing shed".to_string())?,
+                    admitted: t
+                        .get("admitted")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "tenant row missing admitted".to_string())?,
+                    completed: t
+                        .get("completed")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "tenant row missing completed".to_string())?,
+                    degrade_transitions: t
+                        .get("degrade_transitions")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| "tenant row missing degrade_transitions".to_string())?,
+                });
+            }
+        }
         let metrics = MetricsReport::from_json_value(
             v.get("metrics").ok_or_else(|| "missing field 'metrics'".to_string())?,
         )?;
@@ -407,6 +509,19 @@ impl RunReport {
                 .get("audit_max_rel_err")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
+            // v8 fleet fields; default when reading an older report.
+            nodes: v.get("nodes").and_then(Value::as_u64).unwrap_or(0),
+            placement: v
+                .get("placement")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            hot_shard_replicas: v
+                .get("hot_shard_replicas")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            network_share: v.get("network_share").and_then(Value::as_f64).unwrap_or(0.0),
+            tenants,
             phases,
             metrics,
             notes,
@@ -565,6 +680,57 @@ mod tests {
     }
 
     #[test]
+    fn v7_reports_parse_with_defaulted_fleet_fields() {
+        // A v7 report has none of the v8 fleet keys.
+        let mut r = sample();
+        r.schema_version = 7;
+        let v7_json = r
+            .to_json()
+            .replace("\"nodes\":0,", "")
+            .replace("\"placement\":\"\",", "")
+            .replace("\"hot_shard_replicas\":0,", "")
+            .replace("\"network_share\":0,", "")
+            .replace("\"tenants\":[],", "");
+        assert!(!v7_json.contains("hot_shard_replicas"));
+        let back = RunReport::from_json(&v7_json).unwrap();
+        assert_eq!(back.nodes, 0);
+        assert_eq!(back.placement, "");
+        assert_eq!(back.hot_shard_replicas, 0);
+        assert_eq!(back.network_share, 0.0);
+        assert!(back.tenants.is_empty());
+        assert_eq!(back.cost_backend, r.cost_backend);
+    }
+
+    #[test]
+    fn tenant_rows_round_trip() {
+        let mut r = sample();
+        r.nodes = 4;
+        r.placement = "popularity".to_string();
+        r.hot_shard_replicas = 2;
+        r.network_share = 0.125;
+        r.tenants.push(TenantRow {
+            name: "t0".to_string(),
+            slo_attainment: 0.995,
+            p99_ns: 41_000.0,
+            shed: 0,
+            admitted: 192,
+            completed: 192,
+            degrade_transitions: 3,
+        });
+        r.tenants.push(TenantRow {
+            name: "t1".to_string(),
+            slo_attainment: 0.75,
+            p99_ns: 220_000.0,
+            shed: 17,
+            admitted: 175,
+            completed: 175,
+            degrade_transitions: 9,
+        });
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
     fn breakdown_rows_round_trip() {
         let mut r = sample();
         r.energy_nj = 10.5;
@@ -612,8 +778,15 @@ mod tests {
             "\"audit_points\":0,",
             "\"audit_max_rel_err\":0,",
         ];
-        let strip: [&[&str]; 7] = [
-            // v1: no v2/v3/v4/v5/v6/v7 fields.
+        const V8_KEYS: [&str; 5] = [
+            "\"nodes\":0,",
+            "\"placement\":\"\",",
+            "\"hot_shard_replicas\":0,",
+            "\"network_share\":0,",
+            "\"tenants\":[],",
+        ];
+        let strip: [&[&str]; 8] = [
+            // v1: no v2/v3/v4/v5/v6/v7/v8 fields.
             &[
                 "\"threads\":0,",
                 "\"speedup\":1,",
@@ -633,8 +806,13 @@ mod tests {
                 V7_KEYS[1],
                 V7_KEYS[2],
                 V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
             ],
-            // v2: no v3/v4/v5/v6/v7 fields.
+            // v2: no v3/v4/v5/v6/v7/v8 fields.
             &[
                 "\"protocol_violations\":0,",
                 "\"slo_attainment\":0,",
@@ -652,8 +830,13 @@ mod tests {
                 V7_KEYS[1],
                 V7_KEYS[2],
                 V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
             ],
-            // v3: no v4/v5/v6/v7 fields.
+            // v3: no v4/v5/v6/v7/v8 fields.
             &[
                 "\"slo_attainment\":0,",
                 "\"p99_ns\":0,",
@@ -670,8 +853,13 @@ mod tests {
                 V7_KEYS[1],
                 V7_KEYS[2],
                 V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
             ],
-            // v4: no v5/v6/v7 fields.
+            // v4: no v5/v6/v7/v8 fields.
             &[
                 V5_KEYS[0],
                 V5_KEYS[1],
@@ -684,8 +872,13 @@ mod tests {
                 V7_KEYS[1],
                 V7_KEYS[2],
                 V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
             ],
-            // v5: no v6/v7 fields.
+            // v5: no v6/v7/v8 fields.
             &[
                 V6_KEYS[0],
                 V6_KEYS[1],
@@ -693,10 +886,27 @@ mod tests {
                 V7_KEYS[1],
                 V7_KEYS[2],
                 V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
             ],
-            // v6: no v7 fields.
-            &[V7_KEYS[0], V7_KEYS[1], V7_KEYS[2], V7_KEYS[3]],
-            // v7: current — nothing stripped.
+            // v6: no v7/v8 fields.
+            &[
+                V7_KEYS[0],
+                V7_KEYS[1],
+                V7_KEYS[2],
+                V7_KEYS[3],
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
+            ],
+            // v7: no v8 fields.
+            &[V8_KEYS[0], V8_KEYS[1], V8_KEYS[2], V8_KEYS[3], V8_KEYS[4]],
+            // v8: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

@@ -36,6 +36,7 @@ pub mod tier;
 pub use arrival::ArrivalProcess;
 pub use hist::LatencyHistogram;
 pub use sim::{
-    simulate, simulate_with_cost, BatchRecord, RequestRecord, ServeConfig, ServeOutcome,
+    calibrate_service_table, simulate, simulate_with_cost, BatchRecord, RequestRecord,
+    ServeConfig, ServeOutcome, ServiceTable,
 };
 pub use tier::{parse_tiers, DegradeTier};

@@ -232,24 +232,52 @@ fn tier_label(t: usize) -> &'static str {
     NAMES.get(t).copied().unwrap_or("8+")
 }
 
+/// A calibrated `[tier][batch-1]` service-time table plus the clock
+/// scale and protocol-violation count the calibration pass observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceTable {
+    /// Service cycles, indexed `[tier][batch_size - 1]`; every entry is
+    /// at least 1.
+    pub cycles: Vec<Vec<u64>>,
+    /// Simulated nanoseconds per DRAM cycle (from the last calibrated
+    /// point; identical across points of one system model).
+    pub ns_per_cycle: f64,
+    /// DDR4 protocol violations observed during calibration runs.
+    pub protocol_violations: u64,
+}
+
 /// Calibrates the `[tier][batch-1]` service-time table by running every
 /// point through the cost model — the rank-sharded cycle simulator on
 /// the cycle-accurate backend, pure arithmetic (with seeded audits) on
-/// the surrogate backend.
-fn calibrate(
+/// the surrogate backend. `context` prefixes the per-point audit context
+/// (`"serve-sim calibration"`, `"fleet-sim calibration (tenant t0)"`, …)
+/// so a surrogate violation names the point that produced it.
+///
+/// This is the single bridge between event-loop time and cycle-simulator
+/// time: both `serve-sim` and the fleet simulator fill their tables here,
+/// which is what makes a 1-node, 1-tenant fleet bit-identical to the
+/// single-node simulator.
+///
+/// # Errors
+///
+/// Returns the [`SurrogateViolation`] when an audited calibration point
+/// misses the declared bound.
+pub fn calibrate_service_table(
     sys: &SystemModel,
     job: &ClassificationJob,
-    cfg: &ServeConfig,
+    tiers: &[DegradeTier],
+    batch_max: usize,
     sim: &SimConfig,
     cost: &mut CostModel,
-) -> Result<(Vec<Vec<u64>>, f64, u64), SurrogateViolation> {
-    let mut table = vec![vec![0u64; cfg.batch_max]; cfg.tiers.len()];
+    context: &str,
+) -> Result<ServiceTable, SurrogateViolation> {
+    let mut table = vec![vec![0u64; batch_max]; tiers.len()];
     let mut ns_per_cycle = 0.0;
     let mut violations = 0u64;
-    for (t, tier) in cfg.tiers.iter().enumerate() {
+    for (t, tier) in tiers.iter().enumerate() {
         let tier_job = tier.apply(job);
-        for b in 1..=cfg.batch_max {
-            let context = format!("serve-sim calibration (tier {t}, batch {b})");
+        for b in 1..=batch_max {
+            let context = format!("{context} (tier {t}, batch {b})");
             let run = cost.run_sharded_enmc(
                 sys,
                 &tier_job.with_load(b, tier.candidates),
@@ -264,7 +292,27 @@ fn calibrate(
             }
         }
     }
-    Ok((table, ns_per_cycle, violations))
+    Ok(ServiceTable { cycles: table, ns_per_cycle, protocol_violations: violations })
+}
+
+/// [`calibrate_service_table`] over a [`ServeConfig`]'s ladder.
+fn calibrate(
+    sys: &SystemModel,
+    job: &ClassificationJob,
+    cfg: &ServeConfig,
+    sim: &SimConfig,
+    cost: &mut CostModel,
+) -> Result<(Vec<Vec<u64>>, f64, u64), SurrogateViolation> {
+    let t = calibrate_service_table(
+        sys,
+        job,
+        &cfg.tiers,
+        cfg.batch_max,
+        sim,
+        cost,
+        "serve-sim calibration",
+    )?;
+    Ok((t.cycles, t.ns_per_cycle, t.protocol_violations))
 }
 
 /// Runs one serving scenario.

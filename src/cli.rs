@@ -291,6 +291,41 @@ pub fn parse_audit_rate(raw: &str) -> Result<f64, String> {
     }
 }
 
+/// Validates a `--placement` value for `fleet-sim`.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted policies.
+pub fn parse_placement(raw: &str) -> Result<enmc_fleet::PlacementPolicy, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "consistent-hash" | "hash" | "ch" => Ok(enmc_fleet::PlacementPolicy::ConsistentHash),
+        "popularity" | "popularity-aware" | "pa" => {
+            Ok(enmc_fleet::PlacementPolicy::PopularityAware)
+        }
+        _ => Err(format!(
+            "--placement must be 'consistent-hash' or 'popularity' (short forms ok), got '{raw}'"
+        )),
+    }
+}
+
+/// Validates a `--zipf` value for `fleet-sim`: a finite skew exponent
+/// ≥ 0 in multiples of 0.5 — the restriction that lets the popularity
+/// weights be computed exactly (integer powers and IEEE square roots,
+/// no platform `powf`), keeping fleet reports bit-identical everywhere.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted grid.
+pub fn parse_zipf(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(s) if s.is_finite() && s >= 0.0 && (s * 2.0).fract() == 0.0 => Ok(s),
+        Ok(_) => Err(format!(
+            "--zipf must be a skew >= 0 in multiples of 0.5 (0, 0.5, 1, 1.5, ...), got '{raw}'"
+        )),
+        Err(_) => Err(format!("--zipf expects a number in multiples of 0.5, got '{raw}'")),
+    }
+}
+
 /// Validates a `--report` value.
 ///
 /// # Errors
@@ -482,6 +517,28 @@ mod tests {
         assert!(parse_audit_rate("-0.1").is_err());
         assert!(parse_audit_rate("NaN").is_err());
         assert!(parse_audit_rate("always").unwrap_err().contains("'always'"));
+    }
+
+    #[test]
+    fn placement_parses_both_policies_and_short_forms() {
+        use enmc_fleet::PlacementPolicy;
+        assert_eq!(parse_placement("consistent-hash"), Ok(PlacementPolicy::ConsistentHash));
+        assert_eq!(parse_placement("CH"), Ok(PlacementPolicy::ConsistentHash));
+        assert_eq!(parse_placement("popularity"), Ok(PlacementPolicy::PopularityAware));
+        assert_eq!(parse_placement("popularity-aware"), Ok(PlacementPolicy::PopularityAware));
+        assert!(parse_placement("random").unwrap_err().contains("'random'"));
+    }
+
+    #[test]
+    fn zipf_accepts_only_the_half_step_grid() {
+        assert_eq!(parse_zipf("0"), Ok(0.0));
+        assert_eq!(parse_zipf("0.5"), Ok(0.5));
+        assert_eq!(parse_zipf("1"), Ok(1.0));
+        assert_eq!(parse_zipf("1.5"), Ok(1.5));
+        assert!(parse_zipf("0.7").unwrap_err().contains("multiples of 0.5"));
+        assert!(parse_zipf("-1").is_err());
+        assert!(parse_zipf("inf").is_err());
+        assert!(parse_zipf("hot").unwrap_err().contains("'hot'"));
     }
 
     #[test]

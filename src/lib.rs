@@ -22,6 +22,8 @@
 //! | [`par`] | `enmc-par` | deterministic worker pool + execution policies |
 //! | [`serve`] | `enmc-serve` | online serving simulator: arrivals, batching, SLO degradation |
 //! | [`fault`] | `enmc-fault` | approximate-DRAM error models, SEC-DED ECC, resilience sweeps |
+//! | [`surrogate`] | `enmc-surrogate` | hybrid-fidelity cost model with randomized cycle-accurate audits |
+//! | [`fleet`] | `enmc-fleet` | fleet simulator: shard placement, multi-tenant routing, capacity |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use enmc_obs as obs;
 pub use enmc_compiler as compiler;
 pub use enmc_dram as dram;
 pub use enmc_fault as fault;
+pub use enmc_fleet as fleet;
 pub use enmc_isa as isa;
 pub use enmc_model as model;
 pub use enmc_par as par;

@@ -45,6 +45,28 @@
 //!     --trace-file <file>            arrival timestamps for --arrival trace
 //!     --quality <n>                  score each tier over n queries
 //!     --threads / --check-protocol / --trace-out / --report as simulate
+//! enmc fleet-sim [options]           simulate a multi-tenant serving fleet
+//!     --shape <abbr>                 lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --nodes <n>                    simulated DIMM-group nodes (default 4)
+//!     --shards <n>                   classifier shards (default: one per node)
+//!     --tenants <n>                  contending tenants (default 2; tenant i
+//!                                    gets slo*(i+1) and a smaller shed queue
+//!                                    the lower its priority)
+//!     --placement <name>             consistent-hash|popularity (default popularity)
+//!     --replicas <n>                 extra hot-shard copies (default 2; 0 ok)
+//!     --zipf <s>                     shard popularity skew, multiples of 0.5
+//!                                    (default 1; 0 = uniform)
+//!     --rate <r>                     total offered load, requests per kilocycle,
+//!                                    split evenly across tenants (default 0.5)
+//!     --arrival <kind>               poisson|burst|diurnal (default poisson)
+//!     --requests <n>                 requests per tenant (default 192)
+//!     --slo-cycles <n>               tenant-0 deadline; tenant i gets n*(i+1)
+//!     --batch-max / --linger / --lanes as serve-sim (lanes are per node)
+//!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
+//!     --seed <n>                     base seed (flag > ENMC_SEED > 7)
+//!     --threads / --check-protocol / --report as simulate (reports are
+//!                                    byte-identical for any worker count)
+//!     --cost-model / --audit-rate / --coeffs / --coeffs-out as serve-sim
 //! enmc fault-sweep [options]         quality-vs-refresh-energy resilience sweep
 //!     --shape <name>                 lstm-wikitext2|transformer-wikitext103|
 //!                                    gnmt-wmt16|xmlcnn-amazon670k (short forms ok)
@@ -83,8 +105,8 @@ use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
     parse_arrival_kind, parse_audit_rate, parse_batch, parse_ber, parse_candidate_fraction,
     parse_cost_model, parse_count, parse_degrade_tiers, parse_multipliers, parse_rate,
-    parse_report_format, parse_shape, parse_threads, parse_wall_tolerance, resolve_seed,
-    ArrivalKind, CostModelKind, ReportFormat,
+    parse_placement, parse_report_format, parse_shape, parse_threads, parse_wall_tolerance,
+    parse_zipf, resolve_seed, ArrivalKind, CostModelKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -108,6 +130,7 @@ fn main() {
         Some("demo") => cmd_demo(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("fleet-sim") => cmd_fleet_sim(&args[1..]),
         Some("fault-sweep") => cmd_fault_sweep(&args[1..]),
         Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
@@ -136,6 +159,14 @@ usage:
                  [--shed-queue N] [--degrade-queue N] [--upgrade-queue N]
                  [--seed N] [--candidates F] [--trace-file FILE]
                  [--quality N] [--threads N] [--trace-out FILE]
+                 [--report text|json] [--check-protocol]
+                 [--cost-model cycle-accurate|surrogate] [--audit-rate F]
+                 [--coeffs FILE] [--coeffs-out FILE]
+  enmc fleet-sim [--shape W] [--nodes N] [--shards N] [--tenants N]
+                 [--placement consistent-hash|popularity] [--replicas N]
+                 [--zipf S] [--rate R] [--arrival poisson|burst|diurnal]
+                 [--requests N] [--slo-cycles S] [--batch-max B] [--linger L]
+                 [--lanes N] [--candidates F] [--seed N] [--threads N]
                  [--report text|json] [--check-protocol]
                  [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                  [--coeffs FILE] [--coeffs-out FILE]
@@ -704,6 +735,266 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         "  queue   : max depth {}, {} batch(es), makespan {:.1} us",
         outcome.max_queue_depth,
         outcome.batches.len(),
+        us(outcome.makespan_cycles as f64)
+    );
+    if check_protocol {
+        println!("  protocol: {violations} DDR4 timing violation(s)");
+        if violations > 0 {
+            return 1;
+        }
+    }
+    0
+}
+
+fn cmd_fleet_sim(args: &[String]) -> i32 {
+    use enmc::fleet::{simulate_fleet, FleetConfig, PlacementPolicy, TenantConfig};
+    use enmc::obs::MetricsRegistry;
+    use enmc::serve::tier::default_tiers;
+    use enmc::surrogate::CostModel;
+
+    let workload = match parse_workload(flag_value(args, "--shape").unwrap_or("lstm")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown shape; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    macro_rules! count_flag {
+        ($flag:literal, $default:expr) => {
+            match flag_value(args, $flag).map(|r| parse_count($flag, r)).unwrap_or(Ok($default)) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        };
+    }
+    let nodes = count_flag!("--nodes", 4) as usize;
+    let shards = count_flag!("--shards", nodes as u64) as usize;
+    let tenants_n = count_flag!("--tenants", 2) as usize;
+    let requests = count_flag!("--requests", 192) as usize;
+    let slo_cycles = count_flag!("--slo-cycles", 100_000);
+    let batch_max = count_flag!("--batch-max", 4) as usize;
+    let linger_cycles = count_flag!("--linger", 2_000);
+    let lanes = count_flag!("--lanes", 2) as usize;
+    // --replicas 0 is meaningful (no replication), so it bypasses
+    // parse_count's >= 1 rule.
+    let replicas = match flag_value(args, "--replicas").map(|r| {
+        r.parse::<usize>().map_err(|_| format!("--replicas expects an integer >= 0, got '{r}'"))
+    }) {
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+        None => 2,
+    };
+    let placement = match flag_value(args, "--placement")
+        .map(parse_placement)
+        .unwrap_or(Ok(PlacementPolicy::PopularityAware))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let zipf_s = match flag_value(args, "--zipf").map(parse_zipf).unwrap_or(Ok(1.0)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let rate = match flag_value(args, "--rate").map(parse_rate).unwrap_or(Ok(0.5)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let arrival_kind = match flag_value(args, "--arrival")
+        .map(parse_arrival_kind)
+        .unwrap_or(Ok(ArrivalKind::Poisson))
+    {
+        Ok(ArrivalKind::Trace) => {
+            eprintln!("--arrival trace is not supported by fleet-sim; use serve-sim");
+            return 2;
+        }
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let frac = match flag_value(args, "--candidates")
+        .map(parse_candidate_fraction)
+        .unwrap_or(Ok(0.05))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let format = match flag_value(args, "--report")
+        .map(parse_report_format)
+        .unwrap_or(Ok(ReportFormat::Text))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let check_protocol = args.iter().any(|a| a == "--check-protocol");
+    let threads = match flag_value(args, "--threads") {
+        Some(raw) => match parse_threads(raw) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    // Threads only speed up the calibration pass; the outcome and report
+    // are byte-identical for any worker count.
+    let sim_cfg = SimConfig::resolve(threads, check_protocol);
+    let backend = match resolve_cost_backend(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch: 1,
+        candidates: ((workload.categories as f64) * frac).round() as usize,
+    };
+    let tiers = default_tiers(&job);
+    // Tenant i: lower priority as i grows — a looser deadline but an
+    // earlier shed threshold, so contention sheds the low-priority
+    // tenants first. The total offered rate is split evenly.
+    let per_tenant_rate = rate / tenants_n as f64;
+    let tenants: Vec<TenantConfig> = (0..tenants_n)
+        .map(|i| {
+            let arrival = match build_arrival(arrival_kind, per_tenant_rate, None) {
+                Ok(a) => a,
+                Err(_) => unreachable!("trace arrivals rejected above"),
+            };
+            let mut t = TenantConfig::new(
+                &format!("t{i}"),
+                arrival,
+                requests,
+                slo_cycles * (i as u64 + 1),
+                tiers.clone(),
+                seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            );
+            t.shed_queue_depth = (48usize >> i).max(4);
+            t
+        })
+        .collect();
+    let cfg = FleetConfig {
+        nodes,
+        shards,
+        replicas,
+        placement,
+        zipf_s,
+        batch_max,
+        linger_cycles,
+        lanes,
+        tenants,
+        seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "fleet: {} (l={}, d={}) on {} node(s), {} shard(s) ({} placement, {} replica(s)), \
+         {} tenant(s) at {rate}/kcycle total",
+        workload.abbr,
+        workload.categories,
+        workload.hidden,
+        nodes,
+        shards,
+        placement.name(),
+        replicas,
+        tenants_n
+    );
+
+    let sys = SystemModel::table3();
+    let mut registry = MetricsRegistry::new();
+    let mut cost = CostModel::new(backend, seed);
+    if let Some(path) = flag_value(args, "--coeffs") {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = cost.load_coeffs(&raw) {
+            eprintln!("cannot load coefficients from {path}: {e}");
+            return 1;
+        }
+    }
+    let outcome = match simulate_fleet(&sys, &job, &cfg, &sim_cfg, &mut registry, &mut cost) {
+        Ok(o) => o,
+        Err(v) => {
+            eprintln!("error: {v}");
+            return 1;
+        }
+    };
+    if let Some(path) = flag_value(args, "--coeffs-out") {
+        if let Err(e) = std::fs::write(path, cost.coeffs_to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+
+    let report = outcome.report(workload.abbr, &cfg, &registry);
+    let violations = report.protocol_violations;
+    if format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return i32::from(check_protocol && violations > 0);
+    }
+    let us = |cycles: f64| cycles * outcome.ns_per_cycle / 1e3;
+    println!(
+        "  fleet   : {} node(s), {} shard(s), {} hot-shard replica(s), network share {:.1}%",
+        outcome.nodes,
+        outcome.shards,
+        outcome.hot_shard_replicas,
+        100.0 * outcome.network_share()
+    );
+    for t in &outcome.tenants {
+        println!(
+            "  tenant {}: {} generated, {} admitted, {} shed; slo {:.1}%, p99 {:.1} us, \
+             {} degrade step(s)",
+            t.name,
+            t.generated,
+            t.admitted,
+            t.shed,
+            100.0 * t.slo_attainment(),
+            us(t.latency.p99()),
+            t.degrade_transitions
+        );
+    }
+    println!(
+        "  cluster : slo {:.1}%, {} batch(es), max queue {}, makespan {:.1} us",
+        100.0 * outcome.slo_attainment(),
+        outcome.batches.len(),
+        outcome.max_queue_depth,
         us(outcome.makespan_cycles as f64)
     );
     if check_protocol {

@@ -1,4 +1,4 @@
-//! Golden serving-report regression: the schema-v7 `RunReport` of one
+//! Golden serving-report regression: the schema-v8 `RunReport` of one
 //! fixed burst scenario is checked in at `tests/golden/serve_report.json`.
 //! The report's byte output — headline numbers, v4 serving fields,
 //! metrics snapshot, notes — must stay stable; an intentional change is
@@ -46,7 +46,7 @@ fn golden_scenario() -> (ClassificationJob, ServeConfig) {
 }
 
 /// Re-runs the golden scenario exactly as the CLI would and renders its
-/// schema-v7 report (trailing newline so the fixture is a POSIX file).
+/// schema-v8 report (trailing newline so the fixture is a POSIX file).
 fn current_report() -> (ServeOutcome, String) {
     let (job, cfg) = golden_scenario();
     let mut registry = MetricsRegistry::new();
@@ -77,7 +77,7 @@ fn golden_serve_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_exercises_the_interesting_paths() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 7);
+    assert_eq!(report.schema_version, 8);
     assert_eq!(report.command, "serve-sim");
     assert!(report.shed > 0, "fixture must shed");
     assert!(report.degrade_transitions > 0, "fixture must walk the degrade ladder");
