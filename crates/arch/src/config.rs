@@ -7,6 +7,9 @@ pub struct EnmcConfig {
     pub freq_mhz: u64,
     /// INT4 multiply-accumulate lanes in the Screener (Table 3: 128).
     pub int4_macs: usize,
+    /// Bits per screening-weight element (Table 3: 4; the auto-tuner
+    /// explores wider screeners).
+    pub screen_bits: u32,
     /// FP32 multiply-accumulate lanes in the Executor (Table 3: 16).
     pub fp32_macs: usize,
     /// Input-buffer capacity in bytes (Table 3: 256 B each).
@@ -29,6 +32,7 @@ impl EnmcConfig {
         EnmcConfig {
             freq_mhz: 400,
             int4_macs: 128,
+            screen_bits: 4,
             fp32_macs: 16,
             buffer_bytes: 256,
             filter_width: 128,

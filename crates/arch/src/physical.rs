@@ -88,6 +88,13 @@ impl PhysicalModel {
         }
     }
 
+    /// The control-buffer block of Table 5 (instruction + threshold
+    /// storage), a fixed cost every ENMC-style unit pays regardless of
+    /// lane count.
+    pub fn control_buffer(&self) -> AreaPower {
+        AreaPower { area_mm2: 0.053, power_mw: 49.3 }
+    }
+
     /// The full ENMC unit (Table 5): 128 INT4 + 16 FP32 MACs, 1 KB compute
     /// buffers, ~1 KB control buffers, both controllers.
     pub fn enmc_unit(&self) -> AreaPower {
@@ -95,7 +102,7 @@ impl PhysicalModel {
             .scale(128.0)
             .add(&self.fp32_mac.scale(16.0))
             .add(&self.buffer_kb) // compute buffers: 4 × 256 B
-            .add(&AreaPower { area_mm2: 0.053, power_mw: 49.3 }) // control buffers
+            .add(&self.control_buffer())
             .add(&self.enmc_ctrl)
             .add(&self.dram_ctrl)
     }
@@ -131,7 +138,7 @@ pub fn table5_rows(model: &PhysicalModel) -> Vec<(&'static str, AreaPower)> {
         ("INT4 MAC", model.int4_mac.scale(128.0)),
         ("FP32 MAC", model.fp32_mac.scale(16.0)),
         ("Compute Buffer", model.buffer_kb),
-        ("Control Buffer", AreaPower { area_mm2: 0.053, power_mw: 49.3 }),
+        ("Control Buffer", model.control_buffer()),
         ("ENMC Ctrl", model.enmc_ctrl),
         ("DRAM Ctrl", model.dram_ctrl),
     ]
@@ -161,6 +168,51 @@ mod tests {
         let td = m.tensordimm_unit();
         assert!((td.area_mm2 - 0.457).abs() < 0.005);
         assert!((td.power_mw - 303.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn table5_rows_reproduced_exactly() {
+        // Every Table 5 row must come back bit-exact from the primitive
+        // costs: the primitives are defined by dividing these numbers, so
+        // multiplying back must invert without drift.
+        let m = PhysicalModel::tsmc28();
+        let expect = [
+            ("INT4 MAC", 0.013, 10.4),
+            ("FP32 MAC", 0.145, 58.0),
+            ("Compute Buffer", 0.061, 56.8),
+            ("Control Buffer", 0.053, 49.3),
+            ("ENMC Ctrl", 0.035, 32.9),
+            ("DRAM Ctrl", 0.135, 78.0),
+        ];
+        let rows = table5_rows(&m);
+        assert_eq!(rows.len(), expect.len());
+        for ((name, ap), (ename, area, power)) in rows.iter().zip(expect) {
+            assert_eq!(*name, ename);
+            assert!((ap.area_mm2 - area).abs() < 1e-12, "{name} area {}", ap.area_mm2);
+            assert!((ap.power_mw - power).abs() < 1e-12, "{name} power {}", ap.power_mw);
+        }
+        let total = m.enmc_unit();
+        let area: f64 = expect.iter().map(|r| r.1).sum();
+        let power: f64 = expect.iter().map(|r| r.2).sum();
+        assert!((total.area_mm2 - area).abs() < 1e-12, "total area {}", total.area_mm2);
+        assert!((total.power_mw - power).abs() < 1e-12, "total power {}", total.power_mw);
+    }
+
+    #[test]
+    fn table4_rows_reproduced_exactly() {
+        // Table 4 quotes each baseline's core at the same numbers the
+        // primitives were back-derived from; composition must be exact.
+        let m = PhysicalModel::tsmc28();
+        let rows = [
+            (m.enmc_table4(), 0.442, 285.4),
+            (m.nda_unit(), 0.445, 293.6),
+            (m.chameleon_unit(), 0.398, 249.0),
+            (m.tensordimm_unit(), 0.457, 303.5),
+        ];
+        for (ap, area, power) in rows {
+            assert!((ap.area_mm2 - area).abs() < 1e-12, "area {}", ap.area_mm2);
+            assert!((ap.power_mw - power).abs() < 1e-12, "power {}", ap.power_mw);
+        }
     }
 
     #[test]

@@ -216,6 +216,27 @@ impl SystemModel {
         }
     }
 
+    /// Returns the model with a different per-rank ENMC logic
+    /// configuration — the design-space tuner's lever for lane count and
+    /// screener bitwidth. Every subsequent run simulates with
+    /// [`UnitParams::enmc`] over this configuration.
+    pub fn with_enmc_config(mut self, cfg: EnmcConfig) -> Self {
+        self.enmc = cfg;
+        self
+    }
+
+    /// Returns the model with a different rank-unit count (the tuner's
+    /// capacity axis; Table 3 ships 64).
+    pub fn with_total_ranks(mut self, ranks: usize) -> Self {
+        self.total_ranks = ranks.max(1);
+        self
+    }
+
+    /// The per-rank ENMC logic configuration in use.
+    pub fn enmc_config(&self) -> &EnmcConfig {
+        &self.enmc
+    }
+
     /// Returns the model with a different per-rank DRAM energy model
     /// (`ranks` is ignored; the system always scales a one-rank model by
     /// `total_ranks`).

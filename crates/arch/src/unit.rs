@@ -88,7 +88,7 @@ impl UnitParams {
     /// The ENMC unit of Table 3.
     pub fn enmc(cfg: &EnmcConfig) -> Self {
         UnitParams {
-            screen_bits: 4,
+            screen_bits: cfg.screen_bits,
             screen_macs_per_cycle: cfg.int4_macs as f64,
             fp32_macs_per_cycle: cfg.fp32_macs as f64,
             buffer_bytes: cfg.buffer_bytes,

@@ -91,6 +91,7 @@ fn main() {
             upgrade_queue_depth: 2,
             shed_queue_depth: 24,
             seed: 0x5e12,
+            offload: None,
         };
         let mut registry = MetricsRegistry::new();
         let out = simulate(&sys, &job, &cfg, &sim_config(), &mut registry, None);

@@ -44,6 +44,8 @@ use enmc_serve::arrival::SplitMix64;
 use enmc_serve::hist::LatencyHistogram;
 use enmc_serve::sim::{calibrate_service_table, ServiceTable};
 use enmc_serve::tier::DegradeTier;
+use enmc_serve::OffloadPlan;
+use enmc_tune::plan_from_table;
 use enmc_serve::ArrivalProcess;
 use enmc_surrogate::{CostModel, SurrogateViolation};
 
@@ -124,6 +126,10 @@ pub struct FleetConfig {
     pub tenants: Vec<TenantConfig>,
     /// Seed for the shard-popularity draw stream.
     pub seed: u64,
+    /// Run every calibrated ladder through the per-query offload
+    /// planner, serving each `(tier, batch)` point on the cheaper of
+    /// NMP and the CPU roofline.
+    pub offload: bool,
 }
 
 impl Default for FleetConfig {
@@ -140,6 +146,7 @@ impl Default for FleetConfig {
             network: Network::roce_100g(),
             tenants: Vec::new(),
             seed: 7,
+            offload: false,
         }
     }
 }
@@ -264,6 +271,12 @@ pub struct FleetOutcome {
     pub audit_points: u64,
     /// Worst bound-normalized relative leaf error over audited points.
     pub audit_max_rel_err: f64,
+    /// Dispatched batches the offload planner kept on NMP (0 without
+    /// `offload`).
+    pub offload_nmp: u64,
+    /// Dispatched batches the offload planner sent to the CPU roofline
+    /// (0 without `offload`).
+    pub offload_cpu: u64,
 }
 
 impl FleetOutcome {
@@ -329,6 +342,8 @@ impl FleetOutcome {
         report.fit_anchors = self.fit_anchors;
         report.audit_points = self.audit_points;
         report.audit_max_rel_err = self.audit_max_rel_err;
+        report.offload_nmp = self.offload_nmp;
+        report.offload_cpu = self.offload_cpu;
         report.nodes = self.nodes as u64;
         report.placement = self.placement.clone();
         report.hot_shard_replicas = self.hot_shard_replicas;
@@ -465,6 +480,25 @@ pub fn simulate_fleet(
             &context,
         )?);
     }
+    // Offload planning: each calibrated ladder's table is replaced by
+    // the planner's per-point choice of NMP vs. CPU roofline, and the
+    // plan tags let the dispatch loop count admission decisions.
+    let plans: Vec<Option<OffloadPlan>> = if cfg.offload {
+        ladders
+            .iter()
+            .zip(&tables)
+            .map(|(ladder, table)| Some(plan_from_table(sys, &sjob, ladder, table)))
+            .collect()
+    } else {
+        vec![None; ladders.len()]
+    };
+    for (table, plan) in tables.iter_mut().zip(&plans) {
+        if let Some(plan) = plan {
+            plan.check_shape(table.cycles.len(), cfg.batch_max);
+            table.cycles = plan.cycles.clone();
+        }
+    }
+
     let ns_per_cycle =
         tables.iter().map(|t| t.ns_per_cycle).fold(0.0f64, f64::max);
     let protocol_violations: u64 = tables.iter().map(|t| t.protocol_violations).sum();
@@ -559,6 +593,7 @@ pub fn simulate_fleet(
     let mut network_cycles_total = 0u64;
     let mut latency_cycles_total = 0u64;
     let mut makespan = 0u64;
+    let (mut offload_nmp, mut offload_cpu) = (0u64, 0u64);
     let mut now = 0u64;
     let mut next_arrival = 0usize;
     let n = reqs.len();
@@ -659,6 +694,13 @@ pub fn simulate_fleet(
                 node.lane_free[lane] = end;
                 node.busy_cycles += svc;
                 per_tier_batches[ti][tier] += 1;
+                if let Some(plan) = &plans[tenant_table[ti]] {
+                    if plan.nmp[tier][size - 1] {
+                        offload_nmp += 1;
+                    } else {
+                        offload_cpu += 1;
+                    }
+                }
                 batches.push(FleetBatchRecord {
                     node: ni,
                     tenant: ti,
@@ -754,6 +796,8 @@ pub fn simulate_fleet(
         fit_anchors: stats.fit_anchors,
         audit_points: stats.audited,
         audit_max_rel_err: stats.max_rel_err,
+        offload_nmp,
+        offload_cpu,
     })
 }
 
@@ -819,6 +863,36 @@ mod tests {
         assert_eq!(routed, admitted, "router accounts every admitted query");
         assert!(out.makespan_cycles > 0);
         assert!(out.ns_per_cycle > 0.0);
+        assert_eq!(out.offload_nmp + out.offload_cpu, 0, "no plan, no decisions");
+    }
+
+    #[test]
+    fn offload_counts_every_batch_and_never_slows_the_fleet() {
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let base = two_tenant_cfg(&job);
+        let offload = FleetConfig { offload: true, ..base.clone() };
+        let mut reg1 = MetricsRegistry::new();
+        let mut c1 = CostModel::new(CostBackend::CycleAccurate, 7);
+        let plain =
+            simulate_fleet(&sys, &job, &base, &SimConfig::sequential(), &mut reg1, &mut c1)
+                .unwrap();
+        let mut reg2 = MetricsRegistry::new();
+        let mut c2 = CostModel::new(CostBackend::CycleAccurate, 7);
+        let planned =
+            simulate_fleet(&sys, &job, &offload, &SimConfig::sequential(), &mut reg2, &mut c2)
+                .unwrap();
+        assert_eq!(
+            planned.offload_nmp + planned.offload_cpu,
+            planned.batches.len() as u64,
+            "every dispatched batch carries a planner decision"
+        );
+        // Planned service is min(cpu, nmp) per point, so no batch got
+        // slower and the makespan cannot grow.
+        assert!(planned.makespan_cycles <= plain.makespan_cycles);
+        let r = planned.report("lstm", &offload, &reg2);
+        assert_eq!(r.offload_nmp, planned.offload_nmp);
+        assert_eq!(r.offload_cpu, planned.offload_cpu);
     }
 
     #[test]

@@ -43,14 +43,17 @@ use crate::metrics::MetricsReport;
 /// | v6 | `energy_nj` (total attributed system energy; deterministic, derived from simulation counters only), `breakdown` (flattened cost-attribution leaves: `path`/`cycles`/`nj` rows whose sums reproduce the headline totals exactly) | `0.0`, `[]` |
 /// | v7 | `cost_backend` (which cost model answered sweep points: `cycle-accurate` or `surrogate`), `fit_anchors` (cycle-accurate anchor simulations run by surrogate fits), `audit_points` (surrogate predictions re-run cycle-accurately), `audit_max_rel_err` (worst bound-normalized relative leaf error over the audited points) | `"cycle-accurate"`, `0`, `0`, `0.0` |
 /// | v8 | `nodes` (simulated DIMM-group nodes — fleet runs only), `placement` (shard placement policy: `consistent-hash` or `popularity`), `hot_shard_replicas` (extra hot-shard copies the placement placed), `network_share` (fraction of completed-request latency cycles spent on the interconnect), `tenants` (per-tenant rows: `name`/`slo_attainment`/`p99_ns`/`shed`/`admitted`/`completed`/`degrade_transitions`) | `0`, `""`, `0`, `0.0`, `[]` |
+/// | v9 | `space_size` (designs in the declared tune space), `evaluated_designs` (designs the search actually simulated), `audited_designs` (evaluated designs the audit lottery re-ran cycle-accurately), `frontier_points` (Pareto-optimal designs), `dominated_points` (evaluated designs dominated by the frontier), `max_area_mm2` (declared area budget; 0.0 = unconstrained), `max_power_mw` (declared power budget; 0.0 = unconstrained), `offload_nmp` (admission-time planner decisions that kept NMP execution), `offload_cpu` (planner decisions that chose the CPU roofline) | `0`, `0`, `0`, `0`, `0`, `0.0`, `0.0`, `0`, `0` |
 ///
 /// The v4 serving fields are only meaningful for `serve-sim` reports,
 /// the v5 fault fields only for `fault-sweep` reports, the v6
 /// attribution fields only for cycle-level runs (`profile`, sharded
 /// `simulate`), the v7 surrogate fields only for commands that accept
-/// `--cost-model`, and the v8 fleet fields only for `fleet-sim` reports;
-/// other commands write them at their defaults.
-pub const SCHEMA_VERSION: u32 = 8;
+/// `--cost-model`, the v8 fleet fields only for `fleet-sim` reports, and
+/// the v9 tune fields only for `tune`/`offload-plan` runs and the
+/// serving commands under `--offload`; other commands write them at
+/// their defaults.
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +200,27 @@ pub struct RunReport {
     pub network_share: f64,
     /// Per-tenant serving rows (fleet runs only; empty otherwise).
     pub tenants: Vec<TenantRow>,
+    /// Designs in the declared tune space (tune runs only).
+    pub space_size: u64,
+    /// Designs the search driver actually evaluated (≤ `space_size`;
+    /// equal on exhaustive search).
+    pub evaluated_designs: u64,
+    /// Evaluated designs whose surrogate prediction the audit lottery
+    /// re-ran cycle-accurately (0 on the cycle-accurate backend).
+    pub audited_designs: u64,
+    /// Pareto-optimal designs on the emitted frontier.
+    pub frontier_points: u64,
+    /// Evaluated designs dominated by some frontier point.
+    pub dominated_points: u64,
+    /// Declared area budget in mm² (0.0 = unconstrained).
+    pub max_area_mm2: f64,
+    /// Declared power budget in mW (0.0 = unconstrained).
+    pub max_power_mw: f64,
+    /// Admission-time offload-planner decisions that kept NMP execution.
+    pub offload_nmp: u64,
+    /// Admission-time offload-planner decisions that chose the CPU
+    /// roofline instead.
+    pub offload_cpu: u64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -332,6 +356,15 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("space_size".to_string(), Value::Int(self.space_size as i64)),
+            ("evaluated_designs".to_string(), Value::Int(self.evaluated_designs as i64)),
+            ("audited_designs".to_string(), Value::Int(self.audited_designs as i64)),
+            ("frontier_points".to_string(), Value::Int(self.frontier_points as i64)),
+            ("dominated_points".to_string(), Value::Int(self.dominated_points as i64)),
+            ("max_area_mm2".to_string(), Value::Num(self.max_area_mm2)),
+            ("max_power_mw".to_string(), Value::Num(self.max_power_mw)),
+            ("offload_nmp".to_string(), Value::Int(self.offload_nmp as i64)),
+            ("offload_cpu".to_string(), Value::Int(self.offload_cpu as i64)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -522,6 +555,19 @@ impl RunReport {
                 .unwrap_or(0),
             network_share: v.get("network_share").and_then(Value::as_f64).unwrap_or(0.0),
             tenants,
+            // v9 tune fields; default when reading an older report.
+            space_size: v.get("space_size").and_then(Value::as_u64).unwrap_or(0),
+            evaluated_designs: v
+                .get("evaluated_designs")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            audited_designs: v.get("audited_designs").and_then(Value::as_u64).unwrap_or(0),
+            frontier_points: v.get("frontier_points").and_then(Value::as_u64).unwrap_or(0),
+            dominated_points: v.get("dominated_points").and_then(Value::as_u64).unwrap_or(0),
+            max_area_mm2: v.get("max_area_mm2").and_then(Value::as_f64).unwrap_or(0.0),
+            max_power_mw: v.get("max_power_mw").and_then(Value::as_f64).unwrap_or(0.0),
+            offload_nmp: v.get("offload_nmp").and_then(Value::as_u64).unwrap_or(0),
+            offload_cpu: v.get("offload_cpu").and_then(Value::as_u64).unwrap_or(0),
             phases,
             metrics,
             notes,
@@ -702,6 +748,36 @@ mod tests {
     }
 
     #[test]
+    fn v8_reports_parse_with_defaulted_tune_fields() {
+        // A v8 report has none of the v9 tune keys.
+        let mut r = sample();
+        r.schema_version = 8;
+        let v8_json = r
+            .to_json()
+            .replace("\"space_size\":0,", "")
+            .replace("\"evaluated_designs\":0,", "")
+            .replace("\"audited_designs\":0,", "")
+            .replace("\"frontier_points\":0,", "")
+            .replace("\"dominated_points\":0,", "")
+            .replace("\"max_area_mm2\":0,", "")
+            .replace("\"max_power_mw\":0,", "")
+            .replace("\"offload_nmp\":0,", "")
+            .replace("\"offload_cpu\":0,", "");
+        assert!(!v8_json.contains("frontier_points"));
+        let back = RunReport::from_json(&v8_json).unwrap();
+        assert_eq!(back.space_size, 0);
+        assert_eq!(back.evaluated_designs, 0);
+        assert_eq!(back.audited_designs, 0);
+        assert_eq!(back.frontier_points, 0);
+        assert_eq!(back.dominated_points, 0);
+        assert_eq!(back.max_area_mm2, 0.0);
+        assert_eq!(back.max_power_mw, 0.0);
+        assert_eq!(back.offload_nmp, 0);
+        assert_eq!(back.offload_cpu, 0);
+        assert_eq!(back.nodes, r.nodes);
+    }
+
+    #[test]
     fn tenant_rows_round_trip() {
         let mut r = sample();
         r.nodes = 4;
@@ -785,8 +861,19 @@ mod tests {
             "\"network_share\":0,",
             "\"tenants\":[],",
         ];
-        let strip: [&[&str]; 8] = [
-            // v1: no v2/v3/v4/v5/v6/v7/v8 fields.
+        const V9_KEYS: [&str; 9] = [
+            "\"space_size\":0,",
+            "\"evaluated_designs\":0,",
+            "\"audited_designs\":0,",
+            "\"frontier_points\":0,",
+            "\"dominated_points\":0,",
+            "\"max_area_mm2\":0,",
+            "\"max_power_mw\":0,",
+            "\"offload_nmp\":0,",
+            "\"offload_cpu\":0,",
+        ];
+        let strip: [&[&str]; 9] = [
+            // v1: no v2/v3/v4/v5/v6/v7/v8/v9 fields.
             &[
                 "\"threads\":0,",
                 "\"speedup\":1,",
@@ -811,8 +898,17 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v2: no v3/v4/v5/v6/v7/v8 fields.
+            // v2: no v3/v4/v5/v6/v7/v8/v9 fields.
             &[
                 "\"protocol_violations\":0,",
                 "\"slo_attainment\":0,",
@@ -835,8 +931,17 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v3: no v4/v5/v6/v7/v8 fields.
+            // v3: no v4/v5/v6/v7/v8/v9 fields.
             &[
                 "\"slo_attainment\":0,",
                 "\"p99_ns\":0,",
@@ -858,8 +963,17 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v4: no v5/v6/v7/v8 fields.
+            // v4: no v5/v6/v7/v8/v9 fields.
             &[
                 V5_KEYS[0],
                 V5_KEYS[1],
@@ -877,8 +991,17 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v5: no v6/v7/v8 fields.
+            // v5: no v6/v7/v8/v9 fields.
             &[
                 V6_KEYS[0],
                 V6_KEYS[1],
@@ -891,8 +1014,17 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v6: no v7/v8 fields.
+            // v6: no v7/v8/v9 fields.
             &[
                 V7_KEYS[0],
                 V7_KEYS[1],
@@ -903,10 +1035,46 @@ mod tests {
                 V8_KEYS[2],
                 V8_KEYS[3],
                 V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
             ],
-            // v7: no v8 fields.
-            &[V8_KEYS[0], V8_KEYS[1], V8_KEYS[2], V8_KEYS[3], V8_KEYS[4]],
-            // v8: current — nothing stripped.
+            // v7: no v8/v9 fields.
+            &[
+                V8_KEYS[0],
+                V8_KEYS[1],
+                V8_KEYS[2],
+                V8_KEYS[3],
+                V8_KEYS[4],
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
+            ],
+            // v8: no v9 fields.
+            &[
+                V9_KEYS[0],
+                V9_KEYS[1],
+                V9_KEYS[2],
+                V9_KEYS[3],
+                V9_KEYS[4],
+                V9_KEYS[5],
+                V9_KEYS[6],
+                V9_KEYS[7],
+                V9_KEYS[8],
+            ],
+            // v9: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

@@ -17,6 +17,9 @@
 //!    screener down through configured [`tier::DegradeTier`]s.
 //! 3. [`hist`] — log-bucketed latency histograms for p50/p90/p99/p999
 //!    tail reporting.
+//! 4. [`offload`] — the admission-time [`OffloadPlan`] hook an external
+//!    planner (enmc-tune) installs to route each `(tier, batch)` point
+//!    to NMP or the CPU roofline at its pre-planned cost.
 //!
 //! # Determinism contract
 //!
@@ -30,11 +33,13 @@
 
 pub mod arrival;
 pub mod hist;
+pub mod offload;
 pub mod sim;
 pub mod tier;
 
 pub use arrival::ArrivalProcess;
 pub use hist::LatencyHistogram;
+pub use offload::OffloadPlan;
 pub use sim::{
     calibrate_service_table, simulate, simulate_with_cost, BatchRecord, RequestRecord,
     ServeConfig, ServeOutcome, ServiceTable,

@@ -1,0 +1,68 @@
+//! Admission-time offload plan: the hook an external planner (the
+//! `enmc-tune` crate's NMPO-style per-query planner) installs into a
+//! serving scenario.
+//!
+//! The serving loop itself never decides *where* a batch executes — it
+//! charges whatever the calibrated service table says. An [`OffloadPlan`]
+//! overrides that table with per-`(tier, batch)` service times that
+//! already reflect the cheaper of CPU-roofline and NMP execution, and
+//! tags each point with the executor the planner chose so the event loop
+//! can count admission-time decisions. Keeping the plan a plain data
+//! table preserves the determinism contract: the outcome stays a pure
+//! function of the configuration, byte-identical at any worker count.
+
+/// Per-`(tier, batch)` executor choice and service time installed by an
+/// offload planner. Both tables are indexed `[tier][batch_size - 1]` and
+/// must match the scenario's ladder depth and `batch_max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadPlan {
+    /// Planned service cycles: the cheaper of the calibrated NMP time
+    /// and the CPU roofline, per point. Every entry is at least 1.
+    pub cycles: Vec<Vec<u64>>,
+    /// `true` where the planner kept NMP execution, `false` where the
+    /// CPU roofline won.
+    pub nmp: Vec<Vec<bool>>,
+}
+
+impl OffloadPlan {
+    /// Validates the plan against a scenario's ladder depth and maximum
+    /// batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either table is not exactly `tiers × batch_max`.
+    pub fn check_shape(&self, tiers: usize, batch_max: usize) {
+        assert_eq!(self.cycles.len(), tiers, "offload plan must cover every tier");
+        assert_eq!(self.nmp.len(), tiers, "offload plan must tag every tier");
+        for (c, n) in self.cycles.iter().zip(&self.nmp) {
+            assert_eq!(c.len(), batch_max, "offload plan must cover batch 1..=batch_max");
+            assert_eq!(n.len(), batch_max, "offload plan must tag batch 1..=batch_max");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_shaped_plan_checks() {
+        let plan =
+            OffloadPlan { cycles: vec![vec![10, 20]; 3], nmp: vec![vec![true, false]; 3] };
+        plan.check_shape(3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every tier")]
+    fn tier_mismatch_panics() {
+        let plan = OffloadPlan { cycles: vec![vec![10]; 2], nmp: vec![vec![true]; 2] };
+        plan.check_shape(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch 1..=batch_max")]
+    fn batch_mismatch_panics() {
+        let plan = OffloadPlan { cycles: vec![vec![10]; 2], nmp: vec![vec![true]; 2] };
+        plan.check_shape(2, 4);
+    }
+}

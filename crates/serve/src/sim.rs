@@ -35,6 +35,7 @@ use enmc_surrogate::{CostBackend, CostModel, SurrogateViolation};
 
 use crate::arrival::ArrivalProcess;
 use crate::hist::{cycle_bounds, LatencyHistogram};
+use crate::offload::OffloadPlan;
 use crate::tier::DegradeTier;
 
 /// Trace category for serving-layer events.
@@ -71,6 +72,9 @@ pub struct ServeConfig {
     pub shed_queue_depth: usize,
     /// Seed for the arrival stream.
     pub seed: u64,
+    /// Admission-time offload plan installed by an external planner
+    /// (`None` = serve every point on NMP at calibrated cost).
+    pub offload: Option<OffloadPlan>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +91,7 @@ impl Default for ServeConfig {
             upgrade_queue_depth: 3,
             shed_queue_depth: 48,
             seed: 7,
+            offload: None,
         }
     }
 }
@@ -166,6 +171,12 @@ pub struct ServeOutcome {
     pub audit_points: u64,
     /// Worst bound-normalized relative leaf error over audited points.
     pub audit_max_rel_err: f64,
+    /// Dispatched batches the offload plan kept on NMP (0 without a
+    /// plan).
+    pub offload_nmp: u64,
+    /// Dispatched batches the offload plan sent to the CPU roofline (0
+    /// without a plan).
+    pub offload_cpu: u64,
 }
 
 impl ServeOutcome {
@@ -206,6 +217,8 @@ impl ServeOutcome {
         report.fit_anchors = self.fit_anchors;
         report.audit_points = self.audit_points;
         report.audit_max_rel_err = self.audit_max_rel_err;
+        report.offload_nmp = self.offload_nmp;
+        report.offload_cpu = self.offload_cpu;
         report.metrics = registry.snapshot();
         report.notes.push(format!(
             "open-loop {} arrivals, seed {}, {} request(s)",
@@ -365,6 +378,15 @@ pub fn simulate_with_cost(
     assert!(!cfg.tiers.is_empty(), "serve config needs at least one degrade tier");
     assert!(cfg.batch_max > 0, "batch_max must be positive");
     let (service, ns_per_cycle, protocol_violations) = calibrate(sys, job, cfg, sim, cost)?;
+    // An installed offload plan overrides the calibrated table with the
+    // planner's per-point choice of executor.
+    let service = match &cfg.offload {
+        Some(plan) => {
+            plan.check_shape(cfg.tiers.len(), cfg.batch_max);
+            plan.cycles.clone()
+        }
+        None => service,
+    };
 
     let arrivals = cfg.arrival.generate(cfg.requests, cfg.seed);
     let mut requests: Vec<RequestRecord> = arrivals
@@ -385,6 +407,7 @@ pub fn simulate_with_cost(
     let mut per_tier_completed = vec![0u64; cfg.tiers.len()];
     let mut per_tier_batches = vec![0u64; cfg.tiers.len()];
     let (mut admitted, mut shed, mut completed, mut slo_met) = (0u64, 0u64, 0u64, 0u64);
+    let (mut offload_nmp, mut offload_cpu) = (0u64, 0u64);
     let mut degrade_transitions = 0u64;
     let mut max_queue_depth = 0usize;
     let mut tier = 0usize;
@@ -465,6 +488,13 @@ pub fn simulate_with_cost(
             }
             lane_free[lane] = end;
             per_tier_batches[tier] += 1;
+            if let Some(plan) = &cfg.offload {
+                if plan.nmp[tier][size - 1] {
+                    offload_nmp += 1;
+                } else {
+                    offload_cpu += 1;
+                }
+            }
             batches.push(BatchRecord { start: now, end, size, tier, lane, oldest_arrival });
             if let Some(tb) = trace.as_deref_mut() {
                 let tid = TID_LANE0 + lane as u32;
@@ -544,6 +574,8 @@ pub fn simulate_with_cost(
         fit_anchors: stats.fit_anchors,
         audit_points: stats.audited,
         audit_max_rel_err: stats.max_rel_err,
+        offload_nmp,
+        offload_cpu,
     })
 }
 

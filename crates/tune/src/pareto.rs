@@ -1,0 +1,225 @@
+//! Pareto-frontier extraction over evaluated designs and the
+//! deterministic frontier JSON fixture format.
+//!
+//! The objective space is (latency ↓, energy/query ↓, quality ↑). The
+//! frontier is sorted by `(latency, energy, lattice index)` and every
+//! point carries how many evaluated designs it dominates, so two
+//! frontiers over the same space diff byte-identically regardless of
+//! worker count or search strategy. The JSON deliberately omits
+//! *how many* designs were evaluated — guided search evaluates fewer
+//! than exhaustive, and CI diffs the two frontiers for equality.
+
+use crate::eval::EvaluatedDesign;
+use crate::space::Budget;
+
+/// One frontier point: the evaluated design plus its dominance count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The non-dominated design.
+    pub design: EvaluatedDesign,
+    /// Evaluated designs this point strictly dominates.
+    pub dominates: u64,
+}
+
+/// Whether `a` Pareto-dominates `b`: no worse on every objective and
+/// strictly better on at least one.
+pub fn dominates(a: &EvaluatedDesign, b: &EvaluatedDesign) -> bool {
+    let no_worse = a.latency_ns <= b.latency_ns
+        && a.energy_per_query_nj <= b.energy_per_query_nj
+        && a.quality_pct >= b.quality_pct;
+    let better = a.latency_ns < b.latency_ns
+        || a.energy_per_query_nj < b.energy_per_query_nj
+        || a.quality_pct > b.quality_pct;
+    no_worse && better
+}
+
+/// Extracts the Pareto frontier, sorted by
+/// `(latency_ns, energy_per_query_nj, lattice index)`.
+pub fn pareto_frontier(evaluated: &[EvaluatedDesign]) -> Vec<FrontierPoint> {
+    let mut frontier: Vec<FrontierPoint> = Vec::new();
+    for (i, d) in evaluated.iter().enumerate() {
+        if evaluated
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && dominates(other, d))
+        {
+            continue;
+        }
+        // Duplicate objective vectors: keep every copy (none dominates
+        // the other), the sort key separates them by lattice index.
+        let count = evaluated.iter().filter(|other| dominates(d, other)).count() as u64;
+        frontier.push(FrontierPoint { design: d.clone(), dominates: count });
+    }
+    frontier.sort_by(|a, b| {
+        a.design
+            .latency_ns
+            .total_cmp(&b.design.latency_ns)
+            .then(a.design.energy_per_query_nj.total_cmp(&b.design.energy_per_query_nj))
+            .then(a.design.point.index.cmp(&b.design.point.index))
+    });
+    frontier
+}
+
+/// Total dominated designs (with multiplicity collapsed): evaluated
+/// designs dominated by at least one frontier point.
+pub fn dominated_count(evaluated: &[EvaluatedDesign], frontier: &[FrontierPoint]) -> u64 {
+    evaluated
+        .iter()
+        .filter(|d| frontier.iter().any(|f| dominates(&f.design, d)))
+        .count() as u64
+}
+
+/// Fixed-precision float for fixture text: enough digits to restore the
+/// value, no platform-dependent shortest-form drift.
+fn fnum(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+/// Renders a frontier as the `tune-frontier-v1` JSON fixture: the
+/// declared space size, the budget, and every frontier point with its
+/// design axes, price, objectives, and provenance. Deterministic by
+/// construction; excludes evaluated/audited totals and per-point
+/// dominance counts (both depend on how many designs a strategy
+/// evaluated) so guided and exhaustive searches over the same space
+/// render byte-identically.
+pub fn frontier_json(
+    workload: &str,
+    space_size: usize,
+    budget: &Budget,
+    frontier: &[FrontierPoint],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tune-frontier-v1\",\n");
+    s.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+    s.push_str(&format!("  \"space_size\": {space_size},\n"));
+    s.push_str(&format!(
+        "  \"max_area_mm2\": {},\n",
+        budget.max_area_mm2.map_or("null".to_string(), fnum)
+    ));
+    s.push_str(&format!(
+        "  \"max_power_mw\": {},\n",
+        budget.max_power_mw.map_or("null".to_string(), fnum)
+    ));
+    s.push_str("  \"frontier\": [\n");
+    for (i, p) in frontier.iter().enumerate() {
+        let d = &p.design;
+        let pt = &d.point;
+        s.push_str("    {");
+        s.push_str(&format!("\"design\": \"{}\", ", pt.label()));
+        s.push_str(&format!("\"index\": {}, ", pt.index));
+        s.push_str(&format!("\"ranks\": {}, ", pt.ranks));
+        s.push_str(&format!("\"lanes\": {}, ", pt.lanes));
+        s.push_str(&format!("\"screen_bits\": {}, ", pt.screen_bits));
+        s.push_str(&format!("\"screen_shift\": {}, ", pt.screen_shift));
+        s.push_str(&format!("\"candidates\": {}, ", pt.candidates));
+        s.push_str(&format!("\"batch_max\": {}, ", pt.batch_max));
+        s.push_str(&format!("\"linger_cycles\": {}, ", pt.linger_cycles));
+        s.push_str(&format!("\"ecc\": {}, ", pt.ecc));
+        s.push_str(&format!("\"area_mm2\": {}, ", fnum(d.cost.area_mm2)));
+        s.push_str(&format!("\"power_mw\": {}, ", fnum(d.cost.power_mw)));
+        s.push_str(&format!("\"latency_ns\": {}, ", fnum(d.latency_ns)));
+        s.push_str(&format!("\"energy_per_query_nj\": {}, ", fnum(d.energy_per_query_nj)));
+        s.push_str(&format!("\"quality_pct\": {}, ", fnum(d.quality_pct)));
+        // Per-point dominance counts (like evaluated totals) are over
+        // the evaluated set, which guided search keeps smaller — they
+        // live in the RunReport, not the mode-diffed fixture.
+        s.push_str(&format!("\"provenance\": \"{}\"", d.provenance()));
+        s.push('}');
+        if i + 1 < frontier.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignPoint;
+    use enmc_arch::AreaPower;
+
+    fn design(index: usize, lat: f64, nj: f64, q: f64) -> EvaluatedDesign {
+        EvaluatedDesign {
+            point: DesignPoint {
+                index,
+                ranks: 64,
+                lanes: 128,
+                screen_bits: 4,
+                screen_shift: 0,
+                candidates: 128,
+                batch_max: 4,
+                linger_cycles: 0,
+                ecc: false,
+            },
+            cost: AreaPower { area_mm2: 28.0, power_mw: 18_000.0 },
+            latency_ns: lat,
+            energy_per_query_nj: nj,
+            quality_pct: q,
+            audited: true,
+            fit_anchors: 0,
+            audit_max_rel_err: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let a = design(0, 10.0, 10.0, 90.0);
+        let b = design(1, 20.0, 20.0, 80.0);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a), "a point never dominates itself");
+        // Trade-off: faster but lower quality — neither dominates.
+        let c = design(2, 5.0, 5.0, 50.0);
+        assert!(!dominates(&a, &c));
+        assert!(!dominates(&c, &a));
+    }
+
+    #[test]
+    fn frontier_has_no_dominated_points() {
+        let pts = vec![
+            design(0, 10.0, 10.0, 90.0),
+            design(1, 20.0, 20.0, 80.0), // dominated by 0
+            design(2, 5.0, 30.0, 95.0),
+            design(3, 30.0, 5.0, 60.0),
+        ];
+        let frontier = pareto_frontier(&pts);
+        let kept: Vec<usize> = frontier.iter().map(|f| f.design.point.index).collect();
+        assert_eq!(kept, vec![2, 0, 3], "sorted by latency");
+        for f in &frontier {
+            assert!(!pts.iter().any(|p| dominates(p, &f.design)));
+        }
+        assert_eq!(dominated_count(&pts, &frontier), 1);
+        assert_eq!(frontier.iter().map(|f| f.dominates).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn duplicate_objectives_all_survive() {
+        let pts = vec![design(0, 10.0, 10.0, 90.0), design(1, 10.0, 10.0, 90.0)];
+        let frontier = pareto_frontier(&pts);
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(frontier[0].design.point.index, 0, "ties break by index");
+    }
+
+    #[test]
+    fn json_is_stable_and_excludes_evaluated_counts() {
+        let pts = vec![design(0, 10.0, 10.5, 90.0)];
+        let frontier = pareto_frontier(&pts);
+        let j = frontier_json("lstm", 32, &Budget::default(), &frontier);
+        assert!(j.contains("\"schema\": \"tune-frontier-v1\""));
+        assert!(j.contains("\"space_size\": 32"));
+        assert!(j.contains("\"max_area_mm2\": null"));
+        assert!(j.contains("\"energy_per_query_nj\": 10.5"));
+        assert!(!j.contains("evaluated"), "guided and exhaustive must render identically");
+        assert!(!j.contains("dominates"), "dominance counts depend on the evaluated set");
+        let again = frontier_json("lstm", 32, &Budget::default(), &frontier);
+        assert_eq!(j, again);
+    }
+}

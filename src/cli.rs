@@ -291,6 +291,110 @@ pub fn parse_audit_rate(raw: &str) -> Result<f64, String> {
     }
 }
 
+/// Validates a comma-separated design-axis level list for `tune`
+/// (`--ranks`, `--lanes`, `--screen-bits`, `--candidates`,
+/// `--batch-max`): each level must parse as an integer ≥ 1. `flag`
+/// names the flag in the message.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag, the offending entry,
+/// and the accepted range.
+pub fn parse_axis_levels(flag: &str, raw: &str) -> Result<Vec<u64>, String> {
+    if raw.is_empty() {
+        return Err(format!("{flag} expects a comma-separated list of levels, got ''"));
+    }
+    let mut out = Vec::new();
+    for tok in raw.split(',') {
+        match tok.parse::<u64>() {
+            Ok(n) if n >= 1 => out.push(n),
+            _ => {
+                return Err(format!(
+                    "{flag} levels must be integers >= 1, got '{tok}' in '{raw}'"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Validates a comma-separated non-negative level list for `tune`
+/// (`--screen-shift`, `--linger`): zero is a meaningful level (no shift,
+/// no linger), so only the integer parse can fail.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the offending entry.
+pub fn parse_axis_counts(flag: &str, raw: &str) -> Result<Vec<u64>, String> {
+    if raw.is_empty() {
+        return Err(format!("{flag} expects a comma-separated list of levels, got ''"));
+    }
+    let mut out = Vec::new();
+    for tok in raw.split(',') {
+        match tok.parse::<u64>() {
+            Ok(n) => out.push(n),
+            Err(_) => {
+                return Err(format!(
+                    "{flag} levels must be unsigned integers, got '{tok}' in '{raw}'"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Validates the `--ecc` axis list for `tune`: comma-separated
+/// `on`/`off` (or `true`/`false`, `1`/`0`) levels.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the offending entry.
+pub fn parse_ecc_levels(raw: &str) -> Result<Vec<bool>, String> {
+    if raw.is_empty() {
+        return Err("--ecc expects a comma-separated list of on/off levels, got ''".to_string());
+    }
+    let mut out = Vec::new();
+    for tok in raw.split(',') {
+        match tok.to_ascii_lowercase().as_str() {
+            "on" | "true" | "1" => out.push(true),
+            "off" | "false" | "0" => out.push(false),
+            _ => {
+                return Err(format!(
+                    "--ecc levels must be 'on' or 'off', got '{tok}' in '{raw}'"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Validates a tuning budget cap (`--max-area-mm2`, `--max-power-mw`):
+/// a finite positive number. `flag` names the flag in the message.
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the flag and the accepted range.
+pub fn parse_budget_cap(flag: &str, raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(c) if c.is_finite() && c > 0.0 => Ok(c),
+        Ok(_) => Err(format!("{flag} must be a positive finite number, got '{raw}'")),
+        Err(_) => Err(format!("{flag} expects a positive number, got '{raw}'")),
+    }
+}
+
+/// Validates a `--search` value for `tune`.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted strategies.
+pub fn parse_search_mode(raw: &str) -> Result<enmc_tune::SearchMode, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "exhaustive" | "brute" | "brute-force" => Ok(enmc_tune::SearchMode::Exhaustive),
+        "guided" => Ok(enmc_tune::SearchMode::Guided),
+        _ => Err(format!("--search must be 'exhaustive' or 'guided', got '{raw}'")),
+    }
+}
+
 /// Validates a `--placement` value for `fleet-sim`.
 ///
 /// # Errors
@@ -346,6 +450,74 @@ pub enum ReportFormat {
     Text,
     /// A machine-readable [`enmc_obs::RunReport`] on stdout.
     Json,
+}
+
+/// One flag's raw value from an argument list: the token following
+/// `name`, if any.
+pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// The flag bundle every seeded subcommand shares: `--seed`,
+/// `--threads`, `--cost-model`, `--audit-rate`, and `--report`, parsed
+/// once with one precedence rule each. `simulate`, `serve-sim`,
+/// `fault-sweep`, `fleet-sim`, `tune`, and `offload-plan` all resolve
+/// through here, so the flags mean the same thing everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Effective seed: `--seed` > `ENMC_SEED` > the subcommand default.
+    pub seed: u64,
+    /// Explicit `--threads`, if given. Use [`CommonArgs::threads_or_env`]
+    /// or [`CommonArgs::workers`] where `ENMC_THREADS` should apply.
+    pub threads: Option<usize>,
+    /// Explicit `--cost-model`, if given (`None` lets each subcommand
+    /// keep its own default backend).
+    pub cost_model: Option<CostModelKind>,
+    /// Surrogate audit rate (defaults to 0.1 when the flag is absent).
+    pub audit_rate: f64,
+    /// Output format (defaults to text).
+    pub format: ReportFormat,
+}
+
+impl CommonArgs {
+    /// Parses the shared flags out of a subcommand's argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing flag's user-facing message.
+    pub fn parse(args: &[String], default_seed: u64) -> Result<Self, String> {
+        let seed = resolve_seed(flag_value(args, "--seed"), default_seed)?;
+        let threads = flag_value(args, "--threads").map(parse_threads).transpose()?;
+        let cost_model = flag_value(args, "--cost-model").map(parse_cost_model).transpose()?;
+        let audit_rate =
+            flag_value(args, "--audit-rate").map(parse_audit_rate).unwrap_or(Ok(0.1))?;
+        let format =
+            flag_value(args, "--report").map(parse_report_format).unwrap_or(Ok(ReportFormat::Text))?;
+        Ok(CommonArgs { seed, threads, cost_model, audit_rate, format })
+    }
+
+    /// Worker-count resolution for subcommands where omitting the flag
+    /// falls through to the `ENMC_THREADS` hook: flag > env > `None`.
+    pub fn threads_or_env(&self) -> Option<usize> {
+        self.threads.or_else(enmc_par::env_threads)
+    }
+
+    /// Worker count for always-parallel fan-outs: flag > env > 1.
+    pub fn workers(&self) -> usize {
+        self.threads_or_env().unwrap_or(1)
+    }
+
+    /// The cost backend the `--cost-model`/`--audit-rate` pair selects;
+    /// `default` is the kind used when the flag is absent
+    /// (cycle-accurate for the simulators, surrogate for `tune`).
+    pub fn backend(&self, default: CostModelKind) -> enmc_surrogate::CostBackend {
+        match self.cost_model.unwrap_or(default) {
+            CostModelKind::CycleAccurate => enmc_surrogate::CostBackend::CycleAccurate,
+            CostModelKind::Surrogate => {
+                enmc_surrogate::CostBackend::Surrogate { audit_rate: self.audit_rate }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -547,5 +719,134 @@ mod tests {
         assert_eq!(tiers.len(), 2);
         assert_eq!(tiers[1].candidates, 50);
         assert!(parse_degrade_tiers("50:1,100:0").unwrap_err().contains("--degrade-tiers"));
+    }
+
+    #[test]
+    fn axis_levels_accept_positive_lists_and_name_the_flag() {
+        assert_eq!(parse_axis_levels("--ranks", "32,64"), Ok(vec![32, 64]));
+        assert_eq!(parse_axis_levels("--lanes", "128"), Ok(vec![128]));
+        assert!(parse_axis_levels("--ranks", "").unwrap_err().contains("--ranks"));
+        assert!(parse_axis_levels("--lanes", "64,0").unwrap_err().contains(">= 1"));
+        assert!(parse_axis_levels("--ranks", "32,many").unwrap_err().contains("'many'"));
+    }
+
+    #[test]
+    fn axis_counts_accept_zero_levels() {
+        assert_eq!(parse_axis_counts("--screen-shift", "0,1,2"), Ok(vec![0, 1, 2]));
+        assert_eq!(parse_axis_counts("--linger", "0"), Ok(vec![0]));
+        assert!(parse_axis_counts("--linger", "").unwrap_err().contains("--linger"));
+        assert!(parse_axis_counts("--screen-shift", "0,-1").unwrap_err().contains("'-1'"));
+    }
+
+    #[test]
+    fn ecc_levels_parse_on_off_synonyms() {
+        assert_eq!(parse_ecc_levels("off,on"), Ok(vec![false, true]));
+        assert_eq!(parse_ecc_levels("TRUE"), Ok(vec![true]));
+        assert_eq!(parse_ecc_levels("0"), Ok(vec![false]));
+        assert!(parse_ecc_levels("").unwrap_err().contains("--ecc"));
+        assert!(parse_ecc_levels("on,maybe").unwrap_err().contains("'maybe'"));
+    }
+
+    #[test]
+    fn budget_caps_must_be_positive_and_finite() {
+        assert_eq!(parse_budget_cap("--max-area-mm2", "120.5"), Ok(120.5));
+        assert!(parse_budget_cap("--max-area-mm2", "0").unwrap_err().contains("--max-area-mm2"));
+        assert!(parse_budget_cap("--max-power-mw", "-3").unwrap_err().contains("positive"));
+        assert!(parse_budget_cap("--max-power-mw", "inf").is_err());
+        assert!(parse_budget_cap("--max-area-mm2", "big").unwrap_err().contains("'big'"));
+    }
+
+    #[test]
+    fn search_mode_parses_both_strategies() {
+        use enmc_tune::SearchMode;
+        assert_eq!(parse_search_mode("exhaustive"), Ok(SearchMode::Exhaustive));
+        assert_eq!(parse_search_mode("BRUTE-FORCE"), Ok(SearchMode::Exhaustive));
+        assert_eq!(parse_search_mode("guided"), Ok(SearchMode::Guided));
+        assert!(parse_search_mode("random").unwrap_err().contains("'random'"));
+    }
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn common_args_default_when_no_flags_are_given() {
+        // ENMC_SEED/ENMC_THREADS are process-global; only assert the
+        // env-free arms when the hooks are unset.
+        let c = CommonArgs::parse(&argv(&[]), 7).unwrap();
+        if std::env::var("ENMC_SEED").is_err() {
+            assert_eq!(c.seed, 7);
+        }
+        assert_eq!(c.threads, None);
+        assert_eq!(c.cost_model, None);
+        assert_eq!(c.audit_rate, 0.1);
+        assert_eq!(c.format, ReportFormat::Text);
+        if std::env::var("ENMC_THREADS").is_err() {
+            assert_eq!(c.threads_or_env(), None);
+            assert_eq!(c.workers(), 1);
+        }
+    }
+
+    #[test]
+    fn common_args_parse_every_shared_flag() {
+        let c = CommonArgs::parse(
+            &argv(&[
+                "--seed",
+                "42",
+                "--threads",
+                "4",
+                "--cost-model",
+                "surrogate",
+                "--audit-rate",
+                "0.5",
+                "--report",
+                "json",
+            ]),
+            7,
+        )
+        .unwrap();
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.threads, Some(4));
+        assert_eq!(c.workers(), 4);
+        assert_eq!(c.format, ReportFormat::Json);
+        assert_eq!(
+            c.backend(CostModelKind::CycleAccurate),
+            enmc_surrogate::CostBackend::Surrogate { audit_rate: 0.5 }
+        );
+    }
+
+    #[test]
+    fn common_args_backend_default_binds_per_subcommand() {
+        use enmc_surrogate::CostBackend;
+        let c = CommonArgs::parse(&argv(&[]), 7).unwrap();
+        assert_eq!(c.backend(CostModelKind::CycleAccurate), CostBackend::CycleAccurate);
+        assert_eq!(
+            c.backend(CostModelKind::Surrogate),
+            CostBackend::Surrogate { audit_rate: 0.1 }
+        );
+    }
+
+    #[test]
+    fn common_args_surface_the_failing_flag() {
+        assert!(CommonArgs::parse(&argv(&["--threads", "0"]), 7)
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(CommonArgs::parse(&argv(&["--cost-model", "oracle"]), 7)
+            .unwrap_err()
+            .contains("'oracle'"));
+        assert!(CommonArgs::parse(&argv(&["--audit-rate", "2"]), 7)
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(CommonArgs::parse(&argv(&["--report", "xml"]), 7)
+            .unwrap_err()
+            .contains("'xml'"));
+    }
+
+    #[test]
+    fn flag_value_returns_the_following_token() {
+        let args = argv(&["--seed", "9", "--json"]);
+        assert_eq!(flag_value(&args, "--seed"), Some("9"));
+        assert_eq!(flag_value(&args, "--json"), None, "trailing flag has no value");
+        assert_eq!(flag_value(&args, "--missing"), None);
     }
 }

@@ -23,6 +23,7 @@
 //! | [`serve`] | `enmc-serve` | online serving simulator: arrivals, batching, SLO degradation |
 //! | [`fault`] | `enmc-fault` | approximate-DRAM error models, SEC-DED ECC, resilience sweeps |
 //! | [`surrogate`] | `enmc-surrogate` | hybrid-fidelity cost model with randomized cycle-accurate audits |
+//! | [`tune`] | `enmc-tune` | design-space auto-tuner: Pareto frontiers, budgets, offload planning |
 //! | [`fleet`] | `enmc-fleet` | fleet simulator: shard placement, multi-tenant routing, capacity |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@ pub use enmc_screen as screen;
 pub use enmc_serve as serve;
 pub use enmc_surrogate as surrogate;
 pub use enmc_tensor as tensor;
+pub use enmc_tune as tune;
 
 pub mod cli;
 pub mod pipeline;

@@ -44,6 +44,9 @@
 //!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
 //!     --trace-file <file>            arrival timestamps for --arrival trace
 //!     --quality <n>                  score each tier over n queries
+//!     --offload                      install the per-query offload plan: each
+//!                                    (tier, batch) admission point runs on the
+//!                                    cheaper of NMP and the CPU roofline
 //!     --threads / --check-protocol / --trace-out / --report as simulate
 //! enmc fleet-sim [options]           simulate a multi-tenant serving fleet
 //!     --shape <abbr>                 lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
@@ -64,9 +67,39 @@
 //!     --batch-max / --linger / --lanes as serve-sim (lanes are per node)
 //!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
 //!     --seed <n>                     base seed (flag > ENMC_SEED > 7)
+//!     --offload                      plan per-query offload for every tenant's
+//!                                    calibrated ladder (NMP vs CPU roofline)
 //!     --threads / --check-protocol / --report as simulate (reports are
 //!                                    byte-identical for any worker count)
 //!     --cost-model / --audit-rate / --coeffs / --coeffs-out as serve-sim
+//! enmc tune [options]                constraint-driven design-space auto-tuning
+//!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --ranks <n,...>                rank-unit axis levels (default 32,64)
+//!     --lanes <n,...>                screener-lane axis levels (default 64,128)
+//!     --screen-bits <n,...>          screener bitwidth levels (default 4)
+//!     --screen-shift <n,...>         screening-level shifts (default 0,1)
+//!     --candidates <n,...>           candidate-count levels (default 64,128)
+//!     --batch-max <n,...>            batch-size-cap levels (default 4)
+//!     --linger <n,...>               linger-window levels, cycles (default 2000)
+//!     --ecc <on|off,...>             DRAM-controller ECC levels (default off,on)
+//!     --max-area-mm2 <f>             reject designs pricier than this area
+//!     --max-power-mw <f>             reject designs above this power
+//!     --search <mode>                exhaustive|guided (default exhaustive;
+//!                                    both produce byte-identical frontiers)
+//!     --frontier-out <file>          write the tune-frontier-v1 JSON fixture
+//!     --cost-model <name>            cycle-accurate|surrogate (default
+//!                                    surrogate; audits keep it honest)
+//!     --audit-rate <f>               audited fraction (default 0.1)
+//!     --seed <n>                     audit + sampler seed (flag > ENMC_SEED > 7)
+//!     --threads <n>                  evaluation workers (output is
+//!                                    bit-identical for any n)
+//!     --report <text|json>           output format (default text)
+//! enmc offload-plan [options]        per-query NMP-vs-CPU offload planning
+//!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
+//!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
+//!     --batch-max <n>                plan batches 1..=n (default 4)
+//!     --degrade-tiers <K:S,...>      ladder to plan (default: K, K/2:1, K/4:2)
+//!     --seed / --threads / --cost-model / --audit-rate / --report as tune
 //! enmc fault-sweep [options]         quality-vs-refresh-energy resilience sweep
 //!     --shape <name>                 lstm-wikitext2|transformer-wikitext103|
 //!                                    gnmt-wmt16|xmlcnn-amazon670k (short forms ok)
@@ -103,10 +136,11 @@
 use enmc::arch::baseline::BaselineKind;
 use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
-    parse_arrival_kind, parse_audit_rate, parse_batch, parse_ber, parse_candidate_fraction,
-    parse_cost_model, parse_count, parse_degrade_tiers, parse_multipliers, parse_rate,
-    parse_placement, parse_report_format, parse_shape, parse_threads, parse_wall_tolerance,
-    parse_zipf, resolve_seed, ArrivalKind, CostModelKind, ReportFormat,
+    flag_value, parse_arrival_kind, parse_axis_counts, parse_axis_levels, parse_batch, parse_ber,
+    parse_budget_cap, parse_candidate_fraction, parse_count, parse_degrade_tiers,
+    parse_ecc_levels, parse_multipliers, parse_placement, parse_rate, parse_report_format,
+    parse_search_mode, parse_shape, parse_threads, parse_wall_tolerance, parse_zipf, ArrivalKind,
+    CommonArgs, CostModelKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
@@ -131,6 +165,8 @@ fn main() {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("fleet-sim") => cmd_fleet_sim(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("offload-plan") => cmd_offload_plan(&args[1..]),
         Some("fault-sweep") => cmd_fault_sweep(&args[1..]),
         Some("fuzz-dram") => cmd_fuzz_dram(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
@@ -158,7 +194,7 @@ usage:
                  [--linger L] [--lanes N] [--degrade-tiers K:S,...]
                  [--shed-queue N] [--degrade-queue N] [--upgrade-queue N]
                  [--seed N] [--candidates F] [--trace-file FILE]
-                 [--quality N] [--threads N] [--trace-out FILE]
+                 [--quality N] [--offload] [--threads N] [--trace-out FILE]
                  [--report text|json] [--check-protocol]
                  [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                  [--coeffs FILE] [--coeffs-out FILE]
@@ -166,10 +202,21 @@ usage:
                  [--placement consistent-hash|popularity] [--replicas N]
                  [--zipf S] [--rate R] [--arrival poisson|burst|diurnal]
                  [--requests N] [--slo-cycles S] [--batch-max B] [--linger L]
-                 [--lanes N] [--candidates F] [--seed N] [--threads N]
-                 [--report text|json] [--check-protocol]
+                 [--lanes N] [--candidates F] [--offload] [--seed N]
+                 [--threads N] [--report text|json] [--check-protocol]
                  [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                  [--coeffs FILE] [--coeffs-out FILE]
+  enmc tune [--workload W] [--ranks N,...] [--lanes N,...]
+            [--screen-bits N,...] [--screen-shift N,...]
+            [--candidates N,...] [--batch-max N,...] [--linger N,...]
+            [--ecc on|off,...] [--max-area-mm2 F] [--max-power-mw F]
+            [--search exhaustive|guided] [--frontier-out FILE]
+            [--cost-model cycle-accurate|surrogate] [--audit-rate F]
+            [--seed N] [--threads N] [--report text|json]
+  enmc offload-plan [--workload W] [--candidates F] [--batch-max N]
+                    [--degrade-tiers K:S,...] [--seed N] [--threads N]
+                    [--cost-model cycle-accurate|surrogate] [--audit-rate F]
+                    [--report text|json]
   enmc fault-sweep [--shape S] [--ber F] [--multipliers M,...]
                    [--weak-columns F] [--ecc] [--queries N] [--seed N]
                    [--threads N] [--trace-out FILE] [--report text|json]
@@ -238,26 +285,6 @@ fn parse_scheme(s: &str) -> Option<Scheme> {
     })
 }
 
-/// Resolves the `--cost-model` / `--audit-rate` flag pair into a cost
-/// backend (cycle-accurate by default; audit rate defaults to 0.1 when
-/// the surrogate is selected without an explicit rate).
-fn resolve_cost_backend(args: &[String]) -> Result<enmc::surrogate::CostBackend, String> {
-    use enmc::surrogate::CostBackend;
-    let kind = flag_value(args, "--cost-model")
-        .map(parse_cost_model)
-        .unwrap_or(Ok(CostModelKind::CycleAccurate))?;
-    let audit_rate =
-        flag_value(args, "--audit-rate").map(parse_audit_rate).unwrap_or(Ok(0.1))?;
-    Ok(match kind {
-        CostModelKind::CycleAccurate => CostBackend::CycleAccurate,
-        CostModelKind::Surrogate => CostBackend::Surrogate { audit_rate },
-    })
-}
-
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
-}
-
 fn cmd_simulate(args: &[String]) -> i32 {
     let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("transformer")) {
         Some(w) => w,
@@ -290,40 +317,26 @@ fn cmd_simulate(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let format = match flag_value(args, "--report").map(parse_report_format).unwrap_or(Ok(ReportFormat::Text)) {
-        Ok(f) => f,
+    // The shared flag bundle parses once; simulate records the seed (the
+    // run itself is deterministic) and has no cost backend to bind.
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
+    let format = common.format;
     let trace_out = flag_value(args, "--trace-out");
     let check_protocol = args.iter().any(|a| a == "--check-protocol");
     // --threads wins; ENMC_THREADS is the env hook for harnesses that
     // cannot edit the command line (e.g. the CI matrix).
-    let threads = match flag_value(args, "--threads") {
-        Some(raw) => match parse_threads(raw) {
-            Ok(n) => Some(n),
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        },
-        None => enmc::par::env_threads(),
-    };
+    let threads = common.threads_or_env();
     if threads.is_some() && trace_out.is_some() {
         eprintln!("--trace-out requires the representative-rank run; drop --threads (and unset ENMC_THREADS)");
         return 2;
     }
-    // The simulation itself is deterministic; the seed is validated and
-    // recorded so all seeded subcommands share one flag convention.
-    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let seed = common.seed;
     let job = ClassificationJob {
         categories: workload.categories,
         hidden: workload.hidden,
@@ -523,16 +536,16 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let format = match flag_value(args, "--report")
-        .map(parse_report_format)
-        .unwrap_or(Ok(ReportFormat::Text))
-    {
-        Ok(f) => f,
+    // --seed/--threads/--cost-model/--audit-rate/--report: the shared
+    // bundle, one precedence rule per flag across every subcommand.
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
+    let format = common.format;
     let requests = count_flag!("--requests", 256) as usize;
     let slo_cycles = count_flag!("--slo-cycles", 100_000);
     let batch_max = count_flag!("--batch-max", 4) as usize;
@@ -541,15 +554,7 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
     let shed_queue_depth = count_flag!("--shed-queue", 48) as usize;
     let degrade_queue_depth = count_flag!("--degrade-queue", 12) as usize;
     let upgrade_queue_depth = count_flag!("--upgrade-queue", 3) as usize;
-    // Seeds resolve through the shared convention (flag > ENMC_SEED >
-    // default); zero is a valid seed, unlike the count flags above.
-    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let seed = common.seed;
     let quality_queries = flag_value(args, "--quality").map(|r| parse_count("--quality", r));
     let quality_queries = match quality_queries {
         Some(Ok(n)) => Some(n as usize),
@@ -560,26 +565,10 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         None => None,
     };
     let check_protocol = args.iter().any(|a| a == "--check-protocol");
-    let threads = match flag_value(args, "--threads") {
-        Some(raw) => match parse_threads(raw) {
-            Ok(n) => Some(n),
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        },
-        None => None,
-    };
     // Threads only speed up the calibration pass; the outcome and report
     // are byte-identical for any worker count.
-    let sim_cfg = SimConfig::resolve(threads, check_protocol);
-    let backend = match resolve_cost_backend(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let sim_cfg = SimConfig::resolve(common.threads, check_protocol);
+    let backend = common.backend(CostModelKind::CycleAccurate);
 
     let arrival = match build_arrival(arrival_kind, rate, flag_value(args, "--trace-file")) {
         Ok(a) => a,
@@ -606,7 +595,7 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         None => default_tiers(&job),
     };
 
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         arrival,
         requests,
         slo_cycles,
@@ -618,6 +607,7 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         upgrade_queue_depth,
         shed_queue_depth,
         seed,
+        offload: None,
     };
     eprintln!(
         "serving {} (l={}, d={}): {} {} request(s) at rate {rate}/kcycle, {} tier(s)",
@@ -645,6 +635,26 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         if let Err(e) = cost.load_coeffs(&raw) {
             eprintln!("cannot load coefficients from {path}: {e}");
             return 1;
+        }
+    }
+    if args.iter().any(|a| a == "--offload") {
+        // Plan before serving: calibrate the ladder once more through the
+        // same cost model and install the cheaper executor per admission
+        // point. Deterministic, so reports stay thread-invariant.
+        match enmc::tune::plan_ladder(&sys, &job, &cfg.tiers, cfg.batch_max, &sim_cfg, &mut cost)
+        {
+            Ok((_, decisions, plan)) => {
+                let nmp = decisions.iter().filter(|d| d.nmp).count();
+                eprintln!(
+                    "offload plan: {nmp}/{} (tier, batch) point(s) stay on NMP",
+                    decisions.len()
+                );
+                cfg.offload = Some(plan);
+            }
+            Err(v) => {
+                eprintln!("error: {v}");
+                return 1;
+            }
         }
     }
     let outcome =
@@ -737,6 +747,12 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         outcome.batches.len(),
         us(outcome.makespan_cycles as f64)
     );
+    if cfg.offload.is_some() {
+        println!(
+            "  offload : {} batch(es) on NMP, {} on the CPU roofline",
+            outcome.offload_nmp, outcome.offload_cpu
+        );
+    }
     if check_protocol {
         println!("  protocol: {violations} DDR4 timing violation(s)");
         if violations > 0 {
@@ -838,44 +854,20 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let format = match flag_value(args, "--report")
-        .map(parse_report_format)
-        .unwrap_or(Ok(ReportFormat::Text))
-    {
-        Ok(f) => f,
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
-    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let format = common.format;
+    let seed = common.seed;
     let check_protocol = args.iter().any(|a| a == "--check-protocol");
-    let threads = match flag_value(args, "--threads") {
-        Some(raw) => match parse_threads(raw) {
-            Ok(n) => Some(n),
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        },
-        None => None,
-    };
     // Threads only speed up the calibration pass; the outcome and report
     // are byte-identical for any worker count.
-    let sim_cfg = SimConfig::resolve(threads, check_protocol);
-    let backend = match resolve_cost_backend(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let sim_cfg = SimConfig::resolve(common.threads, check_protocol);
+    let backend = common.backend(CostModelKind::CycleAccurate);
 
     let job = ClassificationJob {
         categories: workload.categories,
@@ -918,6 +910,7 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
         lanes,
         tenants,
         seed,
+        offload: args.iter().any(|a| a == "--offload"),
         ..Default::default()
     };
     eprintln!(
@@ -997,12 +990,295 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
         outcome.max_queue_depth,
         us(outcome.makespan_cycles as f64)
     );
+    if cfg.offload {
+        println!(
+            "  offload : {} batch(es) on NMP, {} on the CPU roofline",
+            outcome.offload_nmp, outcome.offload_cpu
+        );
+    }
     if check_protocol {
         println!("  protocol: {violations} DDR4 timing violation(s)");
         if violations > 0 {
             return 1;
         }
     }
+    0
+}
+
+fn cmd_tune(args: &[String]) -> i32 {
+    use enmc::surrogate::CostModel;
+    use enmc::tune::{frontier_json, tune, tune_report, Budget, SearchMode, TuneConfig, TuneSpace};
+
+    let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("lstm")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    // Axis flags replace the default levels wholesale; tune() normalizes
+    // (sorts, dedups) whatever the user listed.
+    let mut space = TuneSpace::small();
+    macro_rules! axis {
+        ($flag:literal, $parser:ident, $field:ident, $ty:ty) => {
+            if let Some(raw) = flag_value(args, $flag) {
+                match $parser($flag, raw) {
+                    Ok(levels) => space.$field = levels.into_iter().map(|n| n as $ty).collect(),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return 2;
+                    }
+                }
+            }
+        };
+    }
+    axis!("--ranks", parse_axis_levels, ranks, usize);
+    axis!("--lanes", parse_axis_levels, lanes, usize);
+    axis!("--screen-bits", parse_axis_levels, screen_bits, u32);
+    axis!("--screen-shift", parse_axis_counts, screen_shift, u32);
+    axis!("--candidates", parse_axis_levels, candidates, usize);
+    axis!("--batch-max", parse_axis_levels, batch_max, usize);
+    axis!("--linger", parse_axis_counts, linger_cycles, u64);
+    if let Some(raw) = flag_value(args, "--ecc") {
+        match parse_ecc_levels(raw) {
+            Ok(levels) => space.ecc = levels,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+    let max_area_mm2 = match flag_value(args, "--max-area-mm2")
+        .map(|r| parse_budget_cap("--max-area-mm2", r))
+        .transpose()
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let max_power_mw = match flag_value(args, "--max-power-mw")
+        .map(|r| parse_budget_cap("--max-power-mw", r))
+        .transpose()
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mode = match flag_value(args, "--search")
+        .map(parse_search_mode)
+        .unwrap_or(Ok(SearchMode::Exhaustive))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    // Tuning sweeps many designs, so the surrogate (with its seeded
+    // audits) is the default backend; --cost-model cycle-accurate forces
+    // full fidelity everywhere.
+    let backend = common.backend(CostModelKind::Surrogate);
+    let cfg = TuneConfig {
+        space,
+        budget: Budget { max_area_mm2, max_power_mw },
+        backend,
+        seed: common.seed,
+        workers: common.workers(),
+        mode,
+    };
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch: 1,
+        candidates: ((workload.categories as f64) * 0.05).round() as usize,
+    };
+    let sys = SystemModel::table3();
+    eprintln!(
+        "tuning {} (l={}, d={}): {} search on {} worker(s)",
+        workload.abbr,
+        workload.categories,
+        workload.hidden,
+        mode.name(),
+        cfg.workers
+    );
+    let result = match tune(&sys, &job, &cfg) {
+        Ok(r) => r,
+        Err(v) => {
+            eprintln!("error: {v}");
+            return 1;
+        }
+    };
+    if let Some(path) = flag_value(args, "--frontier-out") {
+        let j = frontier_json(workload.abbr, result.space_size, &cfg.budget, &result.frontier);
+        match std::fs::write(path, j) {
+            Ok(()) => eprintln!("frontier written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let cost = CostModel::new(backend, common.seed);
+    let report = tune_report(workload.abbr, &cfg, &result, &cost);
+    if common.format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return 0;
+    }
+    println!(
+        "  space   : {} design(s), {} rejected by budget, {} evaluated ({} audited)",
+        result.space_size,
+        result.rejected,
+        result.evaluated.len(),
+        result.audited()
+    );
+    println!(
+        "  frontier: {} point(s), {} evaluated design(s) dominated",
+        result.frontier.len(),
+        result.dominated
+    );
+    for p in &result.frontier {
+        let d = &p.design;
+        println!(
+            "  {:<32} {:>12.1} ns {:>12.1} nJ/q {:>7.2} %q {:>9.3} mm2 {:>9.1} mW  {}",
+            d.point.label(),
+            d.latency_ns,
+            d.energy_per_query_nj,
+            d.quality_pct,
+            d.cost.area_mm2,
+            d.cost.power_mw,
+            d.provenance()
+        );
+    }
+    0
+}
+
+fn cmd_offload_plan(args: &[String]) -> i32 {
+    use enmc::obs::report::RunReport;
+    use enmc::serve::tier::default_tiers;
+    use enmc::surrogate::CostModel;
+    use enmc::tune::plan_ladder;
+
+    let workload = match parse_workload(flag_value(args, "--workload").unwrap_or("lstm")) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload; try: lstm transformer gnmt xmlcnn s1m s10m s100m");
+            return 2;
+        }
+    };
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let frac = match flag_value(args, "--candidates")
+        .map(parse_candidate_fraction)
+        .unwrap_or(Ok(0.05))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let batch_max = match flag_value(args, "--batch-max")
+        .map(|r| parse_count("--batch-max", r))
+        .unwrap_or(Ok(4))
+    {
+        Ok(n) => n as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let job = ClassificationJob {
+        categories: workload.categories,
+        hidden: workload.hidden,
+        reduced: (workload.hidden / 4).max(1),
+        batch: 1,
+        candidates: ((workload.categories as f64) * frac).round() as usize,
+    };
+    let tiers = match flag_value(args, "--degrade-tiers") {
+        Some(raw) => match parse_degrade_tiers(raw) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => default_tiers(&job),
+    };
+    let sim_cfg = SimConfig::resolve(common.threads, false);
+    let backend = common.backend(CostModelKind::CycleAccurate);
+    let mut cost = CostModel::new(backend, common.seed);
+    let sys = SystemModel::table3();
+    eprintln!(
+        "planning offload for {} (l={}, d={}): {} tier(s), batches 1..={batch_max}",
+        workload.abbr,
+        workload.categories,
+        workload.hidden,
+        tiers.len()
+    );
+    let (table, decisions, _plan) =
+        match plan_ladder(&sys, &job, &tiers, batch_max, &sim_cfg, &mut cost) {
+            Ok(out) => out,
+            Err(v) => {
+                eprintln!("error: {v}");
+                return 1;
+            }
+        };
+    let nmp = decisions.iter().filter(|d| d.nmp).count() as u64;
+    let cpu = decisions.len() as u64 - nmp;
+    let mut report = RunReport::new("offload-plan", workload.abbr, "enmc");
+    report.cost_backend = cost.backend().name().to_string();
+    report.batch = batch_max as u64;
+    report.candidates = job.candidates as u64;
+    report.offload_nmp = nmp;
+    report.offload_cpu = cpu;
+    let stats = cost.stats();
+    report.fit_anchors = stats.fit_anchors;
+    report.audit_points = stats.audited;
+    report.audit_max_rel_err = stats.max_rel_err;
+    for d in &decisions {
+        report.notes.push(format!(
+            "tier {} batch {}: cpu {} cy, nmp {} cy -> {}",
+            d.tier,
+            d.batch,
+            d.cpu_cycles,
+            d.nmp_cycles,
+            if d.nmp { "nmp" } else { "cpu" }
+        ));
+    }
+    if common.format == ReportFormat::Json {
+        println!("{}", report.to_json());
+        return 0;
+    }
+    println!("  clock   : {:.3} ns/cycle", table.ns_per_cycle);
+    println!("  tier batch   cpu-cycles   nmp-cycles  executor");
+    for d in &decisions {
+        println!(
+            "  {:>4} {:>5} {:>12} {:>12}  {}",
+            d.tier,
+            d.batch,
+            d.cpu_cycles,
+            d.nmp_cycles,
+            if d.nmp { "nmp" } else { "cpu" }
+        );
+    }
+    println!("  plan    : {nmp} point(s) on NMP, {cpu} on the CPU roofline");
     0
 }
 
@@ -1054,40 +1330,17 @@ fn cmd_fault_sweep(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let seed = match resolve_seed(flag_value(args, "--seed"), 7) {
-        Ok(s) => s,
+    let common = match CommonArgs::parse(args, 7) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
-    let format = match flag_value(args, "--report")
-        .map(parse_report_format)
-        .unwrap_or(Ok(ReportFormat::Text))
-    {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
-    let workers = match flag_value(args, "--threads") {
-        Some(raw) => match parse_threads(raw) {
-            Ok(n) => n,
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        },
-        None => enmc::par::env_threads().unwrap_or(1),
-    };
-    let backend = match resolve_cost_backend(args) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let seed = common.seed;
+    let format = common.format;
+    let workers = common.workers();
+    let backend = common.backend(CostModelKind::CycleAccurate);
     let sweep_args = FaultSweepArgs {
         shape,
         ber,

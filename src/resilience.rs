@@ -351,7 +351,7 @@ mod tests {
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert!(report.quality_degradation_pct > 0.0, "1e-4 BER without ECC must degrade");
         assert_eq!(report.refresh_multiplier, 64.0);
-        assert_eq!(report.schema_version, 8);
+        assert_eq!(report.schema_version, 9);
         for w in frontier.windows(2) {
             assert!(w[1].top1_agreement <= w[0].top1_agreement, "quality must not increase");
             assert!(

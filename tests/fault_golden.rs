@@ -1,4 +1,4 @@
-//! Golden fault-sweep regression: the schema-v8 `RunReport` of one fixed
+//! Golden fault-sweep regression: the schema-v9 `RunReport` of one fixed
 //! resilience scenario is checked in at `tests/golden/fault_report.json`.
 //! The report's byte output — v5 fault fields, metrics snapshot, notes —
 //! must stay stable; an intentional change is re-blessed with
@@ -33,7 +33,7 @@ fn golden_args() -> FaultSweepArgs {
 }
 
 /// Re-runs the golden scenario exactly as the CLI would and renders its
-/// schema-v8 report (trailing newline so the fixture is a POSIX file).
+/// schema-v9 report (trailing newline so the fixture is a POSIX file).
 fn current_report() -> String {
     let (_, _, report) = run_fault_sweep(&golden_args(), None).expect("golden sweep runs");
     format!("{}\n", report.to_json())
@@ -60,7 +60,7 @@ fn golden_fault_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_pins_the_fault_fields() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 8);
+    assert_eq!(report.schema_version, 9);
     assert_eq!(report.command, "fault-sweep");
     assert_eq!(report.workload, "lstm-wikitext2");
     assert_eq!(report.ber, 1e-4);

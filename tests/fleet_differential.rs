@@ -52,6 +52,7 @@ fn serve_scenario() -> (ClassificationJob, ServeConfig) {
         upgrade_queue_depth: 1,
         shed_queue_depth: 12,
         seed: 3,
+        offload: None,
     };
     (job, cfg)
 }

@@ -1,4 +1,4 @@
-//! Golden fleet-report regression: the schema-v8 `RunReport` of one
+//! Golden fleet-report regression: the schema-v9 `RunReport` of one
 //! fixed two-tenant contention scenario is checked in at
 //! `tests/golden/fleet_report.json`. The report's byte output — the v8
 //! fleet fields, per-tenant rows, metrics snapshot, notes — must stay
@@ -74,7 +74,7 @@ fn golden_scenario() -> (ClassificationJob, FleetConfig) {
 }
 
 /// Re-runs the golden scenario exactly as the CLI would — surrogate
-/// backend, every prediction audited — and renders its schema-v8 report
+/// backend, every prediction audited — and renders its schema-v9 report
 /// (trailing newline so the fixture is a POSIX file).
 fn current_report() -> (FleetOutcome, String) {
     let (job, cfg) = golden_scenario();
@@ -114,7 +114,7 @@ fn golden_fleet_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_pins_the_fleet_fields() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 8);
+    assert_eq!(report.schema_version, 9);
     assert_eq!(report.command, "fleet-sim");
     assert_eq!(report.nodes, 2);
     assert_eq!(report.placement, "popularity");

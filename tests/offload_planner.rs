@@ -1,0 +1,88 @@
+//! Differential tests over the per-query offload planner, driven through
+//! the public `enmc::tune` API exactly as `enmc offload-plan` and
+//! `serve-sim --offload` use it: every `(tier, batch)` decision must pick
+//! the cheaper executor, the installed plan must mirror the decisions,
+//! and the whole plan must be a pure function of the scenario — same
+//! bytes at any worker count and under either cost backend's audits.
+
+use enmc::arch::system::{ClassificationJob, SystemModel};
+use enmc::par::SimConfig;
+use enmc::serve::tier::default_tiers;
+use enmc::surrogate::{CostBackend, CostModel};
+use enmc::tune::plan_ladder;
+
+const SEED: u64 = 7;
+const BATCH_MAX: usize = 4;
+
+fn job() -> ClassificationJob {
+    ClassificationJob { categories: 2048, hidden: 64, reduced: 16, batch: 1, candidates: 128 }
+}
+
+#[test]
+fn every_planned_point_picks_the_cheaper_executor() {
+    let sys = SystemModel::table3();
+    let job = job();
+    let tiers = default_tiers(&job);
+    let mut cost = CostModel::new(CostBackend::CycleAccurate, SEED);
+    let (table, decisions, plan) =
+        plan_ladder(&sys, &job, &tiers, BATCH_MAX, &SimConfig::sequential(), &mut cost)
+            .expect("cycle-accurate calibration never violates an audit bound");
+
+    assert_eq!(decisions.len(), tiers.len() * BATCH_MAX, "one decision per admission point");
+    for d in &decisions {
+        // The differential: the planner's pick is exactly the cheaper of
+        // the two independently-derived service times, NMP winning ties.
+        assert_eq!(
+            d.cycles(),
+            d.cpu_cycles.min(d.nmp_cycles),
+            "tier {} batch {} must pick the cheaper executor",
+            d.tier,
+            d.batch
+        );
+        assert_eq!(d.nmp, d.nmp_cycles <= d.cpu_cycles, "NMP wins ties");
+        assert_eq!(d.nmp_cycles, table.cycles[d.tier][d.batch - 1]);
+        // The installed plan mirrors the decision it was folded from.
+        assert_eq!(plan.cycles[d.tier][d.batch - 1], d.cycles().max(1));
+        assert_eq!(plan.nmp[d.tier][d.batch - 1], d.nmp);
+        // Installing a plan can only speed an admission point up.
+        assert!(plan.cycles[d.tier][d.batch - 1] <= table.cycles[d.tier][d.batch - 1]);
+    }
+}
+
+#[test]
+fn plan_is_invariant_across_worker_counts_and_audit_lotteries() {
+    let sys = SystemModel::table3();
+    let job = job();
+    let tiers = default_tiers(&job);
+
+    let mut seq = CostModel::new(CostBackend::CycleAccurate, SEED);
+    let (t1, d1, p1) =
+        plan_ladder(&sys, &job, &tiers, BATCH_MAX, &SimConfig::sequential(), &mut seq).unwrap();
+    let mut par = CostModel::new(CostBackend::CycleAccurate, SEED);
+    let (t2, d2, p2) =
+        plan_ladder(&sys, &job, &tiers, BATCH_MAX, &SimConfig::with_threads(4), &mut par).unwrap();
+    assert_eq!(t1, t2, "calibration must not depend on the worker count");
+    assert_eq!(d1, d2);
+    assert_eq!(p1, p2);
+
+    // The surrogate backend audits a seeded subset of its calibration
+    // points against the cycle-accurate model; whichever points the
+    // lottery picks, the calibrated table is the same deterministic
+    // function, so the plan's executor choices cannot wobble with the
+    // audit rate.
+    for rate in [0.0, 1.0] {
+        let mut sur = CostModel::new(CostBackend::Surrogate { audit_rate: rate }, SEED);
+        let (_, ds, ps) =
+            plan_ladder(&sys, &job, &tiers, BATCH_MAX, &SimConfig::sequential(), &mut sur)
+                .expect("surrogate audits stay within the declared bound");
+        let mut again = CostModel::new(CostBackend::Surrogate { audit_rate: rate }, SEED);
+        let (_, ds2, ps2) =
+            plan_ladder(&sys, &job, &tiers, BATCH_MAX, &SimConfig::with_threads(4), &mut again)
+                .unwrap();
+        assert_eq!(ds, ds2, "audit rate {rate}: decisions must be thread-invariant");
+        assert_eq!(ps, ps2, "audit rate {rate}: plans must be thread-invariant");
+        for d in &ds {
+            assert_eq!(d.cycles(), d.cpu_cycles.min(d.nmp_cycles));
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! spanning the tensor, ISA and DRAM crates.
 
 use enmc::arch::unit::{RankJob, RankUnit, UnitParams, UnitReport};
+use enmc::arch::AreaPower;
 use enmc::dram::{AddressMapping, DramConfig, DramStats};
 use enmc::isa::{BufferId, Instruction, RegId};
 use enmc::model::quality::QualityAccumulator;
@@ -10,6 +11,7 @@ use enmc::tensor::activation::{softmax, taylor_exp};
 use enmc::tensor::quant::{Precision, QuantVector};
 use enmc::tensor::select::{threshold_filter, top_k_indices};
 use enmc::tensor::{Matrix, Vector};
+use enmc::tune::{dominates, pareto_frontier, DesignPoint, EvaluatedDesign};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
@@ -90,6 +92,37 @@ fn surrogate_fixture() -> &'static (UnitParams, Vec<(RankJob, UnitReport)>, Shap
 
 fn surrogate_job(b: usize, c: usize) -> RankJob {
     RankJob { categories: 520, hidden: 64, reduced: 16, batch: b, candidates_per_item: vec![c; b] }
+}
+
+fn area_power_strategy() -> impl Strategy<Value = AreaPower> {
+    (0.0f64..4.0, 0.0f64..4000.0)
+        .prop_map(|(area_mm2, power_mw)| AreaPower { area_mm2, power_mw })
+}
+
+/// An evaluated design with fixed axes and a free objective vector —
+/// the frontier extractor only looks at the objectives and the lattice
+/// index.
+fn objective_design(index: usize, lat: f64, nj: f64, q: f64) -> EvaluatedDesign {
+    EvaluatedDesign {
+        point: DesignPoint {
+            index,
+            ranks: 64,
+            lanes: 128,
+            screen_bits: 4,
+            screen_shift: 0,
+            candidates: 128,
+            batch_max: 4,
+            linger_cycles: 0,
+            ecc: false,
+        },
+        cost: AreaPower { area_mm2: 28.0, power_mw: 18_000.0 },
+        latency_ns: lat,
+        energy_per_query_nj: nj,
+        quality_pct: q,
+        audited: false,
+        fit_anchors: 0,
+        audit_max_rel_err: 0.0,
+    }
 }
 
 fn instruction_strategy() -> impl Strategy<Value = Instruction> {
@@ -384,6 +417,97 @@ proptest! {
                     prop_assert_eq!(va.to_bits(), vb.to_bits(), "table must match bitwise");
                 }
             }
+        }
+    }
+
+    // ---- physical model / design-space tuning ---------------------------
+
+    #[test]
+    fn area_power_composition_is_linear(
+        a in area_power_strategy(),
+        b in area_power_strategy(),
+        s in 0.0f64..64.0,
+        t in 0.0f64..64.0,
+    ) {
+        // The design pricer composes per-primitive costs with `add` and
+        // `scale`; those must behave like the linear algebra they claim.
+        // Addition commutes bitwise in f64, so a ⊕ b == b ⊕ a exactly.
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        // Identities are exact too.
+        prop_assert_eq!(a.scale(1.0), a);
+        prop_assert_eq!(a.scale(0.0).area_mm2, 0.0);
+        prop_assert_eq!(a.scale(0.0).power_mw, 0.0);
+        prop_assert_eq!(a.add(&AreaPower { area_mm2: 0.0, power_mw: 0.0 }), a);
+        // Scaling distributes over addition and composes multiplicatively
+        // (up to f64 rounding of the reassociated products).
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!((lhs.area_mm2 - rhs.area_mm2).abs() <= 1e-9 * lhs.area_mm2.abs().max(1.0));
+        prop_assert!((lhs.power_mw - rhs.power_mw).abs() <= 1e-9 * lhs.power_mw.abs().max(1.0));
+        let once = a.scale(s * t);
+        let twice = a.scale(s).scale(t);
+        prop_assert!((once.area_mm2 - twice.area_mm2).abs() <= 1e-9 * once.area_mm2.abs().max(1.0));
+        prop_assert!((once.power_mw - twice.power_mw).abs() <= 1e-9 * once.power_mw.abs().max(1.0));
+    }
+
+    #[test]
+    fn area_power_sums_are_order_independent(
+        parts in prop::collection::vec(area_power_strategy(), 1..8),
+    ) {
+        // Budget admission prices a design by summing its components;
+        // whichever order the pricer visits them, the total must agree
+        // (exactly for a swapped pair, within re-association slack for a
+        // reversed fold).
+        let zero = AreaPower { area_mm2: 0.0, power_mw: 0.0 };
+        let fwd = parts.iter().fold(zero, |acc, p| acc.add(p));
+        let rev = parts.iter().rev().fold(zero, |acc, p| acc.add(p));
+        prop_assert!((fwd.area_mm2 - rev.area_mm2).abs() <= 1e-9 * fwd.area_mm2.abs().max(1.0));
+        prop_assert!((fwd.power_mw - rev.power_mw).abs() <= 1e-9 * fwd.power_mw.abs().max(1.0));
+        if parts.len() >= 2 {
+            let mut swapped = parts.clone();
+            swapped.swap(0, 1);
+            let swp = swapped.iter().fold(zero, |acc, p| acc.add(p));
+            prop_assert_eq!(fwd, swp, "swapping adjacent head terms commutes bitwise");
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_valid_for_any_objective_cloud(
+        objs in prop::collection::vec(
+            (1.0f64..1000.0, 1.0f64..1000.0, 0.0f64..100.0), 1..24),
+    ) {
+        let evaluated: Vec<EvaluatedDesign> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, (l, e, q))| objective_design(i, *l, *e, *q))
+            .collect();
+        let frontier = pareto_frontier(&evaluated);
+        prop_assert!(!frontier.is_empty(), "a non-empty cloud always has a maximal point");
+        // No frontier point is dominated by anything evaluated.
+        for f in &frontier {
+            prop_assert!(
+                !evaluated.iter().any(|d| dominates(d, &f.design)),
+                "dominated design {} on the frontier", f.design.point.index
+            );
+        }
+        // Dominance is a strict partial order over a finite set, so every
+        // point off the frontier is dominated by some maximal (frontier)
+        // point — nothing is silently dropped.
+        for d in &evaluated {
+            let on_frontier = frontier.iter().any(|f| f.design.point.index == d.point.index);
+            if !on_frontier {
+                prop_assert!(
+                    frontier.iter().any(|f| dominates(&f.design, d)),
+                    "design {} neither kept nor dominated", d.point.index
+                );
+            }
+        }
+        // Deterministic order: (latency, energy, lattice index) ascending.
+        for w in frontier.windows(2) {
+            let (a, b) = (&w[0].design, &w[1].design);
+            let key_a = (a.latency_ns, a.energy_per_query_nj, a.point.index);
+            let key_b = (b.latency_ns, b.energy_per_query_nj, b.point.index);
+            prop_assert!(key_a < key_b, "frontier must sort strictly by its key");
         }
     }
 

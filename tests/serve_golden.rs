@@ -1,4 +1,4 @@
-//! Golden serving-report regression: the schema-v8 `RunReport` of one
+//! Golden serving-report regression: the schema-v9 `RunReport` of one
 //! fixed burst scenario is checked in at `tests/golden/serve_report.json`.
 //! The report's byte output — headline numbers, v4 serving fields,
 //! metrics snapshot, notes — must stay stable; an intentional change is
@@ -41,12 +41,13 @@ fn golden_scenario() -> (ClassificationJob, ServeConfig) {
         upgrade_queue_depth: 1,
         shed_queue_depth: 12,
         seed: 3,
+        offload: None,
     };
     (job, cfg)
 }
 
 /// Re-runs the golden scenario exactly as the CLI would and renders its
-/// schema-v8 report (trailing newline so the fixture is a POSIX file).
+/// schema-v9 report (trailing newline so the fixture is a POSIX file).
 fn current_report() -> (ServeOutcome, String) {
     let (job, cfg) = golden_scenario();
     let mut registry = MetricsRegistry::new();
@@ -77,7 +78,7 @@ fn golden_serve_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_exercises_the_interesting_paths() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 8);
+    assert_eq!(report.schema_version, 9);
     assert_eq!(report.command, "serve-sim");
     assert!(report.shed > 0, "fixture must shed");
     assert!(report.degrade_transitions > 0, "fixture must walk the degrade ladder");

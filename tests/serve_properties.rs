@@ -51,6 +51,7 @@ fn scenario() -> impl Strategy<Value = ServeConfig> {
                     upgrade_queue_depth: (dq / 4).max(1),
                     shed_queue_depth: sq.max(dq + 1),
                     seed,
+                    offload: None,
                 }
             },
         )

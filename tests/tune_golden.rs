@@ -1,0 +1,118 @@
+//! Golden tune-frontier regression: the `tune-frontier-v1` JSON of one
+//! fixed budgeted search over the default small lattice is checked in at
+//! `tests/golden/tune_frontier.json`. The fixture must stay byte-stable
+//! — same frontier from exhaustive and guided search, at any worker
+//! count — and an intentional change is re-blessed with
+//! `ENMC_BLESS=1 cargo test --test tune_golden`.
+
+use enmc::arch::system::{ClassificationJob, SystemModel};
+use enmc::tune::{
+    frontier_json, tune, Budget, SearchMode, TuneConfig, TuneResult, TuneSpace,
+};
+
+const GOLDEN: &str = include_str!("golden/tune_frontier.json");
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tune_frontier.json");
+
+/// The fixed scenario the fixture was produced from: the default small
+/// lattice under a 28.3 mm² DIMM-population budget (tight enough to
+/// reject the priciest quarter of the lattice), so both the rejection
+/// path and the frontier extraction are pinned.
+fn golden_scenario() -> (ClassificationJob, TuneConfig) {
+    let job =
+        ClassificationJob { categories: 2048, hidden: 64, reduced: 16, batch: 1, candidates: 128 };
+    let cfg = TuneConfig {
+        space: TuneSpace::small(),
+        budget: Budget { max_area_mm2: Some(28.3), max_power_mw: None },
+        seed: 7,
+        workers: 1,
+        mode: SearchMode::Exhaustive,
+        ..TuneConfig::default()
+    };
+    (job, cfg)
+}
+
+/// Re-runs the golden scenario exactly as the CLI would and renders its
+/// `tune-frontier-v1` fixture (the renderer ends with a newline so the
+/// fixture is a POSIX file).
+fn current_fixture(mode: SearchMode, workers: usize) -> (TuneResult, String) {
+    let (job, mut cfg) = golden_scenario();
+    cfg.mode = mode;
+    cfg.workers = workers;
+    let result = tune(&SystemModel::table3(), &job, &cfg)
+        .expect("audited evaluations stay within the surrogate bound");
+    let json = frontier_json("golden", result.space_size, &cfg.budget, &result.frontier);
+    (result, json)
+}
+
+#[test]
+fn golden_tune_frontier_is_reproduced_exactly() {
+    let (_, json) = current_fixture(SearchMode::Exhaustive, 1);
+    if std::env::var_os("ENMC_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden fixture");
+        return;
+    }
+    assert!(
+        json == GOLDEN,
+        "tune frontier drifted from tests/golden/tune_frontier.json \
+         ({} vs {} bytes); if the change is intentional, re-bless with \
+         ENMC_BLESS=1 cargo test --test tune_golden\n--- current ---\n{}",
+        json.len(),
+        GOLDEN.len(),
+        json
+    );
+}
+
+#[test]
+fn guided_search_renders_the_golden_fixture_too() {
+    // The fixture deliberately excludes evaluated totals and per-point
+    // dominance counts, so the cheaper guided strategy must land on the
+    // identical bytes brute force does.
+    let (ex, exhaustive) = current_fixture(SearchMode::Exhaustive, 1);
+    let (gd, guided) = current_fixture(SearchMode::Guided, 1);
+    assert_eq!(guided, exhaustive, "guided search must find the exhaustive frontier");
+    assert!(
+        gd.evaluated.len() <= ex.evaluated.len(),
+        "guided search may not evaluate more designs than brute force"
+    );
+}
+
+#[test]
+fn golden_fixture_is_worker_invariant() {
+    let (solo, json1) = current_fixture(SearchMode::Exhaustive, 1);
+    let (pool, json4) = current_fixture(SearchMode::Exhaustive, 4);
+    assert_eq!(json1, json4, "fixture bytes must not depend on the worker count");
+    assert_eq!(solo, pool, "the whole result must be bit-identical at any worker count");
+}
+
+#[test]
+fn golden_fixture_exercises_the_interesting_paths() {
+    assert!(GOLDEN.starts_with("{\n  \"schema\": \"tune-frontier-v1\",\n"));
+    assert!(GOLDEN.contains("\"workload\": \"golden\""));
+    assert!(GOLDEN.contains("\"max_area_mm2\": 28.300000"), "budget must be pinned in the fixture");
+    assert!(GOLDEN.ends_with("}\n"), "fixture is a POSIX file");
+    assert!(
+        !GOLDEN.contains("evaluated") && !GOLDEN.contains("dominates"),
+        "strategy-dependent totals must stay out of the mode-diffed fixture"
+    );
+
+    // The fixture's claims match a fresh run of its scenario: the budget
+    // actually rejected part of the lattice, evaluation actually
+    // happened, and the frontier discarded dominated survivors.
+    let (result, _) = current_fixture(SearchMode::Exhaustive, 1);
+    assert_eq!(result.space_size, 32, "the default small lattice holds 32 designs");
+    assert!(result.rejected > 0, "fixture must exercise budget rejection");
+    assert!(!result.frontier.is_empty(), "a non-empty space always has a frontier");
+    assert!(result.dominated > 0, "fixture must discard dominated designs");
+    assert!(
+        result.frontier.len() < result.evaluated.len(),
+        "the frontier must be a strict subset of the evaluated designs"
+    );
+    for p in &result.frontier {
+        assert!(
+            p.design.cost.area_mm2 <= 28.3,
+            "budget-violating design {} on the frontier",
+            p.design.point.label()
+        );
+    }
+}
