@@ -80,6 +80,7 @@ impl NmpBaseline {
             inline_filter: false,
             serial_phases: false,
             sfu_per_cycle: 1.0, // exp via Taylor on the general lanes
+            dram: enmc_dram::DramConfig::enmc_single_rank(),
         }
     }
 }

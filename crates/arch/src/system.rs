@@ -14,6 +14,7 @@ use crate::energy::{LogicEnergyModel, SystemEnergy};
 use crate::unit::{RankJob, RankUnit, UnitParams, UnitReport};
 use enmc_dram::energy::EnergyModel;
 use enmc_dram::DramStats;
+use enmc_mem::{MemPreset, MemTech};
 use enmc_obs::trace::TraceBuffer;
 use enmc_par::SimConfig;
 
@@ -194,9 +195,15 @@ pub struct SystemModel {
     /// Rank-units in the system (Table 3: 8 channels × 8 ranks).
     pub total_ranks: usize,
     /// Per-rank DRAM energy model applied to every simulated scheme
-    /// (nominal DDR4-2400; the fault subsystem swaps in relaxed-refresh /
-    /// ECC-surcharged variants via [`SystemModel::with_energy_model`]).
+    /// (the memory preset's nominal model; the fault subsystem swaps in
+    /// relaxed-refresh / ECC-surcharged variants via
+    /// [`SystemModel::with_energy_model`]).
     energy_model: EnergyModel,
+    /// The memory-technology preset every simulated rank runs on
+    /// (timing domain + energy coefficients + error profile). Defaults
+    /// to the Table 3 DDR4 baseline, which is bit-exact with the
+    /// pre-preset platform.
+    mem: MemPreset,
 }
 
 impl Default for SystemModel {
@@ -213,7 +220,24 @@ impl SystemModel {
             enmc: EnmcConfig::table3(),
             total_ranks: 64,
             energy_model: EnergyModel::ddr4_2400_rank(1),
+            mem: MemPreset::ddr4_2666(),
         }
+    }
+
+    /// Returns the model re-based on a memory-technology preset: the
+    /// simulated ranks' DRAM timing domain, the per-rank energy model,
+    /// and the error profile all switch to `tech`. Call before any
+    /// [`SystemModel::with_energy_model`] fault override — this resets
+    /// the energy model to the preset's nominal one.
+    pub fn with_memory(mut self, tech: MemTech) -> Self {
+        self.mem = tech.preset();
+        self.energy_model = self.mem.energy_model(1);
+        self
+    }
+
+    /// The memory-technology preset in use.
+    pub fn memory(&self) -> &MemPreset {
+        &self.mem
     }
 
     /// Returns the model with a different per-rank ENMC logic
@@ -259,7 +283,7 @@ impl SystemModel {
     /// exact configuration [`SystemModel::run`] hands to [`RankUnit`],
     /// exposed so surrogate fits anchor on the same simulator.
     pub fn enmc_unit_params(&self) -> UnitParams {
-        UnitParams::enmc(&self.enmc)
+        UnitParams::enmc_on(&self.enmc, self.mem.single_rank_config(), self.mem.io_mhz())
     }
 
     /// The logic-power model a simulated scheme draws per unit (`None`
@@ -322,7 +346,7 @@ impl SystemModel {
                 rank_report: None,
             },
             Scheme::Enmc => {
-                let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
+                let unit = RankUnit::new(self.enmc_unit_params());
                 let report =
                     unit.simulate_checked(&job.rank_slice(self.total_ranks), trace, check_protocol);
                 let energy = SystemEnergy::from_rank(
@@ -376,7 +400,7 @@ impl SystemModel {
     pub fn run_sharded(&self, job: &ClassificationJob, scheme: Scheme, cfg: &SimConfig) -> ShardedRun {
         let workers = cfg.worker_count();
         let sharded_units = match scheme {
-            Scheme::Enmc => Some((UnitParams::enmc(&self.enmc), self.total_ranks, LogicEnergyModel::enmc_table5())),
+            Scheme::Enmc => Some((self.enmc_unit_params(), self.total_ranks, LogicEnergyModel::enmc_table5())),
             Scheme::Baseline(kind) => {
                 let units = kind.config().units_per_channel * 8;
                 Some((
@@ -455,7 +479,7 @@ impl SystemModel {
     /// Runs `job` on ENMC with candidate load imbalance `skew` (system
     /// latency = the straggler rank).
     pub fn run_enmc_skewed(&self, job: &ClassificationJob, skew: f64) -> SchemeResult {
-        let unit = RankUnit::new(UnitParams::enmc(&self.enmc));
+        let unit = RankUnit::new(self.enmc_unit_params());
         let report = unit.simulate(&job.rank_slice_skewed(self.total_ranks, skew));
         let energy = SystemEnergy::from_rank(
             &report,
@@ -723,6 +747,55 @@ mod tests {
         let mut cpu_tb = TraceBuffer::unbounded();
         sys.run_traced(&j, Scheme::CpuFull, Some(&mut cpu_tb));
         assert!(cpu_tb.is_empty());
+    }
+
+    #[test]
+    fn default_memory_preset_is_bit_exact_with_table3() {
+        let sys = SystemModel::table3();
+        let explicit = SystemModel::table3().with_memory(MemTech::Ddr4_2666);
+        let j = small_job();
+        assert_eq!(sys.memory().tech, MemTech::Ddr4_2666);
+        assert_eq!(sys.run(&j, Scheme::Enmc), explicit.run(&j, Scheme::Enmc));
+        assert_eq!(sys.enmc_unit_params(), UnitParams::enmc(sys.enmc_config()));
+    }
+
+    #[test]
+    fn memory_presets_change_results_but_stay_worker_invariant() {
+        let j = small_job();
+        let base = SystemModel::table3().run(&j, Scheme::Enmc);
+        for tech in [MemTech::Ddr5_4800, MemTech::Lpddr4_3200, MemTech::Hbm2] {
+            let sys = SystemModel::table3().with_memory(tech);
+            let r = sys.run(&j, Scheme::Enmc);
+            assert_ne!(r.ns, base.ns, "{tech} must differ from the baseline");
+            let seq = sys.run_sharded(&j, Scheme::Enmc, &enmc_par::SimConfig::sequential());
+            let par = sys.run_sharded(&j, Scheme::Enmc, &enmc_par::SimConfig::with_threads(4));
+            assert_eq!(seq.result, par.result, "{tech} diverges across workers");
+        }
+    }
+
+    #[test]
+    fn hbm2_is_fastest_and_lpddr4_cheapest_on_the_stream() {
+        let j = small_job();
+        let run = |tech: MemTech| {
+            let r = SystemModel::table3().with_memory(tech).run(&j, Scheme::Enmc);
+            (r.ns, r.energy.expect("simulated").total_nj())
+        };
+        let (ns_d4, e_d4) = run(MemTech::Ddr4_2666);
+        let (ns_hbm, _) = run(MemTech::Hbm2);
+        let (_, e_lp) = run(MemTech::Lpddr4_3200);
+        assert!(ns_hbm < ns_d4, "HBM2 {ns_hbm} vs DDR4 {ns_d4}");
+        assert!(e_lp < e_d4, "LPDDR4 {e_lp} vs DDR4 {e_d4}");
+    }
+
+    #[test]
+    fn protocol_check_is_clean_under_every_memory_preset() {
+        let j = small_job();
+        for tech in MemTech::ALL {
+            let sys = SystemModel::table3().with_memory(tech);
+            let r = sys.run_checked(&j, Scheme::Enmc, None, true);
+            let report = r.rank_report.expect("simulated");
+            assert_eq!(report.protocol_violations, 0, "{tech}");
+        }
     }
 
     #[test]

@@ -82,21 +82,33 @@ pub struct UnitParams {
     pub serial_phases: bool,
     /// Special-function throughput (exp evaluations per logic cycle).
     pub sfu_per_cycle: f64,
+    /// The single-rank DRAM timing domain this unit simulates against
+    /// (Table 3 DDR4 unless a memory-technology preset overrides it).
+    pub dram: DramConfig,
 }
 
 impl UnitParams {
-    /// The ENMC unit of Table 3.
+    /// The ENMC unit of Table 3 on the baseline DDR4 timing domain.
     pub fn enmc(cfg: &EnmcConfig) -> Self {
+        Self::enmc_on(cfg, DramConfig::enmc_single_rank(), 1200)
+    }
+
+    /// The ENMC unit over an arbitrary single-rank DRAM timing domain
+    /// clocked at `io_mhz` — the memory-technology preset entry point.
+    /// `enmc_on(cfg, DramConfig::enmc_single_rank(), 1200)` is bit-exact
+    /// with [`UnitParams::enmc`].
+    pub fn enmc_on(cfg: &EnmcConfig, dram: DramConfig, io_mhz: u64) -> Self {
         UnitParams {
             screen_bits: cfg.screen_bits,
             screen_macs_per_cycle: cfg.int4_macs as f64,
             fp32_macs_per_cycle: cfg.fp32_macs as f64,
             buffer_bytes: cfg.buffer_bytes,
             prefetch_depth: cfg.prefetch_depth,
-            clock_ratio: cfg.dram_cycles_per_logic_cycle(1200),
+            clock_ratio: cfg.dram_cycles_per_logic_cycle(io_mhz),
             inline_filter: true,
             serial_phases: false,
             sfu_per_cycle: 4.0,
+            dram,
         }
     }
 
@@ -318,8 +330,7 @@ impl RankUnit {
         assert_eq!(job.candidates_per_item.len(), job.batch, "candidate counts per item");
         assert!(job.categories > 0 && job.hidden > 0 && job.reduced > 0 && job.batch > 0);
         let p = self.params;
-        let mut dram =
-            DramSystem::with_mapping(DramConfig::enmc_single_rank(), AddressMapping::RoRaBaCoBg);
+        let mut dram = DramSystem::with_mapping(p.dram, AddressMapping::RoRaBaCoBg);
         if trace.is_some() {
             dram.enable_trace(DRAM_TRACE_CAPACITY);
         }
@@ -674,6 +685,7 @@ mod tests {
             inline_filter: false,
             serial_phases: false,
             sfu_per_cycle: 1.0,
+            dram: DramConfig::enmc_single_rank(),
         })
     }
 

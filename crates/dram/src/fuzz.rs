@@ -83,17 +83,23 @@ pub enum PatternKind {
     RowThrash,
     /// Tight read/write alternation on open rows (tWTR / read→write).
     TurnaroundMix,
+    /// picoram-style moving-inversion memtest walk: write a row window
+    /// ascending, then read-and-write-back (the 0→1→0 inversion) walking
+    /// ascending, then again descending — per-preset stress on row
+    /// open/close, turnaround, and both walk directions.
+    MovingInversion,
 }
 
 impl PatternKind {
     /// Every pattern, in the order the CLI fuzzes them.
-    pub const ALL: [PatternKind; 6] = [
+    pub const ALL: [PatternKind; 7] = [
         PatternKind::StreamSweep,
         PatternKind::SameBankHammer,
         PatternKind::BankGroupConflict,
         PatternKind::RefreshStraddle,
         PatternKind::RowThrash,
         PatternKind::TurnaroundMix,
+        PatternKind::MovingInversion,
     ];
 
     /// Stable CLI/JSON name.
@@ -105,6 +111,7 @@ impl PatternKind {
             PatternKind::RefreshStraddle => "refresh-straddle",
             PatternKind::RowThrash => "row-thrash",
             PatternKind::TurnaroundMix => "turnaround-mix",
+            PatternKind::MovingInversion => "moving-inversion",
         }
     }
 
@@ -209,6 +216,37 @@ impl PatternKind {
                         addr: enc(i % 2, 0, rows[i % 2], (i / 2) % 32),
                         write: i % 2 == (seed % 2) as usize,
                     });
+                }
+            }
+            PatternKind::MovingInversion => {
+                // Three passes over a row window in one bank: write the
+                // window ascending, then invert (read + write-back) each
+                // word ascending, then invert again descending. Window
+                // sized so the three passes emit at least `len` requests.
+                let (bg, bank) = (rng.below(4) as usize, rng.below(4) as usize);
+                let cols = 8usize;
+                let window = (len.div_ceil(5 * cols)).max(1);
+                let base_row = rng.below(4096) as usize;
+                let mut ops: Vec<(usize, usize, bool)> = Vec::new();
+                for r in 0..window {
+                    for c in 0..cols {
+                        ops.push((base_row + r, c, true));
+                    }
+                }
+                for r in 0..window {
+                    for c in 0..cols {
+                        ops.push((base_row + r, c, false));
+                        ops.push((base_row + r, c, true));
+                    }
+                }
+                for r in (0..window).rev() {
+                    for c in (0..cols).rev() {
+                        ops.push((base_row + r, c, false));
+                        ops.push((base_row + r, c, true));
+                    }
+                }
+                for (i, &(row, col, write)) in ops.iter().take(len).enumerate() {
+                    out.push(FuzzRequest { at: (i / 2) as u64, addr: enc(bg, bank, row, col), write });
                 }
             }
         }
@@ -395,12 +433,25 @@ pub fn run_seed(
     len: usize,
     bug: Option<InjectedBug>,
 ) -> (Vec<FuzzRequest>, FuzzOutcome) {
-    let reference = DramConfig::enmc_single_rank();
-    let mut cfg = reference;
+    run_seed_on(&DramConfig::enmc_single_rank(), pattern, seed, len, bug)
+}
+
+/// [`run_seed`] against an arbitrary single-rank reference configuration
+/// — the memory-technology preset entry point: the generator, the
+/// controller under test, the checker, and the golden model all derive
+/// their constraint sets from `reference`.
+pub fn run_seed_on(
+    reference: &DramConfig,
+    pattern: PatternKind,
+    seed: u64,
+    len: usize,
+    bug: Option<InjectedBug>,
+) -> (Vec<FuzzRequest>, FuzzOutcome) {
+    let mut cfg = *reference;
     if let Some(b) = bug {
         cfg.timing = b.apply(cfg.timing);
     }
-    let reqs = pattern.generate(seed, len, &reference, AddressMapping::RoRaBaCoBg);
+    let reqs = pattern.generate(seed, len, reference, AddressMapping::RoRaBaCoBg);
     let outcome = run_case(&reqs, &cfg, AddressMapping::RoRaBaCoBg, &reference.timing);
     (reqs, outcome)
 }
@@ -455,6 +506,9 @@ pub struct Reproducer {
     pub seed: u64,
     /// The injected controller bug, if any.
     pub bug: Option<String>,
+    /// Memory-technology preset name the case ran under (`None` = the
+    /// DDR4 baseline; resolved by the CLI, which knows the preset table).
+    pub memory: Option<String>,
     /// The minimized request list.
     pub requests: Vec<FuzzRequest>,
 }
@@ -473,7 +527,7 @@ impl Reproducer {
                 ])
             })
             .collect();
-        Value::Obj(vec![
+        let mut fields = vec![
             ("pattern".to_string(), Value::Str(self.pattern.clone())),
             ("seed".to_string(), Value::Int(self.seed as i64)),
             (
@@ -483,9 +537,14 @@ impl Reproducer {
                     None => Value::Null,
                 },
             ),
-            ("requests".to_string(), Value::Arr(reqs)),
-        ])
-        .to_json()
+        ];
+        // Only non-baseline cases carry the field, so pre-preset fixtures
+        // stay byte-identical through a round-trip.
+        if let Some(m) = &self.memory {
+            fields.push(("memory".to_string(), Value::Str(m.clone())));
+        }
+        fields.push(("requests".to_string(), Value::Arr(reqs)));
+        Value::Obj(fields).to_json()
     }
 
     /// Parses a reproducer back from JSON.
@@ -501,6 +560,10 @@ impl Reproducer {
             Some(Value::Str(s)) => Some(s.clone()),
             _ => None,
         };
+        let memory = match v.get("memory") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
         let mut requests = Vec::new();
         for r in v.get("requests").and_then(Value::as_arr).ok_or("missing requests")? {
             requests.push(FuzzRequest {
@@ -509,13 +572,21 @@ impl Reproducer {
                 write: r.get("write").and_then(Value::as_bool).ok_or("missing write")?,
             });
         }
-        Ok(Reproducer { pattern, seed, bug, requests })
+        Ok(Reproducer { pattern, seed, bug, memory, requests })
     }
 
-    /// Re-runs the minimized case exactly as the fuzzer would.
+    /// Re-runs the minimized case exactly as the fuzzer would, on the
+    /// baseline configuration. Cases recorded under a non-baseline
+    /// `memory` preset must go through [`Reproducer::replay_on`] with the
+    /// resolved configuration instead.
     pub fn replay(&self) -> FuzzOutcome {
-        let reference = DramConfig::enmc_single_rank();
-        let mut cfg = reference;
+        self.replay_on(&DramConfig::enmc_single_rank())
+    }
+
+    /// Re-runs the minimized case against `reference` (the single-rank
+    /// configuration of the preset named in `memory`).
+    pub fn replay_on(&self, reference: &DramConfig) -> FuzzOutcome {
+        let mut cfg = *reference;
         if let Some(b) = self.bug.as_deref().and_then(InjectedBug::parse) {
             cfg.timing = b.apply(cfg.timing);
         }
@@ -585,14 +656,59 @@ mod tests {
             pattern: "row-thrash".to_string(),
             seed: 11,
             bug: Some("trcd-1".to_string()),
+            memory: None,
             requests: vec![
                 FuzzRequest { at: 0, addr: 64, write: false },
                 FuzzRequest { at: 3, addr: 128, write: true },
             ],
         };
         let text = repro.to_json();
+        assert!(!text.contains("memory"), "baseline cases must omit the field");
         let back = Reproducer::from_json(&text).expect("parses");
         assert_eq!(back, repro);
         assert!(!back.replay().is_clean());
+    }
+
+    #[test]
+    fn reproducer_memory_field_roundtrips() {
+        let repro = Reproducer {
+            pattern: "moving-inversion".to_string(),
+            seed: 1,
+            bug: None,
+            memory: Some("ddr5-4800".to_string()),
+            requests: vec![FuzzRequest { at: 0, addr: 64, write: true }],
+        };
+        let text = repro.to_json();
+        assert!(text.contains("\"memory\":\"ddr5-4800\""));
+        assert_eq!(Reproducer::from_json(&text).expect("parses"), repro);
+    }
+
+    #[test]
+    fn moving_inversion_walks_one_bank_in_three_passes() {
+        let cfg = DramConfig::enmc_single_rank();
+        let reqs =
+            PatternKind::MovingInversion.generate(5, 80, &cfg, AddressMapping::RoRaBaCoBg);
+        assert_eq!(reqs.len(), 80);
+        // First pass is all writes; inversion passes alternate read/write.
+        assert!(reqs.iter().take(8).all(|r| r.write));
+        let tail: Vec<bool> = reqs.iter().skip(16).map(|r| r.write).collect();
+        assert!(tail.chunks(2).take(8).all(|c| c == [false, true]), "inversion pairs");
+        // Everything lands in one bank.
+        let org = cfg.organization;
+        let coords: Vec<_> =
+            reqs.iter().map(|r| AddressMapping::RoRaBaCoBg.decode(r.addr, &org)).collect();
+        assert!(coords.iter().all(|c| (c.bank_group, c.bank) == (coords[0].bank_group, coords[0].bank)));
+    }
+
+    #[test]
+    fn run_seed_on_matches_run_seed_for_the_baseline() {
+        let baseline = DramConfig::enmc_single_rank();
+        for p in [PatternKind::StreamSweep, PatternKind::MovingInversion] {
+            let (a_reqs, a_out) = run_seed(p, 9, 32, None);
+            let (b_reqs, b_out) = run_seed_on(&baseline, p, 9, 32, None);
+            assert_eq!(a_reqs, b_reqs);
+            assert_eq!(a_out.controller_cycles, b_out.controller_cycles);
+            assert!(b_out.is_clean());
+        }
     }
 }

@@ -108,6 +108,19 @@ impl FaultModel {
         self
     }
 
+    /// Sets the retention-curve base coefficient — the memory-technology
+    /// hook: each DRAM family sits on a different retention curve
+    /// (`enmc_mem::ErrorProfile::retention_base`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not finite or negative.
+    pub fn with_retention_base(mut self, base: f64) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "retention base must be >= 0, got {base}");
+        self.retention_base = base;
+        self
+    }
+
     /// Sets the tRCD weak-column fraction.
     ///
     /// # Panics
@@ -308,6 +321,25 @@ mod tests {
             .map(|i| m.corrupt_codeword(i * 8, 0, 0))
             .any(|(_, p)| p != 0);
         assert!(changed, "parity bits must be corruptible too");
+    }
+
+    #[test]
+    fn retention_base_scales_the_curve() {
+        let m = FaultModel::nominal(7).with_refresh_multiplier(9.0);
+        let p_default = m.retention_fail_prob();
+        assert!((p_default - RETENTION_BASE * 64.0).abs() < 1e-12);
+        let weaker = m.with_retention_base(RETENTION_BASE * 2.0);
+        assert!((weaker.retention_fail_prob() - 2.0 * p_default).abs() < 1e-12);
+        // Zero base disables the mechanism outright.
+        let immune = m.with_retention_base(0.0);
+        assert_eq!(immune.retention_fail_prob(), 0.0);
+        assert_eq!(immune.corrupt_word(128, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention base")]
+    fn negative_retention_base_rejected() {
+        FaultModel::nominal(0).with_retention_base(-1.0);
     }
 
     #[test]

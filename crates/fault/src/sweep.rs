@@ -364,8 +364,15 @@ pub fn run_resilience_sweep_with_cost(
 ) -> Result<Vec<SweepPoint>, SweepError> {
     let mut points = run_sweep(synth, classifier, spec, workers)?;
     for point in &mut points {
-        let mut dram = EnergyModel::ddr4_2400_rank(1)
-            .with_refresh_multiplier(point.refresh_multiplier);
+        // Start from the system's own per-rank energy model (the memory
+        // preset's nominal coefficients), with any prior refresh/ECC
+        // override cleared so each point applies its own.
+        let mut dram = EnergyModel {
+            refresh_interval_multiplier: 1.0,
+            ecc_nj_per_access: 0.0,
+            ..*system.energy_model()
+        }
+        .with_refresh_multiplier(point.refresh_multiplier);
         let mut logic = LogicEnergyModel::enmc_table5();
         if spec.ecc {
             dram = dram.with_ecc_surcharge(ECC_NJ_PER_BURST);

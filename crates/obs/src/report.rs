@@ -44,6 +44,7 @@ use crate::metrics::MetricsReport;
 /// | v7 | `cost_backend` (which cost model answered sweep points: `cycle-accurate` or `surrogate`), `fit_anchors` (cycle-accurate anchor simulations run by surrogate fits), `audit_points` (surrogate predictions re-run cycle-accurately), `audit_max_rel_err` (worst bound-normalized relative leaf error over the audited points) | `"cycle-accurate"`, `0`, `0`, `0.0` |
 /// | v8 | `nodes` (simulated DIMM-group nodes — fleet runs only), `placement` (shard placement policy: `consistent-hash` or `popularity`), `hot_shard_replicas` (extra hot-shard copies the placement placed), `network_share` (fraction of completed-request latency cycles spent on the interconnect), `tenants` (per-tenant rows: `name`/`slo_attainment`/`p99_ns`/`shed`/`admitted`/`completed`/`degrade_transitions`) | `0`, `""`, `0`, `0.0`, `[]` |
 /// | v9 | `space_size` (designs in the declared tune space), `evaluated_designs` (designs the search actually simulated), `audited_designs` (evaluated designs the audit lottery re-ran cycle-accurately), `frontier_points` (Pareto-optimal designs), `dominated_points` (evaluated designs dominated by the frontier), `max_area_mm2` (declared area budget; 0.0 = unconstrained), `max_power_mw` (declared power budget; 0.0 = unconstrained), `offload_nmp` (admission-time planner decisions that kept NMP execution), `offload_cpu` (planner decisions that chose the CPU roofline) | `0`, `0`, `0`, `0`, `0`, `0.0`, `0.0`, `0`, `0` |
+/// | v10 | `memory_tech` (memory-technology preset the run simulated: `ddr4-2666`, `ddr5-4800`, `lpddr4-3200`, or `hbm2`; empty for analytic commands with no DRAM domain), `ber_scale` (the preset's bit-error-rate multiplier relative to the DDR4 baseline), `retention_base` (the preset's retention-failure coefficient; 0.0 when the run injected no faults), `weak_column_scale` (the preset's weak-column incidence multiplier) | `""`, `1.0`, `0.0`, `1.0` |
 ///
 /// The v4 serving fields are only meaningful for `serve-sim` reports,
 /// the v5 fault fields only for `fault-sweep` reports, the v6
@@ -52,8 +53,10 @@ use crate::metrics::MetricsReport;
 /// `--cost-model`, the v8 fleet fields only for `fleet-sim` reports, and
 /// the v9 tune fields only for `tune`/`offload-plan` runs and the
 /// serving commands under `--offload`; other commands write them at
-/// their defaults.
-pub const SCHEMA_VERSION: u32 = 9;
+/// their defaults. The v10 memory fields are stamped by every command
+/// that accepts `--memory`; the error-profile triplet is only
+/// interpreted by fault sweeps.
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// One timed phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +224,19 @@ pub struct RunReport {
     /// Admission-time offload-planner decisions that chose the CPU
     /// roofline instead.
     pub offload_cpu: u64,
+    /// Memory-technology preset the run simulated (`ddr4-2666`,
+    /// `ddr5-4800`, `lpddr4-3200`, `hbm2`; empty when the command has no
+    /// DRAM timing domain).
+    pub memory_tech: String,
+    /// The preset's bit-error-rate multiplier relative to the DDR4
+    /// baseline (1.0 = baseline incidence).
+    pub ber_scale: f64,
+    /// The preset's retention-failure coefficient (0.0 when the run
+    /// injected no retention faults).
+    pub retention_base: f64,
+    /// The preset's weak-column incidence multiplier relative to the
+    /// DDR4 baseline (1.0 = baseline incidence).
+    pub weak_column_scale: f64,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseSpan>,
     /// Metrics snapshot.
@@ -240,6 +256,8 @@ impl RunReport {
             speedup: 1.0,
             refresh_multiplier: 1.0,
             cost_backend: "cycle-accurate".to_string(),
+            ber_scale: 1.0,
+            weak_column_scale: 1.0,
             ..Default::default()
         }
     }
@@ -365,6 +383,10 @@ impl RunReport {
             ("max_power_mw".to_string(), Value::Num(self.max_power_mw)),
             ("offload_nmp".to_string(), Value::Int(self.offload_nmp as i64)),
             ("offload_cpu".to_string(), Value::Int(self.offload_cpu as i64)),
+            ("memory_tech".to_string(), Value::Str(self.memory_tech.clone())),
+            ("ber_scale".to_string(), Value::Num(self.ber_scale)),
+            ("retention_base".to_string(), Value::Num(self.retention_base)),
+            ("weak_column_scale".to_string(), Value::Num(self.weak_column_scale)),
             ("phases".to_string(), Value::Arr(phases)),
             ("metrics".to_string(), self.metrics.to_json_value()),
             (
@@ -568,6 +590,20 @@ impl RunReport {
             max_power_mw: v.get("max_power_mw").and_then(Value::as_f64).unwrap_or(0.0),
             offload_nmp: v.get("offload_nmp").and_then(Value::as_u64).unwrap_or(0),
             offload_cpu: v.get("offload_cpu").and_then(Value::as_u64).unwrap_or(0),
+            // v10 memory-technology fields; default when reading an older
+            // report (pre-preset reports always simulated the DDR4
+            // baseline profile).
+            memory_tech: v
+                .get("memory_tech")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            ber_scale: v.get("ber_scale").and_then(Value::as_f64).unwrap_or(1.0),
+            retention_base: v.get("retention_base").and_then(Value::as_f64).unwrap_or(0.0),
+            weak_column_scale: v
+                .get("weak_column_scale")
+                .and_then(Value::as_f64)
+                .unwrap_or(1.0),
             phases,
             metrics,
             notes,
@@ -778,6 +814,26 @@ mod tests {
     }
 
     #[test]
+    fn v9_reports_parse_with_defaulted_memory_fields() {
+        // A v9 report has none of the v10 memory-technology keys.
+        let mut r = sample();
+        r.schema_version = 9;
+        let v9_json = r
+            .to_json()
+            .replace("\"memory_tech\":\"\",", "")
+            .replace("\"ber_scale\":1,", "")
+            .replace("\"retention_base\":0,", "")
+            .replace("\"weak_column_scale\":1,", "");
+        assert!(!v9_json.contains("memory_tech"));
+        let back = RunReport::from_json(&v9_json).unwrap();
+        assert_eq!(back.memory_tech, "");
+        assert_eq!(back.ber_scale, 1.0);
+        assert_eq!(back.retention_base, 0.0);
+        assert_eq!(back.weak_column_scale, 1.0);
+        assert_eq!(back.space_size, r.space_size);
+    }
+
+    #[test]
     fn tenant_rows_round_trip() {
         let mut r = sample();
         r.nodes = 4;
@@ -872,7 +928,13 @@ mod tests {
             "\"offload_nmp\":0,",
             "\"offload_cpu\":0,",
         ];
-        let strip: [&[&str]; 9] = [
+        const V10_KEYS: [&str; 4] = [
+            "\"memory_tech\":\"\",",
+            "\"ber_scale\":1,",
+            "\"retention_base\":0,",
+            "\"weak_column_scale\":1,",
+        ];
+        let strip: [&[&str]; 10] = [
             // v1: no v2/v3/v4/v5/v6/v7/v8/v9 fields.
             &[
                 "\"threads\":0,",
@@ -907,6 +969,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v2: no v3/v4/v5/v6/v7/v8/v9 fields.
             &[
@@ -940,6 +1006,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v3: no v4/v5/v6/v7/v8/v9 fields.
             &[
@@ -972,6 +1042,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v4: no v5/v6/v7/v8/v9 fields.
             &[
@@ -1000,6 +1074,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v5: no v6/v7/v8/v9 fields.
             &[
@@ -1023,6 +1101,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v6: no v7/v8/v9 fields.
             &[
@@ -1044,6 +1126,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v7: no v8/v9 fields.
             &[
@@ -1061,6 +1147,10 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
             // v8: no v9 fields.
             &[
@@ -1073,8 +1163,14 @@ mod tests {
                 V9_KEYS[6],
                 V9_KEYS[7],
                 V9_KEYS[8],
+                V10_KEYS[0],
+                V10_KEYS[1],
+                V10_KEYS[2],
+                V10_KEYS[3],
             ],
-            // v9: current — nothing stripped.
+            // v9: no v10 fields.
+            &[V10_KEYS[0], V10_KEYS[1], V10_KEYS[2], V10_KEYS[3]],
+            // v10: current — nothing stripped.
             &[],
         ];
         for (i, removals) in strip.iter().enumerate() {

@@ -52,9 +52,12 @@ impl EvaluatedDesign {
     }
 }
 
-/// The [`SystemModel`] a design point configures: rank count, lane
-/// count, and screener bitwidth applied to the base platform, plus the
-/// ECC energy surcharge when the design carries ECC.
+/// The [`SystemModel`] a design point configures: memory technology,
+/// rank count, lane count, and screener bitwidth applied to the base
+/// platform, plus the ECC energy surcharge when the design carries ECC.
+/// The design's memory axis always rebases the platform (so the energy
+/// model is the chosen technology's nominal one before the ECC
+/// surcharge applies).
 pub fn configure_system(base: &SystemModel, d: &DesignPoint) -> SystemModel {
     let cfg = EnmcConfig {
         int4_macs: d.lanes,
@@ -62,9 +65,13 @@ pub fn configure_system(base: &SystemModel, d: &DesignPoint) -> SystemModel {
         filter_width: d.lanes,
         ..*base.enmc_config()
     };
-    let mut sys = base.clone().with_total_ranks(d.ranks).with_enmc_config(cfg);
+    let mut sys = base
+        .clone()
+        .with_memory(d.memory)
+        .with_total_ranks(d.ranks)
+        .with_enmc_config(cfg);
     if d.ecc {
-        let em = (*base.energy_model()).with_ecc_surcharge(ECC_NJ_PER_BURST);
+        let em = (*sys.energy_model()).with_ecc_surcharge(ECC_NJ_PER_BURST);
         sys = sys.with_energy_model(em);
     }
     sys
@@ -256,6 +263,34 @@ mod tests {
         let ecc = evaluate_design(&sys, &job, &space, ecc_i, backend, 7).unwrap();
         assert!(ecc.energy_per_query_nj > plain.energy_per_query_nj);
         assert!((ecc.latency_ns - plain.latency_ns).abs() < 1e-9, "ECC is an energy cost");
+    }
+
+    #[test]
+    fn memory_axis_changes_the_evaluation() {
+        use enmc_mem::MemTech;
+        let sys = SystemModel::table3();
+        let job = small_job();
+        let mut space = TuneSpace::small();
+        space.memory = MemTech::ALL.to_vec();
+        let space = space.normalize();
+        assert_eq!(space.size(), 32 * 4);
+        let backend = CostBackend::CycleAccurate;
+        // Four designs identical except for the memory axis: distinct
+        // latency/energy coordinates, identical quality proxy.
+        let evals: Vec<EvaluatedDesign> = (0..4)
+            .map(|i| evaluate_design(&sys, &job, &space, i, backend, 7).unwrap())
+            .collect();
+        for pair in evals.windows(2) {
+            assert_ne!(pair[0].point.memory, pair[1].point.memory);
+            assert_ne!(
+                (pair[0].latency_ns, pair[0].energy_per_query_nj),
+                (pair[1].latency_ns, pair[1].energy_per_query_nj),
+                "{} vs {}",
+                pair[0].point.label(),
+                pair[1].point.label()
+            );
+            assert_eq!(pair[0].quality_pct, pair[1].quality_pct, "quality is tech-independent");
+        }
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub fn frontier_json(
         s.push_str(&format!("\"batch_max\": {}, ", pt.batch_max));
         s.push_str(&format!("\"linger_cycles\": {}, ", pt.linger_cycles));
         s.push_str(&format!("\"ecc\": {}, ", pt.ecc));
+        s.push_str(&format!("\"memory\": \"{}\", ", pt.memory.name()));
         s.push_str(&format!("\"area_mm2\": {}, ", fnum(d.cost.area_mm2)));
         s.push_str(&format!("\"power_mw\": {}, ", fnum(d.cost.power_mw)));
         s.push_str(&format!("\"latency_ns\": {}, ", fnum(d.latency_ns)));
@@ -158,6 +159,7 @@ mod tests {
                 batch_max: 4,
                 linger_cycles: 0,
                 ecc: false,
+                memory: enmc_mem::MemTech::Ddr4_2666,
             },
             cost: AreaPower { area_mm2: 28.0, power_mw: 18_000.0 },
             latency_ns: lat,

@@ -10,6 +10,7 @@
 //! worker count produce byte-identical frontiers over the same space.
 
 use enmc_arch::{AreaPower, PhysicalModel};
+use enmc_mem::MemTech;
 
 /// Area/power surcharge of SEC-DED (72,64) ECC on the on-DIMM DRAM
 /// controller: 8 extra bits per 64 = 12.5 % more controller datapath
@@ -39,6 +40,9 @@ pub struct TuneSpace {
     pub linger_cycles: Vec<u64>,
     /// Whether the DRAM controller carries SEC-DED ECC.
     pub ecc: Vec<bool>,
+    /// Memory technologies to evaluate the design on (Table 3 DDR4
+    /// baseline unless widened; the 9th axis, fastest in the lattice).
+    pub memory: Vec<MemTech>,
 }
 
 impl Default for TuneSpace {
@@ -61,6 +65,7 @@ impl TuneSpace {
             batch_max: vec![4],
             linger_cycles: vec![2_000],
             ecc: vec![false, true],
+            memory: vec![MemTech::Ddr4_2666],
         }
     }
 
@@ -84,6 +89,7 @@ impl TuneSpace {
         norm("batch-max", &mut self.batch_max);
         norm("linger", &mut self.linger_cycles);
         norm("ecc", &mut self.ecc);
+        norm("memory", &mut self.memory);
         assert!(self.ranks[0] > 0, "ranks levels must be positive");
         assert!(self.lanes[0] > 0, "lane levels must be positive");
         assert!(self.screen_bits[0] > 0, "screen-bits levels must be positive");
@@ -93,7 +99,7 @@ impl TuneSpace {
     }
 
     /// Per-axis level counts, slowest axis first.
-    fn radices(&self) -> [usize; 8] {
+    fn radices(&self) -> [usize; 9] {
         [
             self.ranks.len(),
             self.lanes.len(),
@@ -103,6 +109,7 @@ impl TuneSpace {
             self.batch_max.len(),
             self.linger_cycles.len(),
             self.ecc.len(),
+            self.memory.len(),
         ]
     }
 
@@ -116,12 +123,12 @@ impl TuneSpace {
     /// # Panics
     ///
     /// Panics when `index >= self.size()`.
-    pub fn coords(&self, index: usize) -> [usize; 8] {
+    pub fn coords(&self, index: usize) -> [usize; 9] {
         assert!(index < self.size(), "design index {index} out of range");
         let radices = self.radices();
-        let mut c = [0usize; 8];
+        let mut c = [0usize; 9];
         let mut rest = index;
-        for axis in (0..8).rev() {
+        for axis in (0..9).rev() {
             c[axis] = rest % radices[axis];
             rest /= radices[axis];
         }
@@ -129,10 +136,10 @@ impl TuneSpace {
     }
 
     /// Encodes per-axis level coordinates back into the lattice index.
-    pub fn index_of(&self, coords: &[usize; 8]) -> usize {
+    pub fn index_of(&self, coords: &[usize; 9]) -> usize {
         let radices = self.radices();
         let mut index = 0usize;
-        for axis in 0..8 {
+        for axis in 0..9 {
             debug_assert!(coords[axis] < radices[axis]);
             index = index * radices[axis] + coords[axis];
         }
@@ -152,6 +159,7 @@ impl TuneSpace {
             batch_max: self.batch_max[c[5]],
             linger_cycles: self.linger_cycles[c[6]],
             ecc: self.ecc[c[7]],
+            memory: self.memory[c[8]],
         }
     }
 
@@ -162,7 +170,7 @@ impl TuneSpace {
         let radices = self.radices();
         let base = self.coords(index);
         let mut out = Vec::new();
-        for axis in 0..8 {
+        for axis in 0..9 {
             for step in [-1isize, 1] {
                 let level = base[axis] as isize + step;
                 if level < 0 || level as usize >= radices[axis] {
@@ -199,13 +207,16 @@ pub struct DesignPoint {
     pub linger_cycles: u64,
     /// SEC-DED ECC on the DRAM controller.
     pub ecc: bool,
+    /// Memory technology the design is evaluated on.
+    pub memory: MemTech,
 }
 
 impl DesignPoint {
-    /// A compact stable label, e.g. `r64.l128.b4.s0.c128.bm4.lg2000.ecc0`.
+    /// A compact stable label, e.g.
+    /// `r64.l128.b4.s0.c128.bm4.lg2000.ecc0.md4`.
     pub fn label(&self) -> String {
         format!(
-            "r{}.l{}.b{}.s{}.c{}.bm{}.lg{}.ecc{}",
+            "r{}.l{}.b{}.s{}.c{}.bm{}.lg{}.ecc{}.m{}",
             self.ranks,
             self.lanes,
             self.screen_bits,
@@ -213,7 +224,8 @@ impl DesignPoint {
             self.candidates,
             self.batch_max,
             self.linger_cycles,
-            u8::from(self.ecc)
+            u8::from(self.ecc),
+            self.memory.short()
         )
     }
 }
@@ -222,8 +234,12 @@ impl DesignPoint {
 /// the INT4 array scaled to the design's lane count and bitwidth, the
 /// fixed FP32 executor, both buffer blocks, both controllers, and the
 /// ECC surcharge when enabled; the DIMM total scales the unit by the
-/// rank count. At the Table 3 point (128 lanes, 4-bit, no ECC) the
-/// per-unit price reduces exactly to [`PhysicalModel::enmc_unit`].
+/// rank count. The power envelope also carries the memory technology's
+/// own background draw per rank — that is what lets a `--max-power-mw`
+/// budget discriminate between technologies (HBM2's standby watts price
+/// it out of tight envelopes that LPDDR4 fits with room to spare). At
+/// the Table 3 point (128 lanes, 4-bit, no ECC) the per-unit *silicon*
+/// price reduces exactly to [`PhysicalModel::enmc_unit`].
 pub fn price_design(model: &PhysicalModel, d: &DesignPoint) -> AreaPower {
     let int4 = model.int4_mac.scale(d.lanes as f64 * d.screen_bits as f64 / 4.0);
     let mut unit = int4
@@ -238,6 +254,10 @@ pub fn price_design(model: &PhysicalModel, d: &DesignPoint) -> AreaPower {
             power_mw: ECC_POWER_MW,
         });
     }
+    unit = unit.add(&AreaPower {
+        area_mm2: 0.0,
+        power_mw: d.memory.preset().energy.background_w * 1e3,
+    });
     unit.scale(d.ranks as f64)
 }
 
@@ -298,7 +318,7 @@ mod tests {
             let base = space.coords(i);
             for n in space.neighbors(i) {
                 let c = space.coords(n);
-                let diff: usize = (0..8)
+                let diff: usize = (0..9)
                     .map(|a| usize::from(base[a] != c[a]))
                     .sum();
                 assert_eq!(diff, 1, "{base:?} vs {c:?}");
@@ -307,9 +327,10 @@ mod tests {
     }
 
     #[test]
-    fn table3_point_prices_at_enmc_unit() {
+    fn table3_point_prices_at_enmc_unit_plus_dram_background() {
         // 128 lanes, 4-bit screener, no ECC must reduce to Table 5's
-        // unit exactly — pricing is the same composition.
+        // unit exactly on silicon; power adds only the technology's own
+        // per-rank background draw.
         let model = PhysicalModel::tsmc28();
         let d = DesignPoint {
             index: 0,
@@ -321,13 +342,33 @@ mod tests {
             batch_max: 4,
             linger_cycles: 0,
             ecc: false,
+            memory: MemTech::Ddr4_2666,
         };
         let priced = price_design(&model, &d);
         let unit = model.enmc_unit();
+        let background = MemTech::Ddr4_2666.preset().energy.background_w * 1e3;
         assert!((priced.area_mm2 - unit.area_mm2).abs() < 1e-12);
-        assert!((priced.power_mw - unit.power_mw).abs() < 1e-12);
+        assert!((priced.power_mw - (unit.power_mw + background)).abs() < 1e-12);
         let dimm = price_design(&model, &DesignPoint { ranks: 64, ..d });
         assert!((dimm.area_mm2 - 64.0 * unit.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_technology_moves_the_power_envelope_not_the_silicon() {
+        let model = PhysicalModel::tsmc28();
+        let d = TuneSpace::small().normalize().design(0);
+        let by_tech: Vec<AreaPower> = MemTech::ALL
+            .iter()
+            .map(|&m| price_design(&model, &DesignPoint { memory: m, ..d }))
+            .collect();
+        for p in &by_tech {
+            assert!((p.area_mm2 - by_tech[0].area_mm2).abs() < 1e-12, "area is tech-independent");
+        }
+        let power = |m: MemTech| {
+            by_tech[MemTech::ALL.iter().position(|&t| t == m).unwrap()].power_mw
+        };
+        assert!(power(MemTech::Hbm2) > power(MemTech::Ddr4_2666));
+        assert!(power(MemTech::Lpddr4_3200) < power(MemTech::Ddr4_2666));
     }
 
     #[test]

@@ -253,6 +253,53 @@ impl FaultShape {
     }
 }
 
+/// Validates a `--memory` value: one of the canonical preset names from
+/// [`enmc_mem::MemTech`]. Case-insensitive; `help` is rejected here with
+/// a pointer at `enmc list-memory` so the table stays in one place.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the accepted presets.
+pub fn parse_memory(raw: &str) -> Result<enmc_mem::MemTech, String> {
+    enmc_mem::MemTech::parse(&raw.to_ascii_lowercase()).ok_or_else(|| {
+        format!(
+            "--memory must be one of {} (see 'enmc list-memory'), got '{raw}'",
+            memory_names().join(", ")
+        )
+    })
+}
+
+/// Validates a `--memory` comma-list for `tune`: each entry a canonical
+/// preset name; duplicates are allowed (the tune space normalizes).
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the offending entry and listing
+/// the accepted presets.
+pub fn parse_memory_levels(raw: &str) -> Result<Vec<enmc_mem::MemTech>, String> {
+    if raw.is_empty() {
+        return Err("--memory expects a comma-separated list of presets, got ''".to_string());
+    }
+    let mut out = Vec::new();
+    for tok in raw.split(',') {
+        match enmc_mem::MemTech::parse(&tok.to_ascii_lowercase()) {
+            Some(t) => out.push(t),
+            None => {
+                return Err(format!(
+                    "--memory entries must be one of {}, got '{tok}' in '{raw}'",
+                    memory_names().join(", ")
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The canonical preset names, in declaration order (baseline first).
+fn memory_names() -> Vec<&'static str> {
+    enmc_mem::MemTech::ALL.iter().map(|t| t.name()).collect()
+}
+
 /// Validates a `--cost-model` value.
 ///
 /// # Errors
@@ -477,6 +524,12 @@ pub struct CommonArgs {
     pub audit_rate: f64,
     /// Output format (defaults to text).
     pub format: ReportFormat,
+    /// Memory-technology preset levels (`--memory`, comma-separated;
+    /// defaults to the DDR4 baseline, which reproduces the pre-preset
+    /// behavior bit-exactly). Single-preset subcommands resolve through
+    /// [`CommonArgs::single_memory`]; `tune` consumes the whole list as
+    /// its memory design axis.
+    pub memory: Vec<enmc_mem::MemTech>,
 }
 
 impl CommonArgs {
@@ -493,7 +546,27 @@ impl CommonArgs {
             flag_value(args, "--audit-rate").map(parse_audit_rate).unwrap_or(Ok(0.1))?;
         let format =
             flag_value(args, "--report").map(parse_report_format).unwrap_or(Ok(ReportFormat::Text))?;
-        Ok(CommonArgs { seed, threads, cost_model, audit_rate, format })
+        let memory = flag_value(args, "--memory")
+            .map(parse_memory_levels)
+            .unwrap_or(Ok(vec![enmc_mem::MemTech::Ddr4_2666]))?;
+        Ok(CommonArgs { seed, threads, cost_model, audit_rate, format, memory })
+    }
+
+    /// The single `--memory` preset for subcommands that simulate one
+    /// technology per run (everything except `tune`, where the list is a
+    /// design axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when a comma list was given.
+    pub fn single_memory(&self) -> Result<enmc_mem::MemTech, String> {
+        match self.memory.as_slice() {
+            [one] => Ok(*one),
+            _ => Err(
+                "--memory takes exactly one preset here; comma lists are a 'tune' design axis"
+                    .to_string(),
+            ),
+        }
     }
 
     /// Worker-count resolution for subcommands where omitting the flag
@@ -669,6 +742,51 @@ mod tests {
         assert_eq!(parse_shape("xmlcnn"), Ok(FaultShape::XmlcnnAmazon670k));
         assert_eq!(parse_shape("xmlcnn").unwrap().name(), "xmlcnn-amazon670k");
         assert!(parse_shape("resnet").unwrap_err().contains("'resnet'"));
+    }
+
+    #[test]
+    fn memory_parses_every_preset_case_insensitively() {
+        use enmc_mem::MemTech;
+        assert_eq!(parse_memory("ddr4-2666"), Ok(MemTech::Ddr4_2666));
+        assert_eq!(parse_memory("DDR5-4800"), Ok(MemTech::Ddr5_4800));
+        assert_eq!(parse_memory("lpddr4-3200"), Ok(MemTech::Lpddr4_3200));
+        assert_eq!(parse_memory("HBM2"), Ok(MemTech::Hbm2));
+        let err = parse_memory("ddr3").unwrap_err();
+        assert!(err.contains("'ddr3'") && err.contains("list-memory"), "{err}");
+        assert!(parse_memory("help").is_err(), "the table lives in 'enmc list-memory'");
+    }
+
+    #[test]
+    fn memory_levels_accept_lists_and_name_the_offender() {
+        use enmc_mem::MemTech;
+        assert_eq!(
+            parse_memory_levels("ddr4-2666,hbm2"),
+            Ok(vec![MemTech::Ddr4_2666, MemTech::Hbm2])
+        );
+        assert_eq!(parse_memory_levels("ddr5-4800"), Ok(vec![MemTech::Ddr5_4800]));
+        assert!(parse_memory_levels("").unwrap_err().contains("--memory"));
+        assert!(parse_memory_levels("ddr4-2666,gddr6").unwrap_err().contains("'gddr6'"));
+    }
+
+    #[test]
+    fn common_args_default_to_the_ddr4_baseline_memory() {
+        use enmc_mem::MemTech;
+        let c = CommonArgs::parse(&argv(&[]), 7).unwrap();
+        assert_eq!(c.memory, vec![MemTech::Ddr4_2666]);
+        assert_eq!(c.single_memory(), Ok(MemTech::Ddr4_2666));
+        let c = CommonArgs::parse(&argv(&["--memory", "hbm2"]), 7).unwrap();
+        assert_eq!(c.single_memory(), Ok(MemTech::Hbm2));
+        assert!(CommonArgs::parse(&argv(&["--memory", "sram"]), 7)
+            .unwrap_err()
+            .contains("'sram'"));
+    }
+
+    #[test]
+    fn common_args_memory_lists_are_a_tune_axis_only() {
+        use enmc_mem::MemTech;
+        let c = CommonArgs::parse(&argv(&["--memory", "ddr5-4800,hbm2"]), 7).unwrap();
+        assert_eq!(c.memory, vec![MemTech::Ddr5_4800, MemTech::Hbm2]);
+        assert!(c.single_memory().unwrap_err().contains("tune"));
     }
 
     #[test]

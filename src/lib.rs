@@ -55,6 +55,7 @@ pub use enmc_dram as dram;
 pub use enmc_fault as fault;
 pub use enmc_fleet as fleet;
 pub use enmc_isa as isa;
+pub use enmc_mem as mem;
 pub use enmc_model as model;
 pub use enmc_par as par;
 pub use enmc_perf as perf;

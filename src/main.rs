@@ -14,10 +14,12 @@
 //!     --report <text|json>           output format (default text)
 //!     --seed <n>                     recorded in the report (simulate itself
 //!                                    is deterministic; flag > ENMC_SEED > 7)
-//!     --check-protocol               shadow every DRAM command with the DDR4
-//!                                    conformance checker; nonzero exit on
-//!                                    any timing violation
-//! enmc fuzz-dram [options]           fuzz the DDR4 controller vs the checker
+//!     --memory <preset>              memory technology preset (default
+//!                                    ddr4-2666; see `enmc list-memory`)
+//!     --check-protocol               shadow every DRAM command with the
+//!                                    preset's conformance checker; nonzero
+//!                                    exit on any timing violation
+//! enmc fuzz-dram [options]           fuzz the controller vs the checker
 //!                                    and golden reference model
 //!     --seeds <n>                    seeds per pattern (default 32)
 //!     --len <n>                      requests per fuzz case (default 96)
@@ -25,6 +27,7 @@
 //!                                    the compiler-lowered program)
 //!     --inject-bug <name>            plant a controller timing bug; exit 0
 //!                                    iff the harness catches it
+//!     --memory <preset>              fuzz that preset's timing domain
 //!     --repro-out <file>             write the shrunk reproducer JSON
 //! enmc serve-sim [options]           simulate online serving of a workload
 //!     --workload <abbr>              lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
@@ -47,6 +50,7 @@
 //!     --offload                      install the per-query offload plan: each
 //!                                    (tier, batch) admission point runs on the
 //!                                    cheaper of NMP and the CPU roofline
+//!     --memory <preset>              memory technology preset, as simulate
 //!     --threads / --check-protocol / --trace-out / --report as simulate
 //! enmc fleet-sim [options]           simulate a multi-tenant serving fleet
 //!     --shape <abbr>                 lstm|transformer|gnmt|xmlcnn|s1m|s10m|s100m
@@ -69,6 +73,7 @@
 //!     --seed <n>                     base seed (flag > ENMC_SEED > 7)
 //!     --offload                      plan per-query offload for every tenant's
 //!                                    calibrated ladder (NMP vs CPU roofline)
+//!     --memory <preset>              memory technology preset, as simulate
 //!     --threads / --check-protocol / --report as simulate (reports are
 //!                                    byte-identical for any worker count)
 //!     --cost-model / --audit-rate / --coeffs / --coeffs-out as serve-sim
@@ -82,6 +87,9 @@
 //!     --batch-max <n,...>            batch-size-cap levels (default 4)
 //!     --linger <n,...>               linger-window levels, cycles (default 2000)
 //!     --ecc <on|off,...>             DRAM-controller ECC levels (default off,on)
+//!     --memory <preset,...>          memory-technology axis levels (default
+//!                                    ddr4-2666; list all four for per-tech
+//!                                    frontiers — see `enmc list-memory`)
 //!     --max-area-mm2 <f>             reject designs pricier than this area
 //!     --max-power-mw <f>             reject designs above this power
 //!     --search <mode>                exhaustive|guided (default exhaustive;
@@ -99,6 +107,7 @@
 //!     --candidates <fraction>        tier-0 exact fraction (default 0.05)
 //!     --batch-max <n>                plan batches 1..=n (default 4)
 //!     --degrade-tiers <K:S,...>      ladder to plan (default: K, K/2:1, K/4:2)
+//!     --memory <preset>              memory technology preset, as simulate
 //!     --seed / --threads / --cost-model / --audit-rate / --report as tune
 //! enmc fault-sweep [options]         quality-vs-refresh-energy resilience sweep
 //!     --shape <name>                 lstm-wikitext2|transformer-wikitext103|
@@ -106,6 +115,8 @@
 //!     --ber <f>                      uniform bit-error rate in [0, 1] (default 0)
 //!     --multipliers <m,...>          refresh-interval multipliers >= 1 (default 1)
 //!     --weak-columns <f>             tRCD-marginal column fraction (default 0)
+//!     --memory <preset>              preset whose error profile scales the
+//!                                    injected faults (default ddr4-2666)
 //!     --ecc                          protect weights with SEC-DED (72,64)
 //!     --queries <n>                  queries per sweep point (default 256)
 //!     --seed <n>                     fault-map + query seed (flag > ENMC_SEED > 7)
@@ -123,6 +134,7 @@
 //!                                    (queue depth, open rows, busy lanes)
 //!     --report <text|json>           text prints the cost tree; json emits the
 //!                                    RunReport with its breakdown rows
+//!     --memory <preset>              memory technology preset, as simulate
 //!     --self-profile                 host-side span rollup on stderr
 //! enmc bench-diff <old> <new>        gate one BENCH_*.json against another
 //!     --wall-tolerance <f>           allowed wall-clock regression fraction
@@ -131,6 +143,7 @@
 //!                                    on any gate failure.
 //! enmc asm <file>                    assemble an ENMC program, print frames
 //! enmc workloads                     print the Table 2 workloads
+//! enmc list-memory                   print the memory-technology preset table
 //! ```
 
 use enmc::arch::baseline::BaselineKind;
@@ -138,14 +151,15 @@ use enmc::arch::system::{ClassificationJob, Scheme, SystemModel};
 use enmc::cli::{
     flag_value, parse_arrival_kind, parse_axis_counts, parse_axis_levels, parse_batch, parse_ber,
     parse_budget_cap, parse_candidate_fraction, parse_count, parse_degrade_tiers,
-    parse_ecc_levels, parse_multipliers, parse_placement, parse_rate, parse_report_format,
-    parse_search_mode, parse_shape, parse_threads, parse_wall_tolerance, parse_zipf, ArrivalKind,
-    CommonArgs, CostModelKind, ReportFormat,
+    parse_ecc_levels, parse_memory, parse_multipliers, parse_placement, parse_rate,
+    parse_report_format, parse_search_mode, parse_shape, parse_threads, parse_wall_tolerance,
+    parse_zipf, ArrivalKind, CommonArgs, CostModelKind, ReportFormat,
 };
 use enmc::compiler::{lower_screening, MemoryLayout, TaskDescriptor};
 use enmc::dram::fuzz;
 use enmc::dram::{AddressMapping, DramConfig, FuzzRequest, InjectedBug, PatternKind, Reproducer};
 use enmc::isa::{Instruction, Program};
+use enmc::mem::MemTech;
 use enmc::model::workloads::{Workload, WorkloadId};
 use enmc::obs::report::Stopwatch;
 use enmc::obs::trace::export_chrome;
@@ -173,6 +187,7 @@ fn main() {
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("workloads") => cmd_workloads(),
+        Some("list-memory") => cmd_list_memory(),
         _ => {
             eprint!("{}", USAGE);
             2
@@ -187,15 +202,15 @@ enmc — ENMC (MICRO'21) reproduction
 usage:
   enmc demo                       run the quickstart pipeline
   enmc simulate [--workload W] [--scheme S] [--batch N] [--candidates F]
-                [--threads N] [--seed N] [--trace-out FILE]
+                [--threads N] [--seed N] [--memory PRESET] [--trace-out FILE]
                 [--report text|json] [--check-protocol]
   enmc serve-sim [--workload W] [--arrival poisson|burst|diurnal|trace]
                  [--rate R] [--requests N] [--slo-cycles S] [--batch-max B]
                  [--linger L] [--lanes N] [--degrade-tiers K:S,...]
                  [--shed-queue N] [--degrade-queue N] [--upgrade-queue N]
                  [--seed N] [--candidates F] [--trace-file FILE]
-                 [--quality N] [--offload] [--threads N] [--trace-out FILE]
-                 [--report text|json] [--check-protocol]
+                 [--quality N] [--offload] [--threads N] [--memory PRESET]
+                 [--trace-out FILE] [--report text|json] [--check-protocol]
                  [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                  [--coeffs FILE] [--coeffs-out FILE]
   enmc fleet-sim [--shape W] [--nodes N] [--shards N] [--tenants N]
@@ -203,41 +218,58 @@ usage:
                  [--zipf S] [--rate R] [--arrival poisson|burst|diurnal]
                  [--requests N] [--slo-cycles S] [--batch-max B] [--linger L]
                  [--lanes N] [--candidates F] [--offload] [--seed N]
-                 [--threads N] [--report text|json] [--check-protocol]
+                 [--threads N] [--memory PRESET] [--report text|json]
+                 [--check-protocol]
                  [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                  [--coeffs FILE] [--coeffs-out FILE]
   enmc tune [--workload W] [--ranks N,...] [--lanes N,...]
             [--screen-bits N,...] [--screen-shift N,...]
             [--candidates N,...] [--batch-max N,...] [--linger N,...]
-            [--ecc on|off,...] [--max-area-mm2 F] [--max-power-mw F]
+            [--ecc on|off,...] [--memory PRESET,...]
+            [--max-area-mm2 F] [--max-power-mw F]
             [--search exhaustive|guided] [--frontier-out FILE]
             [--cost-model cycle-accurate|surrogate] [--audit-rate F]
             [--seed N] [--threads N] [--report text|json]
   enmc offload-plan [--workload W] [--candidates F] [--batch-max N]
                     [--degrade-tiers K:S,...] [--seed N] [--threads N]
+                    [--memory PRESET]
                     [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                     [--report text|json]
   enmc fault-sweep [--shape S] [--ber F] [--multipliers M,...]
                    [--weak-columns F] [--ecc] [--queries N] [--seed N]
-                   [--threads N] [--trace-out FILE] [--report text|json]
+                   [--threads N] [--memory PRESET] [--trace-out FILE]
+                   [--report text|json]
                    [--cost-model cycle-accurate|surrogate] [--audit-rate F]
                    [--coeffs FILE] [--coeffs-out FILE]
   enmc fuzz-dram [--seeds N] [--len N] [--pattern P] [--inject-bug B]
-                 [--repro-out FILE] [--check-protocol]
+                 [--memory PRESET] [--repro-out FILE] [--check-protocol]
   enmc profile [--shape W] [--scheme S] [--batch N] [--candidates F]
-               [--threads N] [--trace-out FILE] [--report text|json]
-               [--self-profile]
+               [--threads N] [--memory PRESET] [--trace-out FILE]
+               [--report text|json] [--self-profile]
   enmc bench-diff OLD.json NEW.json [--wall-tolerance F]
   enmc asm <file.s>               assemble and dump PRECHARGE frames
   enmc workloads                  list the Table 2 workloads
+  enmc list-memory                list the memory-technology presets
 
 schemes: cpu, cpu-as, nda, chameleon, tensordimm, tensordimm-large, enmc
 workloads: lstm, transformer, gnmt, xmlcnn, s1m, s10m, s100m
 shapes: lstm-wikitext2, transformer-wikitext103, gnmt-wmt16, xmlcnn-amazon670k
 patterns: stream-sweep, same-bank-hammer, bank-group-conflict,
-          refresh-straddle, row-thrash, turnaround-mix, lowered
+          refresh-straddle, row-thrash, turnaround-mix, moving-inversion,
+          lowered
 bugs: tfaw-1, trcd-1, trp-1, twtr-1
+memory presets: ddr4-2666, ddr5-4800, lpddr4-3200, hbm2
 ";
+
+/// Stamps the schema-v10 memory-technology fields (preset name plus its
+/// error profile) into a report.
+fn stamp_memory(report: &mut enmc::obs::report::RunReport, tech: MemTech) {
+    let p = tech.preset();
+    report.memory_tech = tech.name().to_string();
+    report.ber_scale = p.error.ber_scale;
+    report.retention_base = p.error.retention_base;
+    report.weak_column_scale = p.error.weak_column_scale;
+}
 
 fn cmd_demo() -> i32 {
     let mut pipeline = match Pipeline::build(&PipelineConfig::default()) {
@@ -337,6 +369,13 @@ fn cmd_simulate(args: &[String]) -> i32 {
         return 2;
     }
     let seed = common.seed;
+    let memory = match common.single_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let job = ClassificationJob {
         categories: workload.categories,
         hidden: workload.hidden,
@@ -344,10 +383,14 @@ fn cmd_simulate(args: &[String]) -> i32 {
         batch,
         candidates: ((workload.categories as f64) * frac).round() as usize,
     };
-    let sys = SystemModel::table3();
+    let sys = SystemModel::table3().with_memory(memory);
     eprintln!(
-        "simulating {} (l={}, d={}) batch {batch}, {} exact candidates",
-        workload.abbr, workload.categories, workload.hidden, job.candidates
+        "simulating {} (l={}, d={}) batch {batch}, {} exact candidates on {}",
+        workload.abbr,
+        workload.categories,
+        workload.hidden,
+        job.candidates,
+        memory.name()
     );
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
     let sw = Stopwatch::start();
@@ -372,9 +415,10 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     };
     report.notes.push(format!("seed {seed}"));
+    stamp_memory(&mut report, memory);
     if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
         // Timestamps are DRAM-clock cycles; Chrome wants microseconds.
-        let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
+        let ns_per_cycle = sys.memory().ns_per_cycle();
         let chrome = export_chrome(&tb.drain(), ns_per_cycle);
         match std::fs::write(path, chrome) {
             Ok(()) => eprintln!("trace written to {path}"),
@@ -434,7 +478,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
         }
     }
     if check_protocol {
-        println!("  protocol: {violations} DDR4 timing violation(s)");
+        println!("  protocol: {violations} {} timing violation(s)", memory.name());
         if violations > 0 {
             eprintln!("protocol check FAILED: rerun with --trace-out to see per-rule events");
             return 1;
@@ -569,6 +613,13 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
     // are byte-identical for any worker count.
     let sim_cfg = SimConfig::resolve(common.threads, check_protocol);
     let backend = common.backend(CostModelKind::CycleAccurate);
+    let memory = match common.single_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let arrival = match build_arrival(arrival_kind, rate, flag_value(args, "--trace-file")) {
         Ok(a) => a,
@@ -619,7 +670,7 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         cfg.tiers.len()
     );
 
-    let sys = SystemModel::table3();
+    let sys = SystemModel::table3().with_memory(memory);
     let mut registry = MetricsRegistry::new();
     let trace_out = flag_value(args, "--trace-out");
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
@@ -703,7 +754,8 @@ fn cmd_serve_sim(args: &[String]) -> i32 {
         }
     }
 
-    let report = outcome.report(workload.abbr, &cfg, &registry);
+    let mut report = outcome.report(workload.abbr, &cfg, &registry);
+    stamp_memory(&mut report, memory);
     if let (Some(path), Some(tb)) = (trace_out, trace.as_mut()) {
         let chrome = export_chrome(&tb.drain(), outcome.ns_per_cycle);
         match std::fs::write(path, chrome) {
@@ -868,6 +920,13 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
     // are byte-identical for any worker count.
     let sim_cfg = SimConfig::resolve(common.threads, check_protocol);
     let backend = common.backend(CostModelKind::CycleAccurate);
+    let memory = match common.single_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let job = ClassificationJob {
         categories: workload.categories,
@@ -926,7 +985,7 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
         tenants_n
     );
 
-    let sys = SystemModel::table3();
+    let sys = SystemModel::table3().with_memory(memory);
     let mut registry = MetricsRegistry::new();
     let mut cost = CostModel::new(backend, seed);
     if let Some(path) = flag_value(args, "--coeffs") {
@@ -956,7 +1015,8 @@ fn cmd_fleet_sim(args: &[String]) -> i32 {
         }
     }
 
-    let report = outcome.report(workload.abbr, &cfg, &registry);
+    let mut report = outcome.report(workload.abbr, &cfg, &registry);
+    stamp_memory(&mut report, memory);
     let violations = report.protocol_violations;
     if format == ReportFormat::Json {
         println!("{}", report.to_json());
@@ -1055,6 +1115,10 @@ fn cmd_tune(args: &[String]) -> i32 {
             }
         }
     }
+    // The memory-technology axis: a single preset keeps the classic
+    // 8-axis lattice; a comma list widens the space so the frontier can
+    // trade technologies off against each other.
+    space.memory = common.memory.clone();
     let max_area_mm2 = match flag_value(args, "--max-area-mm2")
         .map(|r| parse_budget_cap("--max-area-mm2", r))
         .transpose()
@@ -1131,7 +1195,17 @@ fn cmd_tune(args: &[String]) -> i32 {
         }
     }
     let cost = CostModel::new(backend, common.seed);
-    let report = tune_report(workload.abbr, &cfg, &result, &cost);
+    let mut report = tune_report(workload.abbr, &cfg, &result, &cost);
+    match common.memory.as_slice() {
+        [one] => stamp_memory(&mut report, *one),
+        many => {
+            // A multi-technology axis has no single preset to stamp; the
+            // per-design labels carry it, and the joined list documents
+            // the swept axis.
+            report.memory_tech =
+                many.iter().map(|t| t.name()).collect::<Vec<_>>().join(",");
+        }
+    }
     if common.format == ReportFormat::Json {
         println!("{}", report.to_json());
         return 0;
@@ -1224,7 +1298,14 @@ fn cmd_offload_plan(args: &[String]) -> i32 {
     let sim_cfg = SimConfig::resolve(common.threads, false);
     let backend = common.backend(CostModelKind::CycleAccurate);
     let mut cost = CostModel::new(backend, common.seed);
-    let sys = SystemModel::table3();
+    let memory = match common.single_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let sys = SystemModel::table3().with_memory(memory);
     eprintln!(
         "planning offload for {} (l={}, d={}): {} tier(s), batches 1..={batch_max}",
         workload.abbr,
@@ -1243,6 +1324,7 @@ fn cmd_offload_plan(args: &[String]) -> i32 {
     let nmp = decisions.iter().filter(|d| d.nmp).count() as u64;
     let cpu = decisions.len() as u64 - nmp;
     let mut report = RunReport::new("offload-plan", workload.abbr, "enmc");
+    stamp_memory(&mut report, memory);
     report.cost_backend = cost.backend().name().to_string();
     report.batch = batch_max as u64;
     report.candidates = job.candidates as u64;
@@ -1341,6 +1423,13 @@ fn cmd_fault_sweep(args: &[String]) -> i32 {
     let format = common.format;
     let workers = common.workers();
     let backend = common.backend(CostModelKind::CycleAccurate);
+    let memory = match common.single_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let sweep_args = FaultSweepArgs {
         shape,
         ber,
@@ -1351,15 +1440,17 @@ fn cmd_fault_sweep(args: &[String]) -> i32 {
         seed,
         workers,
         backend,
+        memory,
         coeffs_in: flag_value(args, "--coeffs").map(String::from),
         coeffs_out: flag_value(args, "--coeffs-out").map(String::from),
     };
     eprintln!(
-        "fault sweep on {}: ber {ber}, multipliers {:?}, ecc {}, {} queries, seed {seed}",
+        "fault sweep on {}: ber {ber}, multipliers {:?}, ecc {}, {} queries, seed {seed}, {}",
         shape.name(),
         sweep_args.multipliers,
         if ecc { "on" } else { "off" },
-        queries
+        queries,
+        memory.name()
     );
     let trace_out = flag_value(args, "--trace-out");
     let mut trace = trace_out.map(|_| TraceBuffer::unbounded());
@@ -1459,15 +1550,26 @@ fn cmd_fuzz_dram(args: &[String]) -> i32 {
         },
     };
     let repro_out = flag_value(args, "--repro-out");
+    let memory = match flag_value(args, "--memory")
+        .map(parse_memory)
+        .unwrap_or(Ok(MemTech::Ddr4_2666))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     // --check-protocol is accepted for symmetry with `simulate` (and so CI
     // can pass one flag set to both); the fuzz harness always runs with
     // the checker and golden cross-validation attached.
 
-    let reference = DramConfig::enmc_single_rank();
+    let reference = memory.preset().single_rank_config();
     let mut cfg = reference;
     if let Some(b) = bug {
         cfg.timing = b.apply(cfg.timing);
     }
+    eprintln!("fuzzing the {} timing domain", memory.name());
 
     let mut cases = 0u64;
     let mut failures = 0u64;
@@ -1475,7 +1577,7 @@ fn cmd_fuzz_dram(args: &[String]) -> i32 {
     for p in &patterns {
         let mut clean = 0u64;
         for seed in 0..seeds {
-            let (reqs, out) = fuzz::run_seed(*p, seed, len, bug);
+            let (reqs, out) = fuzz::run_seed_on(&reference, *p, seed, len, bug);
             cases += 1;
             if out.is_clean() {
                 clean += 1;
@@ -1511,6 +1613,9 @@ fn cmd_fuzz_dram(args: &[String]) -> i32 {
             pattern,
             seed,
             bug: bug.map(|b| b.name().to_string()),
+            // Baseline runs omit the field so pre-preset reproducers stay
+            // byte-identical.
+            memory: (memory != MemTech::Ddr4_2666).then(|| memory.name().to_string()),
             requests: minimal,
         };
         eprintln!("first failure shrunk to {} request(s):", repro.requests.len());
@@ -1614,6 +1719,16 @@ fn cmd_profile(args: &[String]) -> i32 {
     };
     let trace_out = flag_value(args, "--trace-out");
     let self_profile = args.iter().any(|a| a == "--self-profile");
+    let memory = match flag_value(args, "--memory")
+        .map(parse_memory)
+        .unwrap_or(Ok(MemTech::Ddr4_2666))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let mut prof = SelfProfiler::new();
     prof.begin("profile");
@@ -1624,17 +1739,19 @@ fn cmd_profile(args: &[String]) -> i32 {
         batch,
         candidates: ((workload.categories as f64) * frac).round() as usize,
     };
-    let sys = SystemModel::table3();
+    let sys = SystemModel::table3().with_memory(memory);
     eprintln!(
-        "profiling {} {} batch {batch} on {threads} worker(s)",
+        "profiling {} {} batch {batch} on {} on {threads} worker(s)",
         workload.abbr,
-        scheme_label(scheme)
+        scheme_label(scheme),
+        memory.name()
     );
     prof.begin("simulate");
     let run = sys.run_sharded(&job, scheme, &SimConfig::with_threads(threads));
     prof.end("simulate");
     prof.begin("attribute");
-    let report = report_from_sharded("profile", workload.abbr, &job, &sys, &run);
+    let mut report = report_from_sharded("profile", workload.abbr, &job, &sys, &run);
+    stamp_memory(&mut report, memory);
     let attr = attribute_run(&sys, &run).expect("simulated schemes always attribute");
     prof.end("attribute");
     if let Some(path) = trace_out {
@@ -1643,7 +1760,7 @@ fn cmd_profile(args: &[String]) -> i32 {
         prof.begin("trace");
         let mut tb = TraceBuffer::unbounded();
         sys.run_traced(&job, scheme, Some(&mut tb));
-        let ns_per_cycle = DramConfig::enmc_single_rank().timing.cycles_to_ns(1);
+        let ns_per_cycle = sys.memory().ns_per_cycle();
         let chrome = export_chrome(&tb.drain(), ns_per_cycle);
         prof.end("trace");
         match std::fs::write(path, chrome) {
@@ -1774,5 +1891,33 @@ fn cmd_workloads() -> i32 {
             w.classifier_bytes() as f64 / (1u64 << 30) as f64
         );
     }
+    0
+}
+
+fn cmd_list_memory() -> i32 {
+    println!(
+        "{:<12} {:>7} {:>8} {:>6} {:>8} {:>9} {:>10} {:>10} {:>9}",
+        "preset", "tCK ps", "IO MHz", "banks", "tRC ns", "act nJ", "bg W/rk", "ber x", "weak x"
+    );
+    for tech in MemTech::ALL {
+        let p = tech.preset();
+        println!(
+            "{:<12} {:>7} {:>8} {:>4}x{:<3} {:>8.1} {:>9.2} {:>10.2} {:>10.2} {:>9.2}",
+            tech.name(),
+            p.timing.tck_ps,
+            p.io_mhz(),
+            p.bank_groups,
+            p.banks_per_group,
+            p.timing.cycles_to_ns(p.timing.trc),
+            p.energy.act_nj,
+            p.energy.background_w,
+            p.error.ber_scale,
+            p.error.weak_column_scale,
+        );
+    }
+    println!();
+    println!("pass a preset to --memory on simulate, serve-sim, fleet-sim, fault-sweep,");
+    println!("profile, fuzz-dram, or tune (tune accepts a comma list as a design axis);");
+    println!("ddr4-2666 is the default and reproduces the paper's Table 3 DDR4 timing.");
     0
 }

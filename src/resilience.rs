@@ -1,6 +1,11 @@
 //! Root glue for `enmc fault-sweep`: builds a paper-shape pipeline, runs
 //! the fault/resilience sweep from `enmc-fault`, and renders the
-//! quality-vs-refresh-energy Pareto table plus a schema-v6 [`RunReport`].
+//! quality-vs-refresh-energy Pareto table plus a structured [`RunReport`].
+//!
+//! The sweep is memory-technology aware: `--memory` swaps the system
+//! onto another preset, and the preset's error profile scales the
+//! injected fault model (BER × `ber_scale`, retention base, weak-column
+//! incidence × `weak_column_scale`) before the sweep runs.
 //!
 //! Like the bench harness, quality runs on a scaled *evaluation shape*
 //! (real matrices must fit in memory) while the energy join simulates the
@@ -20,6 +25,7 @@ use enmc_fault::{
     SweepError, SweepPoint,
 };
 use enmc_surrogate::{CostBackend, CostModel};
+use enmc_mem::MemTech;
 use enmc_model::workloads::WorkloadId;
 use enmc_obs::report::RunReport;
 use enmc_obs::{MetricsRegistry, TraceBuffer};
@@ -110,6 +116,10 @@ pub struct FaultSweepArgs {
     pub workers: usize,
     /// Cost backend answering the per-point energy join.
     pub backend: CostBackend,
+    /// Memory technology preset: sets the timing/energy model of the
+    /// energy join and scales the injected fault model by the preset's
+    /// error profile.
+    pub memory: MemTech,
     /// Surrogate coefficient file to load instead of fitting fresh
     /// (ignored on the cycle-accurate backend).
     pub coeffs_in: Option<String>,
@@ -132,9 +142,12 @@ pub fn run_fault_sweep(
     let pipeline = Pipeline::build(&shape_config(args.shape, args.seed))
         .map_err(|e| format!("cannot build {} pipeline: {e}", args.shape.name()))?;
     let job = shape_job(args.shape, ENERGY_JOIN_BATCH);
+    let system = pipeline.system().clone().with_memory(args.memory);
+    let profile = system.memory().error;
     let model = FaultModel::nominal(args.seed)
-        .with_ber(args.ber)
-        .with_weak_columns(args.weak_columns);
+        .with_ber((args.ber * profile.ber_scale).min(1.0))
+        .with_retention_base(profile.retention_base)
+        .with_weak_columns((args.weak_columns * profile.weak_column_scale).min(1.0));
     let tiers = default_fault_tiers(pipeline.config().candidates);
     let spec = FaultSweepSpec {
         model,
@@ -154,7 +167,7 @@ pub fn run_fault_sweep(
     let points = run_resilience_sweep_with_cost(
         pipeline.synth(),
         pipeline.classifier(),
-        pipeline.system(),
+        &system,
         &job,
         &spec,
         args.workers,
@@ -176,6 +189,10 @@ pub fn run_fault_sweep(
     report.batch = job.batch as u64;
     report.candidates = job.candidates as u64;
     report.ber = args.ber;
+    report.memory_tech = args.memory.name().to_string();
+    report.ber_scale = profile.ber_scale;
+    report.retention_base = profile.retention_base;
+    report.weak_column_scale = profile.weak_column_scale;
     report.refresh_multiplier = args
         .multipliers
         .iter()
@@ -285,11 +302,14 @@ mod tests {
             seed: 7,
             workers: 1,
             backend: CostBackend::CycleAccurate,
+            memory: MemTech::Ddr4_2666,
             coeffs_in: None,
             coeffs_out: None,
         };
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert_eq!(report.quality_degradation_pct, 0.0);
+        assert_eq!(report.memory_tech, "ddr4-2666");
+        assert_eq!(report.ber_scale, 1.0);
         assert_eq!(report.ecc_corrected, 0);
         assert_eq!(report.cost_backend, "cycle-accurate");
         assert_eq!(report.fit_anchors, 0);
@@ -314,6 +334,7 @@ mod tests {
             seed: 7,
             workers: 1,
             backend: CostBackend::Surrogate { audit_rate: 1.0 },
+            memory: MemTech::Ddr4_2666,
             coeffs_in: None,
             coeffs_out: None,
         };
@@ -345,13 +366,14 @@ mod tests {
             seed: 7,
             workers: 2,
             backend: CostBackend::CycleAccurate,
+            memory: MemTech::Ddr4_2666,
             coeffs_in: None,
             coeffs_out: None,
         };
         let (points, frontier, report) = run_fault_sweep(&args, None).unwrap();
         assert!(report.quality_degradation_pct > 0.0, "1e-4 BER without ECC must degrade");
         assert_eq!(report.refresh_multiplier, 64.0);
-        assert_eq!(report.schema_version, 9);
+        assert_eq!(report.schema_version, 10);
         for w in frontier.windows(2) {
             assert!(w[1].top1_agreement <= w[0].top1_agreement, "quality must not increase");
             assert!(
@@ -360,5 +382,42 @@ mod tests {
             );
         }
         assert!(points.iter().any(|p| p.screener.raw_flips > 0));
+    }
+
+    #[test]
+    fn lpddr4_preset_scales_the_injected_fault_model() {
+        let args = FaultSweepArgs {
+            shape: FaultShape::LstmWikitext2,
+            ber: 1e-4,
+            multipliers: vec![1.0],
+            weak_columns: 0.0,
+            ecc: false,
+            queries: 24,
+            seed: 7,
+            workers: 1,
+            backend: CostBackend::CycleAccurate,
+            memory: MemTech::Lpddr4_3200,
+            coeffs_in: None,
+            coeffs_out: None,
+        };
+        let (points, _, report) = run_fault_sweep(&args, None).unwrap();
+        let profile = MemTech::Lpddr4_3200.preset().error;
+        assert_eq!(report.memory_tech, "lpddr4-3200");
+        assert_eq!(report.ber, 1e-4, "report.ber stays the requested channel BER");
+        assert_eq!(report.ber_scale, profile.ber_scale);
+        assert_eq!(report.retention_base, profile.retention_base);
+        assert_eq!(report.weak_column_scale, profile.weak_column_scale);
+        assert!(
+            report.quality_degradation_pct > 0.0,
+            "scaled BER on LPDDR4 must still degrade quality"
+        );
+        // The energy join ran on the LPDDR4 timing/energy model, whose
+        // refresh schedule differs from the DDR4 baseline.
+        let base = FaultSweepArgs { memory: MemTech::Ddr4_2666, ..args };
+        let (bp, _, _) = run_fault_sweep(&base, None).unwrap();
+        assert_ne!(
+            points[0].refresh_energy_nj, bp[0].refresh_energy_nj,
+            "presets must reach the energy join, not just the report"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Golden fault-sweep regression: the schema-v9 `RunReport` of one fixed
+//! Golden fault-sweep regression: the schema-v10 `RunReport` of one fixed
 //! resilience scenario is checked in at `tests/golden/fault_report.json`.
 //! The report's byte output — v5 fault fields, metrics snapshot, notes —
 //! must stay stable; an intentional change is re-blessed with
@@ -27,13 +27,14 @@ fn golden_args() -> FaultSweepArgs {
         seed: 7,
         workers: 1,
         backend: enmc::surrogate::CostBackend::CycleAccurate,
+        memory: enmc::mem::MemTech::Ddr4_2666,
         coeffs_in: None,
         coeffs_out: None,
     }
 }
 
 /// Re-runs the golden scenario exactly as the CLI would and renders its
-/// schema-v9 report (trailing newline so the fixture is a POSIX file).
+/// schema-v10 report (trailing newline so the fixture is a POSIX file).
 fn current_report() -> String {
     let (_, _, report) = run_fault_sweep(&golden_args(), None).expect("golden sweep runs");
     format!("{}\n", report.to_json())
@@ -60,9 +61,11 @@ fn golden_fault_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_pins_the_fault_fields() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 9);
+    assert_eq!(report.schema_version, 10);
     assert_eq!(report.command, "fault-sweep");
     assert_eq!(report.workload, "lstm-wikitext2");
+    assert_eq!(report.memory_tech, "ddr4-2666");
+    assert_eq!(report.ber_scale, 1.0);
     assert_eq!(report.ber, 1e-4);
     assert_eq!(report.refresh_multiplier, 32.0);
     assert!(report.ecc_corrected > 0, "fixture must exercise SEC-DED correction");

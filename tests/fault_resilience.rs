@@ -21,6 +21,7 @@ fn base_args() -> FaultSweepArgs {
         seed: 7,
         workers: 1,
         backend: enmc::surrogate::CostBackend::CycleAccurate,
+        memory: enmc::mem::MemTech::Ddr4_2666,
         coeffs_in: None,
         coeffs_out: None,
     }
@@ -46,7 +47,7 @@ fn zero_ber_sweep_is_the_fault_free_path_and_worker_invariant() {
     assert_eq!(report.quality_degradation_pct, 0.0);
     assert_eq!(report.ecc_corrected, 0);
     assert_eq!(report.ecc_uncorrected, 0);
-    assert_eq!(report.schema_version, 9);
+    assert_eq!(report.schema_version, 10);
     // No host timing leaks into the report (that would break the
     // cross-worker byte-identity below).
     assert_eq!(report.threads, 0);

@@ -114,7 +114,7 @@ fn golden_fleet_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_pins_the_fleet_fields() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 9);
+    assert_eq!(report.schema_version, 10);
     assert_eq!(report.command, "fleet-sim");
     assert_eq!(report.nodes, 2);
     assert_eq!(report.placement, "popularity");

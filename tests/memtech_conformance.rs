@@ -1,0 +1,319 @@
+//! Per-technology conformance suite: every timing rule probed with a
+//! boundary pair on *each* memory preset (DDR4-2666, DDR5-4800,
+//! LPDDR4-3200, HBM2), mirroring `ddr4_conformance.rs` but with every
+//! constraint derived from the preset rather than from Table 3.
+//!
+//! Each probe asserts its structural premise first (e.g. tFAW binds
+//! before the tRRD chain would), so a preset whose numbers break a
+//! premise fails with a named message instead of a silent alias between
+//! two rules. The suite ends with the "would we notice?" checks run per
+//! preset: a clean 8-seed fuzz sweep on the nominal timing and a planted
+//! off-by-one that every preset's checker must catch.
+
+use enmc::dram::fuzz::{self, InjectedBug, PatternKind};
+use enmc::dram::{CommandKind, Coord, DramConfig, Rule, Timing, TimingChecker};
+use enmc::mem::MemTech;
+
+fn config(tech: MemTech) -> DramConfig {
+    tech.preset().single_rank_config()
+}
+
+fn fresh(tech: MemTech) -> TimingChecker {
+    let cfg = config(tech);
+    TimingChecker::new(cfg.timing, cfg.organization, 0)
+}
+
+fn at(bg: usize, bank: usize, row: usize) -> Coord {
+    Coord { channel: 0, rank: 0, bank_group: bg, bank, row, column: 0 }
+}
+
+/// Runs `prologue` on a fresh checker for `tech` (asserting it is
+/// violation-free), then observes `cmd` at `now` and returns the
+/// violations it raised.
+fn probe(
+    tech: MemTech,
+    prologue: &[(u64, CommandKind, Coord)],
+    now: u64,
+    cmd: CommandKind,
+    coord: Coord,
+) -> Vec<enmc::dram::ProtocolViolation> {
+    let mut ck = fresh(tech);
+    for (cycle, kind, c) in prologue {
+        let vs = ck.observe(*cycle, *kind, c);
+        assert!(vs.is_empty(), "{}: prologue not conforming: {vs:?}", tech.name());
+    }
+    ck.observe(now, cmd, &coord)
+}
+
+/// Asserts the boundary pair on one preset: clean exactly at `legal`, a
+/// single `rule` violation (with `earliest_legal == legal`) one cycle
+/// earlier.
+fn assert_boundary(
+    tech: MemTech,
+    prologue: &[(u64, CommandKind, Coord)],
+    legal: u64,
+    cmd: CommandKind,
+    coord: Coord,
+    rule: Rule,
+) {
+    let ok = probe(tech, prologue, legal, cmd, coord);
+    assert!(ok.is_empty(), "{} {rule:?}: cycle {legal} must be accepted, got {ok:?}", tech.name());
+    let bad = probe(tech, prologue, legal - 1, cmd, coord);
+    assert_eq!(
+        bad.len(),
+        1,
+        "{} {rule:?}: cycle {} must raise exactly one violation, got {bad:?}",
+        tech.name(),
+        legal - 1
+    );
+    assert_eq!(bad[0].rule, rule, "{}", tech.name());
+    assert_eq!(
+        bad[0].earliest_legal,
+        legal,
+        "{} {rule:?} reports the wrong earliest cycle",
+        tech.name()
+    );
+}
+
+fn timing(tech: MemTech) -> Timing {
+    config(tech).timing
+}
+
+#[test]
+fn trcd_act_to_column_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        assert_boundary(tech, &[(0, CommandKind::Act, c)], t.trcd, CommandKind::Rd, c, Rule::Trcd);
+        assert_boundary(tech, &[(0, CommandKind::Act, c)], t.trcd, CommandKind::Wr, c, Rule::Trcd);
+    }
+}
+
+#[test]
+fn trp_precharge_to_act_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        // Precharge late enough that tRAS/tRTP are long since satisfied,
+        // so the probe one cycle before pre + tRP trips tRP alone.
+        let pre = t.tras.max(t.trcd + t.trtp).max(t.trc);
+        let prologue =
+            [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c), (pre, CommandKind::Pre, c)];
+        assert_boundary(tech, &prologue, pre + t.trp, CommandKind::Act, at(0, 0, 6), Rule::Trp);
+    }
+}
+
+#[test]
+fn trc_act_to_act_same_bank_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        // RDA's auto-precharge starts at tRCD + tRTP; its tRP must be
+        // recovered before tRC so only tRC sits at the boundary.
+        let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rda, c)];
+        assert!(
+            t.trcd + t.trtp + t.trp < t.trc,
+            "{} premise: tRP must recover before tRC",
+            tech.name()
+        );
+        assert_boundary(tech, &prologue, t.trc, CommandKind::Act, at(0, 0, 6), Rule::Trc);
+    }
+}
+
+#[test]
+fn tras_act_to_precharge_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        assert_boundary(tech, &[(0, CommandKind::Act, c)], t.tras, CommandKind::Pre, c, Rule::Tras);
+    }
+}
+
+#[test]
+fn tccd_l_same_bank_group_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c)];
+        assert_boundary(tech, &prologue, t.trcd + t.tccd_l, CommandKind::Rd, c, Rule::TccdL);
+    }
+}
+
+#[test]
+fn tccd_s_across_bank_groups_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        // Bank group 1 exists on every preset (LPDDR4 models two groups).
+        let (a, b) = (at(0, 0, 5), at(1, 0, 5));
+        let first_col = t.trrd_s + t.trcd + 10;
+        let prologue = [
+            (0, CommandKind::Act, a),
+            (t.trrd_s, CommandKind::Act, b),
+            (first_col, CommandKind::Rd, a),
+        ];
+        assert_boundary(tech, &prologue, first_col + t.tccd_s, CommandKind::Rd, b, Rule::TccdS);
+    }
+}
+
+#[test]
+fn trrd_l_same_bank_group_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let prologue = [(0, CommandKind::Act, at(0, 0, 5))];
+        assert_boundary(tech, &prologue, t.trrd_l, CommandKind::Act, at(0, 1, 5), Rule::TrrdL);
+    }
+}
+
+#[test]
+fn trrd_s_across_bank_groups_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let prologue = [(0, CommandKind::Act, at(0, 0, 5))];
+        assert_boundary(tech, &prologue, t.trrd_s, CommandKind::Act, at(1, 0, 5), Rule::TrrdS);
+    }
+}
+
+#[test]
+fn tfaw_four_activation_window_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        // Alternate between two bank groups so the schedule also works on
+        // the two-group LPDDR4 preset: consecutive ACTs are cross-group
+        // (tRRD_S) and same-group pairs sit 2·s apart (tRRD_L).
+        let s = t.trrd_s.max(t.trrd_l.div_ceil(2));
+        let prologue = [
+            (0, CommandKind::Act, at(0, 0, 5)),
+            (s, CommandKind::Act, at(1, 0, 5)),
+            (2 * s, CommandKind::Act, at(0, 1, 5)),
+            (3 * s, CommandKind::Act, at(1, 1, 5)),
+        ];
+        // The fifth ACT (group 0, bank 2) probes tFAW - 1; its tRRD_L gap
+        // to the ACT at 2·s and tRRD_S gap to the ACT at 3·s must both be
+        // already satisfied there.
+        assert!(3 * s + t.trrd_s < t.tfaw, "{} premise: tFAW binds before tRRD", tech.name());
+        assert!(
+            t.tfaw - 1 >= 2 * s + t.trrd_l,
+            "{} premise: tRRD_L satisfied at the tFAW boundary",
+            tech.name()
+        );
+        assert_boundary(tech, &prologue, t.tfaw, CommandKind::Act, at(0, 2, 5), Rule::Tfaw);
+    }
+}
+
+#[test]
+fn twtr_write_to_read_turnaround_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Wr, c)];
+        let turn = t.trcd + t.cwl + t.tbl + t.twtr;
+        assert!(turn > t.trcd + t.tccd_l, "{} premise: tWTR binds after tCCD_L", tech.name());
+        assert_boundary(tech, &prologue, turn, CommandKind::Rd, c, Rule::Twtr);
+    }
+}
+
+#[test]
+fn read_to_write_bus_turnaround_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Rd, c)];
+        let turn = t.trcd + t.cl + t.tbl + 2 - t.cwl;
+        assert!(turn > t.trcd + t.tccd_l, "{} premise: RD->WR binds after tCCD_L", tech.name());
+        assert_boundary(tech, &prologue, turn, CommandKind::Wr, c, Rule::RdToWr);
+    }
+}
+
+#[test]
+fn twr_write_recovery_before_precharge_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        let prologue = [(0, CommandKind::Act, c), (t.trcd, CommandKind::Wr, c)];
+        let recovery = t.trcd + t.cwl + t.tbl + t.twr;
+        assert!(recovery > t.tras, "{} premise: write recovery binds after tRAS", tech.name());
+        assert_boundary(tech, &prologue, recovery, CommandKind::Pre, c, Rule::Twr);
+    }
+}
+
+#[test]
+fn trtp_read_to_precharge_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let c = at(0, 0, 5);
+        // A late read so tRAS is satisfied and only tRTP is at its boundary.
+        let rd = t.tras;
+        let prologue = [(0, CommandKind::Act, c), (rd, CommandKind::Rd, c)];
+        assert_boundary(tech, &prologue, rd + t.trtp, CommandKind::Pre, c, Rule::Trtp);
+    }
+}
+
+#[test]
+fn trfc_refresh_blocks_the_rank_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        let prologue = [(0, CommandKind::Ref, at(0, 0, 0))];
+        assert_boundary(tech, &prologue, t.trfc, CommandKind::Act, at(0, 0, 5), Rule::Trfc);
+    }
+}
+
+#[test]
+fn trefi_postponement_deadline_every_preset() {
+    for tech in MemTech::ALL {
+        let t = timing(tech);
+        // tREFI is a deadline, so this pair is inverted: REF exactly at
+        // the 9 x tREFI postponement limit is legal, one cycle later is
+        // the violation.
+        let deadline = 9 * t.trefi;
+        let prologue = [(0, CommandKind::Ref, at(0, 0, 0))];
+        let ok = probe(tech, &prologue, deadline, CommandKind::Ref, at(0, 0, 0));
+        assert!(ok.is_empty(), "{}: REF at the postponement deadline must be accepted", tech.name());
+        let bad = probe(tech, &prologue, deadline + 1, CommandKind::Ref, at(0, 0, 0));
+        assert_eq!(bad.len(), 1, "{}", tech.name());
+        assert_eq!(bad[0].rule, Rule::TrefiWindow, "{}", tech.name());
+        assert_eq!(bad[0].earliest_legal, deadline, "{}", tech.name());
+    }
+}
+
+/// Nominal timing on every preset survives a short fuzz sweep over every
+/// traffic pattern, including the data-dependent moving-inversion passes
+/// — the per-preset analogue of the fuzzer's own clean-sweep property.
+#[test]
+fn every_preset_fuzzes_clean_on_nominal_timing() {
+    for tech in MemTech::ALL {
+        let reference = config(tech);
+        for pattern in PatternKind::ALL {
+            for seed in 0..8 {
+                let (_, out) = fuzz::run_seed_on(&reference, pattern, seed, 64, None);
+                assert!(
+                    out.is_clean(),
+                    "{} {} seed {seed} violated its own preset timing: {:?}",
+                    tech.name(),
+                    pattern.name(),
+                    out.violations
+                );
+            }
+        }
+    }
+}
+
+/// The planted tFAW off-by-one must surface on every preset: the checker
+/// holds the preset's reference timing while the controller runs one
+/// cycle tight.
+#[test]
+fn injected_tfaw_bug_is_caught_on_every_preset() {
+    for tech in MemTech::ALL {
+        let reference = config(tech);
+        let caught = (0..8).any(|seed| {
+            let (_, out) = fuzz::run_seed_on(
+                &reference,
+                PatternKind::BankGroupConflict,
+                seed,
+                96,
+                Some(InjectedBug::TfawMinusOne),
+            );
+            out.violations.iter().any(|v| v.rule == Rule::Tfaw)
+        });
+        assert!(caught, "{}: tFAW-1 escaped 8 fuzz seeds", tech.name());
+    }
+}

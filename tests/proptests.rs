@@ -114,6 +114,7 @@ fn objective_design(index: usize, lat: f64, nj: f64, q: f64) -> EvaluatedDesign 
             batch_max: 4,
             linger_cycles: 0,
             ecc: false,
+            memory: enmc::mem::MemTech::Ddr4_2666,
         },
         cost: AreaPower { area_mm2: 28.0, power_mw: 18_000.0 },
         latency_ns: lat,
@@ -539,6 +540,29 @@ proptest! {
         let mut right = a;
         right.merge_parallel(&bc);
         prop_assert_eq!(left, right);
+    }
+
+    /// The fuzzer's clean-sweep property holds on every memory preset:
+    /// any pattern (including the data-dependent moving-inversion
+    /// passes), any seed, run against the preset's own nominal timing,
+    /// raises no violation and agrees with the golden model.
+    #[test]
+    fn nominal_fuzz_sweep_is_clean_under_every_preset(
+        tech_idx in 0usize..4,
+        pattern_idx in 0usize..enmc::dram::fuzz::PatternKind::ALL.len(),
+        seed in 0u64..1024,
+    ) {
+        let tech = enmc::mem::MemTech::ALL[tech_idx];
+        let pattern = enmc::dram::fuzz::PatternKind::ALL[pattern_idx];
+        let reference = tech.preset().single_rank_config();
+        let (_, out) = enmc::dram::fuzz::run_seed_on(&reference, pattern, seed, 48, None);
+        prop_assert!(
+            out.is_clean(),
+            "{} {} seed {seed}: {:?}",
+            tech.name(),
+            pattern.name(),
+            out.violations
+        );
     }
 }
 

@@ -78,7 +78,7 @@ fn golden_serve_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_exercises_the_interesting_paths() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 9);
+    assert_eq!(report.schema_version, 10);
     assert_eq!(report.command, "serve-sim");
     assert!(report.shed > 0, "fixture must shed");
     assert!(report.degrade_transitions > 0, "fixture must walk the degrade ladder");

@@ -1,4 +1,4 @@
-//! Golden surrogate regression: the schema-v9 `RunReport` of one fixed
+//! Golden surrogate regression: the schema-v10 `RunReport` of one fixed
 //! fault-sweep scenario answered by the *surrogate* cost backend is
 //! checked in at `tests/golden/surrogate_report.json`. It pins the v7
 //! surrogate fields end to end — backend name, anchor count, audited
@@ -30,13 +30,14 @@ fn golden_args() -> FaultSweepArgs {
         seed: 7,
         workers: 1,
         backend: CostBackend::Surrogate { audit_rate: 1.0 },
+        memory: enmc::mem::MemTech::Ddr4_2666,
         coeffs_in: None,
         coeffs_out: None,
     }
 }
 
 /// Re-runs the golden scenario exactly as the CLI would and renders its
-/// schema-v9 report (trailing newline so the fixture is a POSIX file).
+/// schema-v10 report (trailing newline so the fixture is a POSIX file).
 fn current_report() -> String {
     let (_, _, report) = run_fault_sweep(&golden_args(), None).expect("golden sweep runs");
     format!("{}\n", report.to_json())
@@ -63,7 +64,7 @@ fn golden_surrogate_report_is_reproduced_exactly() {
 #[test]
 fn golden_fixture_parses_and_pins_the_surrogate_fields() {
     let report = RunReport::from_json(GOLDEN.trim_end()).expect("fixture parses");
-    assert_eq!(report.schema_version, 9);
+    assert_eq!(report.schema_version, 10);
     assert_eq!(report.command, "fault-sweep");
     assert_eq!(report.cost_backend, "surrogate");
     assert!(report.fit_anchors > 0, "fixture must record the fit's anchor simulations");
